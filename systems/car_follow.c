@@ -1,0 +1,314 @@
+/* ============================================================================
+ * Longitudinal car-following core controller (adaptive cruise).
+ *
+ * A demonstration system for the paper's third monitoring example: "in our
+ * own experience with autonomous car controllers at UIUC, control outputs
+ * are monitored for potential collisions with other cars or obstacles
+ * before being applied to a car actuator" (§1).  It also exercises the
+ * message-passing extension of §3.4.3: speed commands arrive over a
+ * non-core telematics socket via recv() and must be monitored before use.
+ *
+ * Shared memory:
+ *   fbShm   - published range/speed feedback (non-core readable)
+ *   ncCtrl  - acceleration command from the non-core trajectory planner
+ *   wdInfo  - watchdog block
+ *
+ * Message passing:
+ *   telemSocket - non-core socket delivering target-speed commands
+ *
+ * Expected SafeFlow findings (pinned in test/test_extensions.ml):
+ *   - ERROR 1: the raw telematics target speed (received over the
+ *     non-core socket, used without monitoring) flows into the commanded
+ *     acceleration.
+ *   - ERROR 2: the watchdog kill() pid from unmonitored shared memory.
+ *   - warnings for the unmonitored non-core reads;
+ *   - the monitored planner-command path (collision check) is clean, and
+ *     so is the monitored telematics path.
+ * ==========================================================================*/
+
+struct RangeFeedback {
+  double gap;          /* distance to the lead vehicle [m]        */
+  double rel_speed;    /* closing speed [m/s]                     */
+  double own_speed;    /* ego vehicle speed [m/s]                 */
+  long   seq;
+};
+typedef struct RangeFeedback RangeFeedback;
+
+struct PlannerCmd {
+  double accel;        /* requested acceleration [m/s^2]          */
+  long   seq;
+  int    valid;
+  int    pad;
+};
+typedef struct PlannerCmd PlannerCmd;
+
+struct WatchdogInfo {
+  int    nc_pid;
+  int    enable;
+};
+typedef struct WatchdogInfo WatchdogInfo;
+
+RangeFeedback *fbShm;
+PlannerCmd    *ncCtrl;
+WatchdogInfo  *wdInfo;
+
+int shmLock;
+int telemSocket;
+
+/* core state */
+double gapEst;
+double relSpeedEst;
+double ownSpeedEst;
+double cruiseTarget = 25.0;   /* m/s */
+double accelMax = 2.0;
+double accelMin = -6.0;       /* full braking */
+double minGap = 8.0;
+double headwaySeconds = 1.6;
+double speedCmdMax = 35.0;    /* legal ceiling for telematics commands */
+long   loopCount;
+long   lastPlannerSeq;
+long   watchBeat;
+int    ncChildPid;
+long   periodUs = 20000;
+
+extern double readRadarGap(void);
+extern double readRadarRelSpeed(void);
+extern double readWheelSpeed(void);
+extern void   sendAccel(double a);
+extern void   Lock(int lockid);
+extern void   Unlock(int lockid);
+extern void   wait_period(long usecs);
+extern void   log_event(char *msg, double value);
+extern long   recv(int socket, double *buffer, long length, int flags);
+extern int    spawn_noncore(void);
+
+/* =================================================== initialization ====== */
+
+void initComm()
+/*** SafeFlow Annotation shminit assume(noncore(telemSocket)) ***/
+{
+  int shmid;
+  void *base;
+  char *cursor;
+  shmid = shmget(5004, sizeof(RangeFeedback) + sizeof(PlannerCmd)
+                       + sizeof(WatchdogInfo), 438);
+  base = shmat(shmid, (void *) 0, 0);
+  cursor = (char *) base;
+  fbShm = (RangeFeedback *) cursor;
+  cursor = cursor + sizeof(RangeFeedback);
+  ncCtrl = (PlannerCmd *) cursor;
+  cursor = cursor + sizeof(PlannerCmd);
+  wdInfo = (WatchdogInfo *) cursor;
+  telemSocket = 5;
+  InitCheck(base, sizeof(RangeFeedback) + sizeof(PlannerCmd) + sizeof(WatchdogInfo));
+  /*** SafeFlow Annotation
+       assume(shmvar(fbShm, sizeof(RangeFeedback)))
+       assume(shmvar(ncCtrl, sizeof(PlannerCmd)))
+       assume(shmvar(wdInfo, sizeof(WatchdogInfo)))
+       assume(noncore(fbShm))
+       assume(noncore(ncCtrl))
+       assume(noncore(wdInfo)) ***/
+}
+
+/* ===================================================== sensing =========== */
+
+void senseRange()
+{
+  gapEst = readRadarGap();
+  relSpeedEst = readRadarRelSpeed();
+  ownSpeedEst = readWheelSpeed();
+}
+
+void publishFeedback()
+{
+  fbShm->gap = gapEst;
+  fbShm->rel_speed = relSpeedEst;
+  fbShm->own_speed = ownSpeedEst;
+  fbShm->seq = loopCount;
+}
+
+/* =============================================== core cruise control ===== */
+
+double clampAccel(double a)
+{
+  if (a > accelMax) {
+    return accelMax;
+  }
+  if (a < accelMin) {
+    return accelMin;
+  }
+  return a;
+}
+
+/* conservative spacing controller: keep a time-headway gap */
+double computeSafeAccel()
+{
+  double desiredGap = minGap + headwaySeconds * ownSpeedEst;
+  double gapError = gapEst - desiredGap;
+  double a = 0.25 * gapError - 0.9 * relSpeedEst
+           + 0.15 * (cruiseTarget - ownSpeedEst);
+  return clampAccel(a);
+}
+
+/* ======================================================= monitors ======== */
+
+/*
+ * Collision monitor: accept a proposed acceleration only if, assuming the
+ * lead vehicle brakes hard, the ego vehicle can still stop outside the
+ * minimum gap — the recoverability check of the car controllers the
+ * paper cites.
+ */
+int collisionCheck(double a)
+{
+  double v = ownSpeedEst;
+  double gap = gapEst;
+  double closing = relSpeedEst;
+  double horizon = 0.4;  /* hold the command before worst-case braking */
+  double v1 = v + a * horizon;
+  double gap1 = gap - (closing + a * horizon * 0.5) * horizon;
+  double stopEgo = v1 * v1 / 12.0;               /* |accelMin| = 6 m/s^2 */
+  double leadSpeed = v1 - closing;
+  double stopLead = leadSpeed * leadSpeed / 12.0;
+  if (gap1 + stopLead - stopEgo < minGap) {
+    return 0;
+  }
+  return 1;
+}
+
+/* monitoring function for the planner command in shared memory */
+int checkPlannerCmd(double *out)
+/*** SafeFlow Annotation assume(core(ncCtrl, 0, sizeof(PlannerCmd))) ***/
+{
+  double a;
+  if (ncCtrl->valid != 1) {
+    return 0;
+  }
+  if (ncCtrl->seq + 4 < lastPlannerSeq) {
+    return 0;
+  }
+  a = ncCtrl->accel;
+  if (a != a) {
+    return 0;
+  }
+  if (a > accelMax || a < accelMin) {
+    return 0;
+  }
+  if (collisionCheck(a) == 0) {
+    return 0;
+  }
+  *out = a;
+  return 1;
+}
+
+/*
+ * Monitoring function for telematics speed commands received over the
+ * non-core socket (§3.4.3): the received buffer may be dereferenced here
+ * because every value is range-checked before escaping.
+ */
+double checkSpeedCommand(double *buffer)
+/*** SafeFlow Annotation assume(core(buffer, 0, 8)) ***/
+{
+  double v = buffer[0];
+  if (v != v) {
+    return cruiseTarget;
+  }
+  if (v < 0.0 || v > speedCmdMax) {
+    return cruiseTarget;
+  }
+  return v;
+}
+
+/* ======================================================= decision ======== */
+
+double decision(double safeAccel)
+{
+  double a = 0.0;
+  if (checkPlannerCmd(&a)) {
+    return a;
+  }
+  return safeAccel;
+}
+
+/* ============================================ telematics reception ======= */
+
+/*
+ * The MONITORED path: the received command is validated before becoming
+ * the cruise target.
+ */
+void receiveSpeedCommand()
+{
+  double buf[1];
+  long got = recv(telemSocket, buf, 8, 0);
+  if (got == 8) {
+    cruiseTarget = checkSpeedCommand(buf);
+  }
+}
+
+/*
+ * ERROR 1 SOURCE: the "eco coasting" feature uses the raw received value
+ * directly as a speed delta — unmonitored non-core data flowing into the
+ * acceleration command.
+ */
+double ecoCoastAdjust()
+{
+  double buf[1];
+  long got = recv(telemSocket, buf, 8, 0);
+  if (got == 8) {
+    return 0.01 * buf[0];
+  }
+  return 0.0;
+}
+
+/* ============================================ supervision ================ */
+
+/* ERROR 2 SOURCE: kill() pid from unmonitored shared memory */
+void supervisePlanner()
+{
+  int armed = wdInfo->enable;
+  if (armed == 1) {
+    long seq = ncCtrl->seq;
+    if (seq == watchBeat) {
+      int pid = wdInfo->nc_pid;
+      kill(pid, 9);
+      log_event("planner restarted", (double) pid);
+    }
+    watchBeat = seq;
+  }
+}
+
+/* ========================================================= main ========== */
+
+int main()
+{
+  double safeAccel;
+  double accel;
+
+  initComm();
+  ncChildPid = spawn_noncore();
+
+  while (loopCount < 100000) {
+    senseRange();
+    Lock(shmLock);
+    publishFeedback();
+    Unlock(shmLock);
+
+    safeAccel = computeSafeAccel();
+    wait_period(periodUs);
+
+    receiveSpeedCommand();
+
+    Lock(shmLock);
+    accel = decision(safeAccel);
+    Unlock(shmLock);
+
+    accel = accel + ecoCoastAdjust();
+    /*** SafeFlow Annotation assert(safe(accel)) ***/
+    sendAccel(accel);
+
+    if (loopCount % 50 == 49) {
+      supervisePlanner();
+    }
+    loopCount = loopCount + 1;
+  }
+  return 0;
+}

@@ -1,0 +1,1037 @@
+/* ============================================================================
+ * Double Inverted Pendulum core controller — Simplex architecture.
+ *
+ * Reconstruction of the third subject system of the paper ("Double IP"
+ * row of Table 1): two poles of different lengths on one trolley, based
+ * on the IP controller code but extended with additional control modes
+ * (balance / transition / hold) and a calibration interface.
+ *
+ * Shared memory regions (all writable by the non-core subsystem):
+ *   fbShm    - published feedback (6 states: cart + two poles)
+ *   ncCtrl   - non-core control output
+ *   ncModes  - mode requests from the non-core subsystem
+ *   ncStatus - non-core heartbeat/status
+ *   wdInfo   - watchdog block (non-core pid, arm flag)
+ *   tuneShm  - tuning suggestions from the non-core optimizer
+ *   calShm   - calibration block published by the non-core setup tool
+ *
+ * Findings reproduced from the paper's evaluation:
+ *   - ERROR 1: applyDamping() reads a damping coefficient from the
+ *     unmonitored non-core tuning block "knowing" it only nudges the
+ *     output slightly; the analysis discovers that the value does
+ *     propagate into the critical actuator output (the paper: "accessing
+ *     an unmonitored non-core value assuming that this value does not
+ *     propagate to the critical data ... the assumption is invalid").
+ *   - ERROR 2: the watchdog kill() pid comes from unmonitored shared
+ *     memory (present in all three systems).
+ *   - 8 warnings for the unmonitored non-core reads.
+ *   - 2 false positives: mode-selection control dependence.
+ *
+ * NOTE: checkNonCoreControl() was split out of decision() to make the
+ * function-granularity annotation possible (same source change as in the
+ * IP system; see systems/originals/double_ip_orig.c).
+ * ==========================================================================*/
+
+/* ---------------------------------------------------------------- types -- */
+
+struct DIPFeedback {
+  double cart;         /* trolley position [m]                */
+  double cart_vel;
+  double angle1;       /* long pole angle [rad]               */
+  double angle1_vel;
+  double angle2;       /* short pole angle [rad]              */
+  double angle2_vel;
+  long   seq;
+  long   timestamp;
+};
+typedef struct DIPFeedback DIPFeedback;
+
+struct NCControl {
+  double control;
+  long   seq;
+  int    valid;
+  int    pad;
+};
+typedef struct NCControl NCControl;
+
+struct NCModes {
+  int    dual_mode;      /* request blended two-pole weighting  */
+  int    swing_request;  /* request a swing-up assist restart   */
+  int    hold_request;
+  int    pad;
+};
+typedef struct NCModes NCModes;
+
+struct NCStatus {
+  long   heartbeat;
+  int    state;
+  int    pad;
+};
+typedef struct NCStatus NCStatus;
+
+struct WatchdogInfo {
+  int    nc_pid;
+  int    enable;
+  long   restart_epoch;
+};
+typedef struct WatchdogInfo WatchdogInfo;
+
+struct TuneBlock {
+  double damping;        /* suggested extra derivative gain     */
+  double stiffness;      /* suggested extra proportional gain   */
+  long   epoch;
+};
+typedef struct TuneBlock TuneBlock;
+
+struct CalBlock {
+  double scale1;         /* pole-1 angle sensor scale           */
+  double scale2;         /* pole-2 angle sensor scale           */
+  double drift;          /* measured drift estimate             */
+  long   epoch;
+};
+typedef struct CalBlock CalBlock;
+
+/* ------------------------------------------------------ shared memory --- */
+
+DIPFeedback  *fbShm;
+NCControl    *ncCtrl;
+NCModes      *ncModes;
+NCStatus     *ncStatus;
+WatchdogInfo *wdInfo;
+TuneBlock    *tuneShm;
+CalBlock     *calShm;
+
+int shmLock;
+
+/* ------------------------------------------------------- core state ----- */
+
+/* state estimate: [cart, cart_vel, a1, a1_vel, a2, a2_vel] */
+double stateEst[6];
+double prevSample[3];   /* previous cart/angle1/angle2 for differencing */
+
+/* sensor rings, one per measured channel */
+double cartHist[8];
+double angle1Hist[8];
+double angle2Hist[8];
+int    ringHead;
+int    ringCount;
+
+/* the safety controller: conservative LQR for the 6-state plant */
+double safetyGain[6] = { 0.9450, 2.5296, 176.6601, 43.9389, -159.8565, -27.8008 };
+
+/* blending weights for the two poles in transition mode */
+double blendBalance = 1.0;
+double blendTransition = 0.65;
+
+/* Lyapunov quadratic form (upper triangle, 6x6 row-major by index) */
+double lyapP[36] = {
+  14.2,  7.1,  52.0,  9.0, -12.1, -2.8,
+   7.1,  6.3,  41.2,  7.7, -10.0, -2.2,
+  52.0, 41.2, 611.0, 96.1, -141.5, -29.3,
+   9.0,  7.7,  96.1, 17.2, -24.0, -5.1,
+ -12.1, -10.0, -141.5, -24.0, 43.0,  8.4,
+  -2.8,  -2.2, -29.3,  -5.1,  8.4,  2.0
+};
+double lyapEnvelope = 6.0;
+
+/* calibration gains established through the monitored calibration path */
+double calGain1 = 1.0;
+double calGain2 = 1.0;
+
+/* actuation */
+double uMax = 5.0;
+double uMin = -5.0;
+double prevOutput;
+
+/* mode machine: 0 = balance, 1 = transition, 2 = hold */
+int    coreMode;
+long   modeEntryTick;
+
+/* bookkeeping */
+long   loopCount;
+long   lastNCSeq;
+int    staleCount;
+int    acceptCount;
+int    rejectCount;
+int    ncChildPid;
+long   watchTick;
+long   periodUs = 5000;
+
+/* --------------------------------------------------------- externs ------ */
+
+extern double readCartSensor(void);
+extern double readAngle1Sensor(void);
+extern double readAngle2Sensor(void);
+extern void   sendControl(double u);
+extern void   Lock(int lockid);
+extern void   Unlock(int lockid);
+extern void   wait_period(long usecs);
+extern long   current_time(void);
+extern void   log_event(char *msg, double value);
+extern int    spawn_noncore(void);
+
+/* =================================================== initialization ====== */
+
+void initShm()
+/*** SafeFlow Annotation shminit ***/
+{
+  int shmid;
+  void *shmStart;
+  char *cursor;
+  long total;
+
+  total = sizeof(DIPFeedback) + sizeof(NCControl) + sizeof(NCModes)
+        + sizeof(NCStatus) + sizeof(WatchdogInfo) + sizeof(TuneBlock)
+        + sizeof(CalBlock);
+  shmid = shmget(5003, total, 438);
+  shmStart = shmat(shmid, (void *) 0, 0);
+
+  cursor = (char *) shmStart;
+  fbShm = (DIPFeedback *) cursor;
+  cursor = cursor + sizeof(DIPFeedback);
+  ncCtrl = (NCControl *) cursor;
+  cursor = cursor + sizeof(NCControl);
+  ncModes = (NCModes *) cursor;
+  cursor = cursor + sizeof(NCModes);
+  ncStatus = (NCStatus *) cursor;
+  cursor = cursor + sizeof(NCStatus);
+  wdInfo = (WatchdogInfo *) cursor;
+  cursor = cursor + sizeof(WatchdogInfo);
+  tuneShm = (TuneBlock *) cursor;
+  cursor = cursor + sizeof(TuneBlock);
+  calShm = (CalBlock *) cursor;
+
+  InitCheck(shmStart, total);
+  /*** SafeFlow Annotation
+       assume(shmvar(fbShm, sizeof(DIPFeedback)))
+       assume(shmvar(ncCtrl, sizeof(NCControl)))
+       assume(shmvar(ncModes, sizeof(NCModes)))
+       assume(shmvar(ncStatus, sizeof(NCStatus)))
+       assume(shmvar(wdInfo, sizeof(WatchdogInfo)))
+       assume(shmvar(tuneShm, sizeof(TuneBlock)))
+       assume(shmvar(calShm, sizeof(CalBlock)))
+       assume(noncore(fbShm))
+       assume(noncore(ncCtrl))
+       assume(noncore(ncModes))
+       assume(noncore(ncStatus))
+       assume(noncore(wdInfo))
+       assume(noncore(tuneShm))
+       assume(noncore(calShm)) ***/
+}
+
+void initCoreState()
+{
+  int i;
+  for (i = 0; i < 6; i++) {
+    stateEst[i] = 0.0;
+  }
+  for (i = 0; i < 3; i++) {
+    prevSample[i] = 0.0;
+  }
+  for (i = 0; i < 8; i++) {
+    cartHist[i] = 0.0;
+    angle1Hist[i] = 0.0;
+    angle2Hist[i] = 0.0;
+  }
+  ringHead = 0;
+  ringCount = 0;
+  prevOutput = 0.0;
+  coreMode = 0;
+  modeEntryTick = 0;
+  loopCount = 0;
+  lastNCSeq = 0;
+  staleCount = 0;
+  acceptCount = 0;
+  rejectCount = 0;
+  watchTick = 0;
+}
+
+/* ===================================================== sensor module ===== */
+
+void pushSamples(double cart, double a1, double a2)
+{
+  cartHist[ringHead] = cart;
+  angle1Hist[ringHead] = a1;
+  angle2Hist[ringHead] = a2;
+  ringHead = (ringHead + 1) % 8;
+  if (ringCount < 8) {
+    ringCount = ringCount + 1;
+  }
+}
+
+double ringMean4(double *ring)
+{
+  int i;
+  int idx;
+  int n = 4;
+  double sum = 0.0;
+  if (n > ringCount) {
+    n = ringCount;
+  }
+  if (n <= 0) {
+    return 0.0;
+  }
+  idx = ringHead;
+  for (i = 0; i < n; i++) {
+    idx = idx - 1;
+    if (idx < 0) {
+      idx = 7;
+    }
+    sum = sum + ring[idx];
+  }
+  return sum / (double) n;
+}
+
+/* the calibration gains are applied to the raw angle channels */
+void readSensors(double *cart, double *a1, double *a2)
+{
+  double c = readCartSensor();
+  double x1 = votedAngle1() * calGain1;
+  double x2 = votedAngle2() * calGain2;
+  x1 = biquad(x1, notch1State, notch1Coeff);
+  x2 = biquad(x2, notch2State, notch2Coeff);
+  pushSamples(c, x1, x2);
+  *cart = c;
+  *a1 = x1;
+  *a2 = x2;
+}
+
+/* ==================================================== state estimation === */
+
+double diffVelocity(double current, double previous, double dtSeconds,
+                    double smoothed)
+{
+  double raw;
+  if (dtSeconds <= 0.0) {
+    return smoothed;
+  }
+  raw = (current - previous) / dtSeconds;
+  return 0.65 * smoothed + 0.35 * raw;
+}
+
+void estimateState()
+{
+  double dt = (double) periodUs / 1000000.0;
+  double c = ringMean4(cartHist);
+  double a1 = ringMean4(angle1Hist);
+  double a2 = ringMean4(angle2Hist);
+  stateEst[1] = diffVelocity(c, prevSample[0], dt, stateEst[1]);
+  stateEst[3] = diffVelocity(a1, prevSample[1], dt, stateEst[3]);
+  stateEst[5] = diffVelocity(a2, prevSample[2], dt, stateEst[5]);
+  /*** SafeFlow Annotation assert(safe(a1)) ***/
+  stateEst[0] = c;
+  stateEst[2] = a1;
+  stateEst[4] = a2;
+  prevSample[0] = c;
+  prevSample[1] = a1;
+  prevSample[2] = a2;
+  /* a consistency check between the two pole channels: in upright
+     balance both should be small */
+  if (a1 > 1.5 || a1 < -1.5 || a2 > 1.5 || a2 < -1.5) {
+    log_event("pole angle out of physical range", a1);
+  }
+}
+
+/* ================================================= safety controller ===== */
+
+double clampOutput(double u)
+{
+  if (u > uMax) {
+    return uMax;
+  }
+  if (u < uMin) {
+    return uMin;
+  }
+  return u;
+}
+
+double computeSafeControl()
+{
+  double u = 0.0;
+  int i;
+  for (i = 0; i < 6; i++) {
+    u = u - safetyGain[i] * stateEst[i];
+  }
+  /*** SafeFlow Annotation assert(safe(u)) ***/
+  return clampOutput(u);
+}
+
+/* ======================================================= monitor ========= */
+
+double lyapValue(double *x)
+{
+  int i;
+  int j;
+  double v = 0.0;
+  for (i = 0; i < 6; i++) {
+    for (j = 0; j < 6; j++) {
+      v = v + x[i] * lyapP[i * 6 + j] * x[j];
+    }
+  }
+  return v;
+}
+
+void predictNext(double u, double *next)
+{
+  double dt = (double) periodUs / 1000000.0;
+  next[0] = stateEst[0] + dt * stateEst[1];
+  next[1] = stateEst[1] + dt * (u - 0.981 * stateEst[2] - 0.981 * stateEst[4]);
+  next[2] = stateEst[2] + dt * stateEst[3];
+  next[3] = stateEst[3] + dt * (17.44 * stateEst[2] - 1.667 * u);
+  next[4] = stateEst[4] + dt * stateEst[5];
+  next[5] = stateEst[5] + dt * (34.88 * stateEst[4] - 3.333 * u);
+}
+
+/* monitoring function for the non-core control output (split out of
+ * decision() — the paper's source change for this system) */
+int checkNonCoreControl(double *ncOut)
+/*** SafeFlow Annotation assume(core(ncCtrl, 0, sizeof(NCControl))) ***/
+{
+  double u;
+  double next[6];
+  long seq;
+
+  if (ncCtrl->valid != 1) {
+    return 0;
+  }
+  seq = ncCtrl->seq;
+  if (seq + 8 < lastNCSeq) {
+    return 0;
+  }
+  u = ncCtrl->control;
+  if (u != u) {
+    return 0;
+  }
+  if (u > uMax || u < uMin) {
+    return 0;
+  }
+  predictNext(u, next);
+  if (lyapValue(next) > lyapEnvelope) {
+    return 0;
+  }
+  *ncOut = u;
+  return 1;
+}
+
+/* monitoring function for the calibration block: the scales are checked
+ * against physical plausibility before they can become core gains */
+void checkCalibration()
+/*** SafeFlow Annotation assume(core(calShm, 0, sizeof(CalBlock))) ***/
+{
+  double s1 = calShm->scale1;
+  double s2 = calShm->scale2;
+  if (s1 > 0.9 && s1 < 1.1 && s2 > 0.9 && s2 < 1.1) {
+    /*** SafeFlow Annotation assert(safe(s1)) ***/
+    calGain1 = s1;
+    calGain2 = s2;
+  } else {
+    log_event("calibration rejected", s1);
+  }
+}
+
+/* ======================================================= decision ======== */
+
+double decision(double safeControl)
+{
+  double ncOut = 0.0;
+  if (checkNonCoreControl(&ncOut)) {
+    acceptCount = acceptCount + 1;
+    return ncOut;
+  }
+  rejectCount = rejectCount + 1;
+  return safeControl;
+}
+
+/* ================================================== publication ========== */
+
+void publishFeedback()
+{
+  fbShm->cart = stateEst[0];
+  fbShm->cart_vel = stateEst[1];
+  fbShm->angle1 = stateEst[2];
+  fbShm->angle1_vel = stateEst[3];
+  fbShm->angle2 = stateEst[4];
+  fbShm->angle2_vel = stateEst[5];
+  fbShm->seq = loopCount;
+  fbShm->timestamp = current_time();
+}
+
+/* ============================================ supervision / watchdog ===== */
+
+/* ERROR 2 SOURCE: the kill() pid is unmonitored non-core data */
+void superviseNonCore()
+{
+  int armed = wdInfo->enable;
+  if (armed == 1) {
+    long hb = ncStatus->heartbeat;
+    if (hb == watchTick) {
+      int pid = wdInfo->nc_pid;
+      kill(pid, 9);
+      log_event("non-core restarted", (double) pid);
+    }
+    watchTick = hb;
+  }
+}
+
+void trackFreshness()
+{
+  long seq = ncCtrl->seq;
+  if (seq == lastNCSeq) {
+    staleCount = staleCount + 1;
+  } else {
+    staleCount = 0;
+  }
+  lastNCSeq = seq;
+}
+
+/* ================================================== mode handling ======== */
+
+/*
+ * FP 1: the two-pole blending weight is selected by the non-core
+ * dual-mode request; both candidate weights are core constants.
+ */
+double selectBlend()
+{
+  int dual = ncModes->dual_mode;
+  double blend = blendBalance;
+  if (dual == 1) {
+    blend = blendTransition;
+  }
+  /*** SafeFlow Annotation assert(safe(blend)) ***/
+  return blend;
+}
+
+/*
+ * FP 2: the non-core can request a swing-up assist restart; the pid
+ * signalled is the core's own record from spawn time.
+ */
+void handleSwingRequest()
+{
+  int req = ncModes->swing_request;
+  if (req == 1) {
+    kill(ncChildPid, 12);
+    log_event("swing-up assist requested", (double) req);
+  }
+}
+
+/* the core's own mode machine (independent of the non-core requests) */
+void updateCoreMode()
+{
+  double a1 = stateEst[2];
+  double a2 = stateEst[4];
+  double mag = a1 * a1 + a2 * a2;
+  switch (coreMode) {
+    case 0:
+      if (mag > 0.04) {
+        coreMode = 1;
+        modeEntryTick = loopCount;
+      }
+      break;
+    case 1:
+      if (mag < 0.01) {
+        coreMode = 0;
+        modeEntryTick = loopCount;
+      }
+      if (loopCount - modeEntryTick > 4000) {
+        coreMode = 2;
+      }
+      break;
+    case 2:
+      if (mag < 0.005) {
+        coreMode = 0;
+      }
+      break;
+    default:
+      coreMode = 0;
+      break;
+  }
+}
+
+/* =============================================== tuning application ====== */
+
+/*
+ * ERROR 1 SOURCE: the developer applies the suggested damping tweak from
+ * the non-core optimizer directly, assuming a small additive nudge
+ * cannot matter.  The value is unmonitored non-core data and it flows
+ * straight into the actuator output.
+ */
+double applyDamping(double u)
+{
+  double extra = tuneShm->damping;
+  return u - extra * stateEst[3];
+}
+
+/* the suggested stiffness is only logged (warning, but no dependency) */
+void logTuning()
+{
+  double st = tuneShm->stiffness;
+  if (st > 2.0) {
+    log_event("optimizer suggests large stiffness", st);
+  }
+}
+
+
+/* ============================================ swing energy estimator ===== */
+
+/* total mechanical energy of the two poles relative to upright; used by
+ * the core's own mode machine and for diagnostics */
+double poleLength1 = 0.6;
+double poleLength2 = 0.3;
+double poleMass1 = 0.1;
+double poleMass2 = 0.1;
+
+double poleEnergy(double angle, double angleVel, double length, double mass)
+{
+  double g = 9.81;
+  double kinetic = 0.5 * mass * length * length * angleVel * angleVel;
+  double potential = mass * g * length * (1.0 - (1.0 - angle * angle * 0.5));
+  return kinetic + potential;
+}
+
+double totalSwingEnergy()
+{
+  double e1 = poleEnergy(stateEst[2], stateEst[3], poleLength1, poleMass1);
+  double e2 = poleEnergy(stateEst[4], stateEst[5], poleLength2, poleMass2);
+  return e1 + e2;
+}
+
+int energyWithinBudget()
+{
+  if (totalSwingEnergy() > 0.35) {
+    return 0;
+  }
+  return 1;
+}
+
+/* ============================================ channel consistency voter == */
+
+/* each angle channel is sampled three times; a majority vote rejects a
+ * single corrupted sample per channel */
+double voteThree(double a, double b, double c)
+{
+  double ab = a - b;
+  double ac = a - c;
+  double bc = b - c;
+  if (ab < 0.0) {
+    ab = -ab;
+  }
+  if (ac < 0.0) {
+    ac = -ac;
+  }
+  if (bc < 0.0) {
+    bc = -bc;
+  }
+  /* pick the pair that agrees best and average it */
+  if (ab <= ac && ab <= bc) {
+    return (a + b) * 0.5;
+  }
+  if (ac <= ab && ac <= bc) {
+    return (a + c) * 0.5;
+  }
+  return (b + c) * 0.5;
+}
+
+double votedAngle1()
+{
+  double s1 = readAngle1Sensor();
+  double s2 = readAngle1Sensor();
+  double s3 = readAngle1Sensor();
+  return voteThree(s1, s2, s3);
+}
+
+double votedAngle2()
+{
+  double s1 = readAngle2Sensor();
+  double s2 = readAngle2Sensor();
+  double s3 = readAngle2Sensor();
+  return voteThree(s1, s2, s3);
+}
+
+/* ================================================ notch filters ========== */
+
+/* per-pole biquad notch filters at the two structural resonances */
+double notch1State[4];
+double notch2State[4];
+double notch1Coeff[5] = { 0.977987, -1.868613, 0.977987, -1.815139, 0.902500 };
+double notch2Coeff[5] = { 0.954610, -1.719152, 0.954610, -1.674832, 0.864900 };
+
+void resetNotches()
+{
+  int i;
+  for (i = 0; i < 4; i++) {
+    notch1State[i] = 0.0;
+    notch2State[i] = 0.0;
+  }
+}
+
+double biquad(double sample, double *state, double *coeff)
+{
+  double y = coeff[0] * sample + coeff[1] * state[0] + coeff[2] * state[1]
+           - coeff[3] * state[2] - coeff[4] * state[3];
+  state[1] = state[0];
+  state[0] = sample;
+  state[3] = state[2];
+  state[2] = y;
+  return y;
+}
+
+/* ================================================ telemetry ring ========= */
+
+struct TelemetryRecord {
+  long   tick;
+  double cart;
+  double angle1;
+  double angle2;
+  double output;
+  double energy;
+};
+typedef struct TelemetryRecord TelemetryRecord;
+
+TelemetryRecord telemetryRing[64];
+int telemetryHead;
+
+void telemetryRecord(double output)
+{
+  TelemetryRecord *slot = &telemetryRing[telemetryHead];
+  slot->tick = loopCount;
+  slot->cart = stateEst[0];
+  slot->angle1 = stateEst[2];
+  slot->angle2 = stateEst[4];
+  slot->output = output;
+  slot->energy = totalSwingEnergy();
+  telemetryHead = (telemetryHead + 1) % 64;
+}
+
+void telemetryFlush()
+{
+  int i;
+  int idx = telemetryHead;
+  for (i = 0; i < 8; i++) {
+    idx = idx - 1;
+    if (idx < 0) {
+      idx = 63;
+    }
+    log_event("telemetry a1", telemetryRing[idx].angle1);
+    log_event("telemetry a2", telemetryRing[idx].angle2);
+    log_event("telemetry energy", telemetryRing[idx].energy);
+  }
+}
+
+/* ================================================ startup self test ====== */
+
+int selfTestPassed;
+
+double dipSensorNoise(int which)
+{
+  int i;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  double v;
+  for (i = 0; i < 32; i++) {
+    if (which == 0) {
+      v = readCartSensor();
+    } else {
+      if (which == 1) {
+        v = readAngle1Sensor();
+      } else {
+        v = readAngle2Sensor();
+      }
+    }
+    sum = sum + v;
+    sumsq = sumsq + v * v;
+    wait_period(250);
+  }
+  return (sumsq - sum * sum / 32.0) / 31.0;
+}
+
+int runSelfTest()
+{
+  int which;
+  for (which = 0; which < 3; which++) {
+    double var = dipSensorNoise(which);
+    if (var < 0.0 || var > 0.01) {
+      log_event("sensor noise out of spec", (double) which);
+      return 0;
+    }
+  }
+  sendControl(0.05);
+  wait_period(1500);
+  sendControl(-0.05);
+  wait_period(1500);
+  sendControl(0.0);
+  log_event("self test passed", 3.0);
+  return 1;
+}
+
+/* ================================================ shutdown sequence ====== */
+
+void shutdownRamp(double fromOutput)
+{
+  double u = fromOutput;
+  int i;
+  for (i = 0; i < 24; i++) {
+    u = u * 0.8;
+    sendControl(u);
+    wait_period(periodUs);
+  }
+  sendControl(0.0);
+  log_event("shutdown ramp complete", 0.0);
+}
+
+/* ============================================ fault accounting =========== */
+
+int faultCounts[8];
+
+void recordFault(int kind)
+{
+  if (kind >= 0 && kind < 8) {
+    faultCounts[kind] = faultCounts[kind] + 1;
+  }
+}
+
+int totalFaults()
+{
+  int i;
+  int total = 0;
+  for (i = 0; i < 8; i++) {
+    total = total + faultCounts[i];
+  }
+  return total;
+}
+
+
+/* ============================================ per-mode gain tables ======= */
+
+/* each core mode uses its own LQR gain set; tables are core constants
+ * tuned offline against the linearized two-pole model */
+double balanceGain[6]    = { 0.9450, 2.5296, 176.6601, 43.9389, -159.8565, -27.8008 };
+double transitionGain[6] = { 0.7560, 2.0237, 141.3281, 35.1511, -127.8852, -22.2406 };
+double holdGain[6]       = { 1.0868, 2.9090, 203.1591, 50.5297, -183.8350, -31.9709 };
+
+void applyModeGains()
+{
+  int i;
+  for (i = 0; i < 6; i++) {
+    if (coreMode == 0) {
+      safetyGain[i] = balanceGain[i];
+    } else {
+      if (coreMode == 1) {
+        safetyGain[i] = transitionGain[i];
+      } else {
+        safetyGain[i] = holdGain[i];
+      }
+    }
+  }
+}
+
+/* ============================================ position hold module ======= */
+
+/* in hold mode the trolley is regulated towards a parking position with
+ * an integral term; the integrator is clamped and bled outside hold */
+double holdTarget;
+double holdIntegral;
+double holdIntegralMax = 0.6;
+double holdKi = 0.15;
+
+void updateHold()
+{
+  if (coreMode == 2) {
+    double err = holdTarget - stateEst[0];
+    holdIntegral = holdIntegral + err * ((double) periodUs / 1000000.0);
+    if (holdIntegral > holdIntegralMax) {
+      holdIntegral = holdIntegralMax;
+    }
+    if (holdIntegral < -holdIntegralMax) {
+      holdIntegral = -holdIntegralMax;
+    }
+  } else {
+    holdIntegral = holdIntegral * 0.98;
+  }
+}
+
+double holdCorrection()
+{
+  if (coreMode == 2) {
+    return holdKi * holdIntegral;
+  }
+  return 0.0;
+}
+
+/* ============================================ loop timing accounting ===== */
+
+long lastLoopStamp;
+long worstJitter;
+long jitterBudgetUs = 1500;
+int  overrunCount;
+
+void accountLoopTiming()
+{
+  long now = current_time();
+  if (lastLoopStamp > 0) {
+    long elapsed = now - lastLoopStamp;
+    long jitter = elapsed - periodUs;
+    if (jitter < 0) {
+      jitter = -jitter;
+    }
+    if (jitter > worstJitter) {
+      worstJitter = jitter;
+    }
+    if (jitter > jitterBudgetUs) {
+      overrunCount = overrunCount + 1;
+      recordFault(4);
+      if (overrunCount % 50 == 1) {
+        log_event("loop jitter over budget", (double) jitter);
+      }
+    }
+  }
+  lastLoopStamp = now;
+}
+
+void reportTiming()
+{
+  log_event("worst loop jitter", (double) worstJitter);
+  log_event("overruns", (double) overrunCount);
+  worstJitter = 0;
+}
+
+
+/* ============================================ parking brake supervisor === */
+
+/* the test rig has an electromagnetic parking brake; the core engages it
+ * when the system is at rest in hold mode and releases it before any
+ * actuation resumes */
+extern void setBrake(int engaged);
+
+int brakeEngaged;
+long brakeRestTicks;
+
+int systemAtRest()
+{
+  double v = stateEst[1];
+  double w1 = stateEst[3];
+  double w2 = stateEst[5];
+  if (v < 0.0) {
+    v = -v;
+  }
+  if (w1 < 0.0) {
+    w1 = -w1;
+  }
+  if (w2 < 0.0) {
+    w2 = -w2;
+  }
+  if (v < 0.005 && w1 < 0.01 && w2 < 0.01) {
+    return 1;
+  }
+  return 0;
+}
+
+void superviseBrake()
+{
+  if (coreMode == 2 && systemAtRest() == 1) {
+    brakeRestTicks = brakeRestTicks + 1;
+    if (brakeRestTicks > 400 && brakeEngaged == 0) {
+      brakeEngaged = 1;
+      setBrake(1);
+      log_event("parking brake engaged", (double) loopCount);
+    }
+  } else {
+    brakeRestTicks = 0;
+    if (brakeEngaged == 1) {
+      brakeEngaged = 0;
+      setBrake(0);
+      log_event("parking brake released", (double) loopCount);
+    }
+  }
+}
+
+int brakeBlocksActuation()
+{
+  if (brakeEngaged == 1) {
+    return 1;
+  }
+  return 0;
+}
+
+/* ========================================================= main ========== */
+
+int main()
+{
+  double cart;
+  double a1;
+  double a2;
+  double safeControl;
+  double output;
+  double blend;
+
+  initShm();
+  initCoreState();
+  resetNotches();
+  selfTestPassed = runSelfTest();
+  if (selfTestPassed == 0) {
+    recordFault(0);
+  }
+  ncChildPid = spawn_noncore();
+  checkCalibration();
+
+  while (loopCount < 200000) {
+    /* 1. sense and estimate */
+    accountLoopTiming();
+    readSensors(&cart, &a1, &a2);
+    estimateState();
+    updateCoreMode();
+    applyModeGains();
+    updateHold();
+
+    /* 2. publish for the non-core subsystem */
+    Lock(shmLock);
+    publishFeedback();
+    Unlock(shmLock);
+
+    /* 3. core control */
+    safeControl = computeSafeControl() + holdCorrection();
+    safeControl = clampOutput(safeControl);
+    /*** SafeFlow Annotation assert(safe(safeControl)) ***/
+    wait_period(periodUs);
+
+    /* 4. decision */
+    Lock(shmLock);
+    output = decision(safeControl);
+    trackFreshness();
+    Unlock(shmLock);
+
+    blend = selectBlend();
+    output = applyDamping(output * blend);
+    superviseBrake();
+    if (brakeBlocksActuation() == 1) {
+      output = 0.0;
+    }
+    /*** SafeFlow Annotation assert(safe(output)) ***/
+    sendControl(output);
+    prevOutput = output;
+    telemetryRecord(output);
+    if (energyWithinBudget() == 0) {
+      recordFault(1);
+    }
+
+    /* 5. housekeeping */
+    handleSwingRequest();
+    if (loopCount % 200 == 199) {
+      superviseNonCore();
+    }
+    if (loopCount % 1000 == 999) {
+      logTuning();
+      checkCalibration();
+    }
+    if (loopCount % 2000 == 1999) {
+      telemetryFlush();
+      reportTiming();
+    }
+    if (totalFaults() > 200) {
+      log_event("too many faults, stopping", (double) totalFaults());
+      break;
+    }
+    loopCount = loopCount + 1;
+  }
+  shutdownRamp(prevOutput);
+  return 0;
+}

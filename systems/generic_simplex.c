@@ -1,0 +1,1143 @@
+/* ============================================================================
+ * Generic Simplex architecture core — configurable for simple plants.
+ *
+ * Reconstruction of the second subject system of the paper ("Generic
+ * Simplex" row of Table 1).  The controller is parameterized by a plant
+ * description loaded from the core's own configuration file; the non-core
+ * subsystem additionally publishes a runtime configuration block in
+ * shared memory (which of its features are active, UI commands, ...).
+ *
+ * Shared memory regions (all writable by the non-core subsystem):
+ *   cfgShm   - runtime configuration published by the non-core launcher
+ *   fbShm    - plant feedback published by the core
+ *   ncCtrl   - control output of the non-core controller
+ *   ncStatus - non-core heartbeat and status
+ *   wdInfo   - watchdog info (non-core pid)
+ *   uiShm    - operator commands entered through the non-core GUI
+ *   tuneShm  - tuning readout published by the core for the GUI
+ *
+ * Findings reproduced from the paper's evaluation:
+ *   - ERROR 1: the safety control value is computed from the feedback
+ *     *read back from shared memory* after publication.  The feedback
+ *     region is writable by the non-core subsystem, so the critical
+ *     output is data-dependent on unmonitored non-core values ("rigged
+ *     feedback": a faulty non-core component can overwrite the feedback
+ *     and defeat the recoverability argument).
+ *   - ERROR 2: the watchdog kill() pid is read from unmonitored shared
+ *     memory.
+ *   - 7 warnings for the unmonitored non-core reads.
+ *   - 6 false positives: critical values control-dependent on the
+ *     non-core configuration/UI flags; in every path the values are
+ *     computed from core data, but the analysis cannot know that the
+ *     selection is harmless (paper §3.4.1 discusses exactly this system).
+ * ==========================================================================*/
+
+/* ---------------------------------------------------------------- types -- */
+
+struct SysConfig {
+  int    use_complex;   /* non-core controller present / enabled        */
+  int    mode;          /* operating mode requested by the non-core     */
+  int    ui_enabled;
+  int    pad;
+  long   config_epoch;
+};
+typedef struct SysConfig SysConfig;
+
+struct Feedback {
+  double y[4];          /* published plant state                        */
+  long   seq;
+  long   timestamp;
+};
+typedef struct Feedback Feedback;
+
+struct NCControl {
+  double control;
+  long   seq;
+  int    valid;
+  int    pad;
+};
+typedef struct NCControl NCControl;
+
+struct NCStatus {
+  long   heartbeat;
+  int    state;
+  int    pad;
+};
+typedef struct NCStatus NCStatus;
+
+struct WatchdogInfo {
+  int    nc_pid;
+  int    armed;
+};
+typedef struct WatchdogInfo WatchdogInfo;
+
+struct UICommand {
+  int    cmd;           /* operator request relayed by the GUI          */
+  int    arg;
+  long   seq;
+};
+typedef struct UICommand UICommand;
+
+struct TuneReadout {
+  double gains[4];
+  double envelope;
+  long   epoch;
+};
+typedef struct TuneReadout TuneReadout;
+
+/* ------------------------------------------------------ shared memory --- */
+
+SysConfig    *cfgShm;
+Feedback     *fbShm;
+NCControl    *ncCtrl;
+NCStatus     *ncStatus;
+WatchdogInfo *wdInfo;
+UICommand    *uiShm;
+TuneReadout  *tuneShm;
+
+int shmLock;
+
+/* ------------------------------------------------------- core state ----- */
+
+/* plant description loaded from the core's own configuration file */
+int    plantDim;
+double plantA[16];       /* row-major state matrix (up to 4x4) */
+double plantB[4];
+double safetyGain[4];
+double lyapP[16];
+double lyapEnvelope;
+
+/* sensing */
+double sensorRaw[4];
+double firCoeff[8] = { 0.30, 0.22, 0.16, 0.12, 0.08, 0.06, 0.04, 0.02 };
+double firHist[32];      /* 4 channels x 8 taps */
+int    firHead;
+
+/* estimation */
+double stateEst[4];
+double stateSmooth[4];
+
+/* actuation */
+double uMax = 5.0;
+double uMin = -5.0;
+double prevOutput;
+double outputTrimBase = 0.02;
+double rampStep = 0.5;
+
+/* bookkeeping */
+long   loopCount;
+long   lastNCSeq;
+int    acceptCount;
+int    rejectCount;
+int    staleCount;
+int    faultCount;
+int    ncChildPid;
+long   diagTick;
+
+long   periodUs = 10000;
+
+/* --------------------------------------------------------- externs ------ */
+
+extern double readSensorChannel(int channel);
+extern void   sendControl(double u);
+extern void   sendAuxControl(double u);
+extern void   Lock(int lockid);
+extern void   Unlock(int lockid);
+extern void   wait_period(long usecs);
+extern long   current_time(void);
+extern void   log_event(char *msg, double value);
+extern double readConfigValue(int index);
+extern int    spawn_noncore(void);
+
+/* =================================================== initialization ====== */
+
+void initShm()
+/*** SafeFlow Annotation shminit ***/
+{
+  int shmid;
+  void *shmStart;
+  char *cursor;
+  long total;
+
+  total = sizeof(SysConfig) + sizeof(Feedback) + sizeof(NCControl)
+        + sizeof(NCStatus) + sizeof(WatchdogInfo) + sizeof(UICommand)
+        + sizeof(TuneReadout);
+  shmid = shmget(5002, total, 438);
+  shmStart = shmat(shmid, (void *) 0, 0);
+
+  cursor = (char *) shmStart;
+  cfgShm = (SysConfig *) cursor;
+  cursor = cursor + sizeof(SysConfig);
+  fbShm = (Feedback *) cursor;
+  cursor = cursor + sizeof(Feedback);
+  ncCtrl = (NCControl *) cursor;
+  cursor = cursor + sizeof(NCControl);
+  ncStatus = (NCStatus *) cursor;
+  cursor = cursor + sizeof(NCStatus);
+  wdInfo = (WatchdogInfo *) cursor;
+  cursor = cursor + sizeof(WatchdogInfo);
+  uiShm = (UICommand *) cursor;
+  cursor = cursor + sizeof(UICommand);
+  tuneShm = (TuneReadout *) cursor;
+
+  InitCheck(shmStart, total);
+  /*** SafeFlow Annotation
+       assume(shmvar(cfgShm, sizeof(SysConfig)))
+       assume(shmvar(fbShm, sizeof(Feedback)))
+       assume(shmvar(ncCtrl, sizeof(NCControl)))
+       assume(shmvar(ncStatus, sizeof(NCStatus)))
+       assume(shmvar(wdInfo, sizeof(WatchdogInfo)))
+       assume(shmvar(uiShm, sizeof(UICommand)))
+       assume(shmvar(tuneShm, sizeof(TuneReadout)))
+       assume(noncore(cfgShm))
+       assume(noncore(fbShm))
+       assume(noncore(ncCtrl))
+       assume(noncore(ncStatus))
+       assume(noncore(wdInfo))
+       assume(noncore(uiShm))
+       assume(noncore(tuneShm)) ***/
+}
+
+/* the plant description comes from the core's own (trusted) config file */
+void loadPlantDescription()
+{
+  int i;
+  plantDim = (int) readConfigValue(0);
+  if (plantDim < 1) {
+    plantDim = 1;
+  }
+  if (plantDim > 4) {
+    plantDim = 4;
+  }
+  for (i = 0; i < 16; i++) {
+    plantA[i] = readConfigValue(1 + i);
+  }
+  for (i = 0; i < 4; i++) {
+    plantB[i] = readConfigValue(17 + i);
+  }
+  for (i = 0; i < 4; i++) {
+    safetyGain[i] = readConfigValue(21 + i);
+  }
+  for (i = 0; i < 16; i++) {
+    lyapP[i] = readConfigValue(25 + i);
+  }
+  lyapEnvelope = readConfigValue(41);
+  log_event("plant description loaded", (double) plantDim);
+}
+
+void initCoreState()
+{
+  int i;
+  for (i = 0; i < 4; i++) {
+    sensorRaw[i] = 0.0;
+    stateEst[i] = 0.0;
+    stateSmooth[i] = 0.0;
+  }
+  for (i = 0; i < 32; i++) {
+    firHist[i] = 0.0;
+  }
+  firHead = 0;
+  prevOutput = 0.0;
+  loopCount = 0;
+  lastNCSeq = 0;
+  acceptCount = 0;
+  rejectCount = 0;
+  staleCount = 0;
+  faultCount = 0;
+  diagTick = 0;
+}
+
+/* ===================================================== sensor module ===== */
+
+void sampleSensors()
+{
+  int ch;
+  for (ch = 0; ch < plantDim; ch++) {
+    sensorRaw[ch] = readSensorChannel(ch);
+  }
+}
+
+/* per-channel FIR low-pass over the last 8 samples */
+double firFilter(int channel)
+{
+  int tap;
+  int idx;
+  double acc = 0.0;
+  for (tap = 0; tap < 8; tap++) {
+    idx = (firHead - tap + 8) % 8;
+    acc = acc + firCoeff[tap] * firHist[channel * 8 + idx];
+  }
+  return acc;
+}
+
+void updateFilters()
+{
+  int ch;
+  firHead = (firHead + 1) % 8;
+  for (ch = 0; ch < plantDim; ch++) {
+    firHist[ch * 8 + firHead] = sensorRaw[ch];
+  }
+  for (ch = 0; ch < plantDim; ch++) {
+    stateSmooth[ch] = firFilter(ch);
+  }
+}
+
+/* sanity limits on the raw channels */
+int validateSensors()
+{
+  int ch;
+  int ok = 1;
+  for (ch = 0; ch < plantDim; ch++) {
+    if (sensorRaw[ch] > 100.0 || sensorRaw[ch] < -100.0) {
+      log_event("sensor channel out of range", (double) ch);
+      faultCount = faultCount + 1;
+      ok = 0;
+    }
+  }
+  return ok;
+}
+
+/* ==================================================== state estimation === */
+
+void estimateState()
+{
+  int i;
+  for (i = 0; i < plantDim; i++) {
+    /* blend smoothed and raw to bound filter lag */
+    stateEst[i] = 0.8 * stateSmooth[i] + 0.2 * sensorRaw[i];
+  }
+  for (i = plantDim; i < 4; i++) {
+    stateEst[i] = 0.0;
+  }
+}
+
+/* ================================================= safety controller ===== */
+
+double clampOutput(double u)
+{
+  if (u > uMax) {
+    return uMax;
+  }
+  if (u < uMin) {
+    return uMin;
+  }
+  return u;
+}
+
+/*
+ * ERROR 1 SOURCE: the safety control is computed from the feedback block
+ * read back out of shared memory rather than from the core's own state
+ * estimate.  The published values are supposed to be read-only for the
+ * non-core subsystem, but nothing enforces that; SafeFlow treats every
+ * value read from the non-core region as unsafe.
+ */
+double computeSafeControl()
+{
+  int i;
+  double u = 0.0;
+  /* gains beyond plantDim are zero, so the constant bound is harmless
+     and keeps the shared-array indexing provably affine (rule A2) */
+  for (i = 0; i < 4; i++) {
+    u = u - safetyGain[i] * fbShm->y[i];
+  }
+  return clampOutput(u);
+}
+
+/* ======================================================= monitor ========= */
+
+double lyapValueOf(double *x)
+{
+  int i;
+  int j;
+  double v = 0.0;
+  for (i = 0; i < plantDim; i++) {
+    for (j = 0; j < plantDim; j++) {
+      v = v + x[i] * lyapP[i * 4 + j] * x[j];
+    }
+  }
+  return v;
+}
+
+/* one-step prediction under input u from the core's state estimate */
+void predictNext(double u, double *next)
+{
+  int i;
+  int j;
+  double dt = (double) periodUs / 1000000.0;
+  for (i = 0; i < plantDim; i++) {
+    double acc = 0.0;
+    for (j = 0; j < plantDim; j++) {
+      acc = acc + plantA[i * 4 + j] * stateEst[j];
+    }
+    next[i] = stateEst[i] + dt * (acc + plantB[i] * u);
+  }
+  for (i = plantDim; i < 4; i++) {
+    next[i] = 0.0;
+  }
+}
+
+/* monitoring function for the non-core control output */
+int checkNonCoreControl(double *ncOut)
+/*** SafeFlow Annotation assume(core(ncCtrl, 0, sizeof(NCControl))) ***/
+{
+  double u;
+  double next[4];
+  long seq;
+
+  if (ncCtrl->valid != 1) {
+    return 0;
+  }
+  seq = ncCtrl->seq;
+  if (seq + 4 < lastNCSeq) {
+    return 0;
+  }
+  u = ncCtrl->control;
+  if (u != u) {
+    return 0;
+  }
+  if (u > uMax || u < uMin) {
+    return 0;
+  }
+  predictNext(u, next);
+  if (lyapValueOf(next) > lyapEnvelope) {
+    return 0;
+  }
+  *ncOut = u;
+  return 1;
+}
+
+/* ======================================================= decision ======== */
+
+double decision(double safeControl)
+{
+  double ncOut = 0.0;
+  if (checkNonCoreControl(&ncOut)) {
+    acceptCount = acceptCount + 1;
+    return ncOut;
+  }
+  rejectCount = rejectCount + 1;
+  return safeControl;
+}
+
+/* ================================================== publication ========== */
+
+void publishFeedback()
+{
+  int i;
+  for (i = 0; i < 4; i++) {
+    fbShm->y[i] = stateEst[i];
+  }
+  fbShm->seq = loopCount;
+  fbShm->timestamp = current_time();
+}
+
+/* publish the current tuning for the GUI (write-only towards non-core) */
+void publishTuning()
+{
+  int i;
+  for (i = 0; i < 4; i++) {
+    tuneShm->gains[i] = safetyGain[i];
+  }
+  tuneShm->envelope = lyapEnvelope;
+  tuneShm->epoch = loopCount;
+}
+
+/* ============================================ supervision / watchdog ===== */
+
+/*
+ * ERROR 2 SOURCE: the pid handed to kill() is read from the unmonitored
+ * watchdog block in shared memory.
+ */
+void superviseNonCore()
+{
+  long hb = ncStatus->heartbeat;
+  if (hb == diagTick) {
+    int pid = wdInfo->nc_pid;
+    kill(pid, 9);
+    wdInfo->armed = 0;
+    log_event("non-core restarted by watchdog", (double) pid);
+  }
+  diagTick = hb;
+}
+
+/* ================================================== mode handling ======== */
+
+/*
+ * The remaining functions read the non-core configuration and UI blocks
+ * without monitoring and use them ONLY to select between core-computed
+ * values.  Each selection makes a critical value control-dependent on a
+ * non-core value: SafeFlow reports all six, and §3.4.1 of the paper
+ * explains why these particular reports are false positives that must be
+ * reviewed by hand (and why restructuring the configuration into a core
+ * component would be the better design).
+ */
+
+/* FP 1+2: the operating mode selects output trim and ramp handling —
+ * both candidates are core constants, only the selection is non-core */
+void modePolicy(double *trim, double *step)
+{
+  int m = cfgShm->mode;
+  double t = outputTrimBase;
+  double s = rampStep;
+  if (m == 2) {
+    t = outputTrimBase * 0.5;
+    s = rampStep * 0.25;
+  }
+  /*** SafeFlow Annotation assert(safe(t)) ***/
+  /*** SafeFlow Annotation assert(safe(s)) ***/
+  *trim = t;
+  *step = s;
+}
+
+/* FP 3+4: presence of the complex controller selects bias/calibration */
+void presencePolicy(double *bias, double *cal)
+{
+  int have = cfgShm->use_complex;
+  double b = 0.01;
+  double k = 1.0;
+  if (have == 1) {
+    b = 0.005;
+    k = 1.02;
+  }
+  /*** SafeFlow Annotation assert(safe(b)) ***/
+  /*** SafeFlow Annotation assert(safe(k)) ***/
+  *bias = b;
+  *cal = k;
+}
+
+/* FP 5+6: operator commands gate the auxiliary jog channel (core data)
+ * and a reload signal to the non-core process (pid from spawn time) */
+void handleOperator()
+{
+  int c = uiShm->cmd;
+  double aux = 0.0;
+  if (c == 1) {
+    aux = stateEst[0] * 0.1;
+  }
+  /*** SafeFlow Annotation assert(safe(aux)) ***/
+  sendAuxControl(aux);
+  if (c == 2) {
+    kill(ncChildPid, 10);
+    log_event("operator requested non-core reload", (double) c);
+  }
+}
+
+/* freshness diagnostics on the non-core output (warning only) */
+void trackFreshness()
+{
+  long seq = ncCtrl->seq;
+  if (seq == lastNCSeq) {
+    staleCount = staleCount + 1;
+  } else {
+    staleCount = 0;
+  }
+  lastNCSeq = seq;
+}
+
+/* =========================================== diagnostics ================= */
+
+void runDiagnostics()
+{
+  int i;
+  double residual = 0.0;
+  for (i = 0; i < plantDim; i++) {
+    double d = stateEst[i] - stateSmooth[i];
+    residual = residual + d * d;
+  }
+  if (residual > 4.0) {
+    faultCount = faultCount + 1;
+    log_event("estimator residual high", residual);
+  }
+  if (faultCount > 50) {
+    log_event("fault threshold exceeded", (double) faultCount);
+  }
+}
+
+
+/* ================================================ observer module ======== */
+
+/* a Luenberger observer runs alongside the FIR estimate; its innovation
+ * is the primary estimator-health signal */
+double obsState[4];
+double obsGain[4];
+double obsInnovation[4];
+double obsInnovationNorm;
+
+void initObserver()
+{
+  int i;
+  for (i = 0; i < 4; i++) {
+    obsState[i] = 0.0;
+    obsInnovation[i] = 0.0;
+    /* observer gain from the trusted configuration file */
+    obsGain[i] = readConfigValue(42 + i);
+  }
+  obsInnovationNorm = 0.0;
+}
+
+void observerPredict(double u)
+{
+  int i;
+  int j;
+  double dt = (double) periodUs / 1000000.0;
+  double next[4];
+  for (i = 0; i < 4; i++) {
+    double acc = 0.0;
+    for (j = 0; j < 4; j++) {
+      acc = acc + plantA[i * 4 + j] * obsState[j];
+    }
+    next[i] = obsState[i] + dt * (acc + plantB[i] * u);
+  }
+  for (i = 0; i < 4; i++) {
+    obsState[i] = next[i];
+  }
+}
+
+void observerCorrect()
+{
+  int i;
+  double norm = 0.0;
+  for (i = 0; i < 4; i++) {
+    obsInnovation[i] = sensorRaw[i] - obsState[i];
+    obsState[i] = obsState[i] + obsGain[i] * obsInnovation[i];
+    norm = norm + obsInnovation[i] * obsInnovation[i];
+  }
+  obsInnovationNorm = norm;
+}
+
+int observerHealthy()
+{
+  if (obsInnovationNorm > 9.0) {
+    return 0;
+  }
+  return 1;
+}
+
+/* ============================================ configuration validation === */
+
+/* the plant description from the core's configuration file is validated
+ * before the controller may start: magnitudes, symmetry of the Lyapunov
+ * matrix, and positivity of its diagonal */
+int configValid;
+
+int validateMatrixMagnitudes()
+{
+  int i;
+  for (i = 0; i < 16; i++) {
+    if (plantA[i] > 1000.0 || plantA[i] < -1000.0) {
+      log_event("plant matrix entry out of range", plantA[i]);
+      return 0;
+    }
+  }
+  for (i = 0; i < 4; i++) {
+    if (plantB[i] > 100.0 || plantB[i] < -100.0) {
+      log_event("input vector entry out of range", plantB[i]);
+      return 0;
+    }
+  }
+  return 1;
+}
+
+int validateLyapunovShape()
+{
+  int i;
+  int j;
+  for (i = 0; i < 4; i++) {
+    if (lyapP[i * 4 + i] <= 0.0) {
+      log_event("Lyapunov diagonal not positive", lyapP[i * 4 + i]);
+      return 0;
+    }
+  }
+  for (i = 0; i < 4; i++) {
+    for (j = 0; j < 4; j++) {
+      double d = lyapP[i * 4 + j] - lyapP[j * 4 + i];
+      if (d > 0.0001 || d < -0.0001) {
+        log_event("Lyapunov matrix not symmetric", d);
+        return 0;
+      }
+    }
+  }
+  if (lyapEnvelope <= 0.0) {
+    log_event("Lyapunov envelope not positive", lyapEnvelope);
+    return 0;
+  }
+  return 1;
+}
+
+int validateGains()
+{
+  int i;
+  double mag = 0.0;
+  for (i = 0; i < 4; i++) {
+    mag = mag + safetyGain[i] * safetyGain[i];
+  }
+  if (mag < 0.0001) {
+    log_event("safety gain vector is zero", mag);
+    return 0;
+  }
+  if (mag > 1000000.0) {
+    log_event("safety gain vector too large", mag);
+    return 0;
+  }
+  return 1;
+}
+
+int validateConfiguration()
+{
+  if (validateMatrixMagnitudes() == 0) {
+    return 0;
+  }
+  if (validateLyapunovShape() == 0) {
+    return 0;
+  }
+  if (validateGains() == 0) {
+    return 0;
+  }
+  log_event("configuration validated", (double) plantDim);
+  return 1;
+}
+
+/* ================================================ state watchpoints ====== */
+
+/* per-state soft limits with per-state grace counters */
+double watchLow[4];
+double watchHigh[4];
+int    watchGrace[4];
+int    watchTripped[4];
+
+void initWatchpoints()
+{
+  int i;
+  for (i = 0; i < 4; i++) {
+    watchLow[i] = readConfigValue(46 + i);
+    watchHigh[i] = readConfigValue(50 + i);
+    watchGrace[i] = 0;
+    watchTripped[i] = 0;
+  }
+}
+
+void updateWatchpoints()
+{
+  int i;
+  for (i = 0; i < plantDim; i++) {
+    if (stateEst[i] < watchLow[i] || stateEst[i] > watchHigh[i]) {
+      watchGrace[i] = watchGrace[i] + 1;
+      if (watchGrace[i] > 5 && watchTripped[i] == 0) {
+        watchTripped[i] = 1;
+        log_event("state watchpoint tripped", (double) i);
+      }
+    } else {
+      watchGrace[i] = 0;
+      watchTripped[i] = 0;
+    }
+  }
+}
+
+int anyWatchpointTripped()
+{
+  int i;
+  for (i = 0; i < plantDim; i++) {
+    if (watchTripped[i] == 1) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+/* ============================================ reference trajectory ======= */
+
+/* smooth setpoint profile for the first state: trapezoidal ramp between
+ * operator-independent scheduled positions (core data only) */
+double refTarget;
+double refCurrent;
+double refRate = 0.002;
+
+void updateReference()
+{
+  double d = refTarget - refCurrent;
+  if (d > refRate) {
+    refCurrent = refCurrent + refRate;
+  } else {
+    if (d < -refRate) {
+      refCurrent = refCurrent - refRate;
+    } else {
+      refCurrent = refTarget;
+    }
+  }
+}
+
+void scheduleReference()
+{
+  /* alternate between two scheduled positions every 4000 periods */
+  long phase = (loopCount / 4000) % 2;
+  if (phase == 0) {
+    refTarget = 0.0;
+  } else {
+    refTarget = 0.2;
+  }
+}
+
+/* ================================================ telemetry ring ========= */
+
+struct TelemetryRecord {
+  long   tick;
+  double y0;
+  double output;
+  double innovation;
+  int    mode;
+};
+typedef struct TelemetryRecord TelemetryRecord;
+
+TelemetryRecord telemetryRing[64];
+int telemetryHead;
+
+void telemetryRecord(double output)
+{
+  TelemetryRecord *slot = &telemetryRing[telemetryHead];
+  slot->tick = loopCount;
+  slot->y0 = stateEst[0];
+  slot->output = output;
+  slot->innovation = obsInnovationNorm;
+  slot->mode = 0;
+  telemetryHead = (telemetryHead + 1) % 64;
+}
+
+void telemetryFlush()
+{
+  int i;
+  int idx = telemetryHead;
+  for (i = 0; i < 8; i++) {
+    idx = idx - 1;
+    if (idx < 0) {
+      idx = 63;
+    }
+    log_event("telemetry y0", telemetryRing[idx].y0);
+    log_event("telemetry innovation", telemetryRing[idx].innovation);
+  }
+}
+
+/* ================================================ startup self test ====== */
+
+int selfTestPassed;
+
+double channelNoise(int ch)
+{
+  int i;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (i = 0; i < 32; i++) {
+    double v = readSensorChannel(ch);
+    sum = sum + v;
+    sumsq = sumsq + v * v;
+    wait_period(500);
+  }
+  return (sumsq - sum * sum / 32.0) / 31.0;
+}
+
+int runSelfTest()
+{
+  int ch;
+  for (ch = 0; ch < plantDim; ch++) {
+    double var = channelNoise(ch);
+    if (var < 0.0 || var > 0.02) {
+      log_event("sensor channel noise out of spec", (double) ch);
+      return 0;
+    }
+  }
+  sendControl(0.05);
+  wait_period(2000);
+  sendControl(-0.05);
+  wait_period(2000);
+  sendControl(0.0);
+  log_event("self test passed", (double) plantDim);
+  return 1;
+}
+
+/* ================================================ shutdown sequence ====== */
+
+void shutdownRamp(double fromOutput)
+{
+  double u = fromOutput;
+  int i;
+  for (i = 0; i < 20; i++) {
+    u = u * 0.75;
+    sendControl(u);
+    wait_period(periodUs);
+  }
+  sendControl(0.0);
+  log_event("shutdown ramp complete", 0.0);
+}
+
+
+/* ================================================ gain scheduling ======== */
+
+/* the safety gain is scheduled over three operating envelopes derived
+ * from the core's own state magnitude; schedule entries come from the
+ * trusted configuration file */
+double gainSchedule[12];   /* 3 envelopes x 4 gains */
+double envelopeBreaks[2];
+int    activeEnvelope;
+
+void initGainSchedule()
+{
+  int i;
+  for (i = 0; i < 12; i++) {
+    gainSchedule[i] = readConfigValue(54 + i);
+  }
+  envelopeBreaks[0] = readConfigValue(66);
+  envelopeBreaks[1] = readConfigValue(67);
+  activeEnvelope = 0;
+}
+
+double stateMagnitude()
+{
+  int i;
+  double m = 0.0;
+  for (i = 0; i < plantDim; i++) {
+    m = m + stateEst[i] * stateEst[i];
+  }
+  return m;
+}
+
+void updateGainSchedule()
+{
+  double mag = stateMagnitude();
+  int envelope = 0;
+  int i;
+  if (mag > envelopeBreaks[0]) {
+    envelope = 1;
+  }
+  if (mag > envelopeBreaks[1]) {
+    envelope = 2;
+  }
+  if (envelope != activeEnvelope) {
+    activeEnvelope = envelope;
+    for (i = 0; i < 4; i++) {
+      safetyGain[i] = gainSchedule[envelope * 4 + i];
+    }
+    log_event("gain schedule switched", (double) envelope);
+  }
+}
+
+/* ================================================ incident recorder ====== */
+
+/* a small state machine that tracks incident severity over time:
+ * 0 = normal, 1 = degraded, 2 = incident, 3 = recovery */
+int incidentState;
+long incidentEntered;
+int incidentCount;
+
+void incidentStep(int faultNow)
+{
+  switch (incidentState) {
+    case 0:
+      if (faultNow == 1) {
+        incidentState = 1;
+        incidentEntered = loopCount;
+      }
+      break;
+    case 1:
+      if (faultNow == 0) {
+        incidentState = 0;
+      } else {
+        if (loopCount - incidentEntered > 50) {
+          incidentState = 2;
+          incidentCount = incidentCount + 1;
+          log_event("incident declared", (double) incidentCount);
+        }
+      }
+      break;
+    case 2:
+      if (faultNow == 0) {
+        incidentState = 3;
+        incidentEntered = loopCount;
+      }
+      break;
+    case 3:
+      if (faultNow == 1) {
+        incidentState = 2;
+      } else {
+        if (loopCount - incidentEntered > 200) {
+          incidentState = 0;
+          log_event("incident cleared", (double) incidentCount);
+        }
+      }
+      break;
+    default:
+      incidentState = 0;
+      break;
+  }
+}
+
+int inIncident()
+{
+  if (incidentState == 2) {
+    return 1;
+  }
+  return 0;
+}
+
+/* ============================================ performance accounting ===== */
+
+double costAccumulator;
+double costWindow[16];
+int costHead;
+
+void accountPerformance(double output)
+{
+  int i;
+  double step = 0.0;
+  for (i = 0; i < plantDim; i++) {
+    double e = stateEst[i] - (i == 0 ? refCurrent : 0.0);
+    step = step + e * e;
+  }
+  step = step + 0.1 * output * output;
+  costAccumulator = costAccumulator + step;
+  costWindow[costHead] = step;
+  costHead = (costHead + 1) % 16;
+}
+
+double recentCost()
+{
+  int i;
+  double s = 0.0;
+  for (i = 0; i < 16; i++) {
+    s = s + costWindow[i];
+  }
+  return s / 16.0;
+}
+
+
+/* ============================================ actuator rate limiting ===== */
+
+double outputRateLimit = 1.2;
+
+double limitOutputRate(double previous, double proposed)
+{
+  double delta = proposed - previous;
+  if (delta > outputRateLimit) {
+    return previous + outputRateLimit;
+  }
+  if (delta < -outputRateLimit) {
+    return previous - outputRateLimit;
+  }
+  return proposed;
+}
+
+/* smooth bumpless transfer after a controller switch */
+double transferBlend;
+
+void noteSwitch()
+{
+  transferBlend = 1.0;
+}
+
+double applyTransferBlend(double fresh, double held)
+{
+  double out;
+  if (transferBlend <= 0.0) {
+    return fresh;
+  }
+  out = transferBlend * held + (1.0 - transferBlend) * fresh;
+  transferBlend = transferBlend - 0.05;
+  if (transferBlend < 0.0) {
+    transferBlend = 0.0;
+  }
+  return out;
+}
+
+/* ========================================================= main ========== */
+
+int main()
+{
+  double safeControl;
+  double output;
+  double trim;
+  double step;
+  double bias;
+  double cal;
+
+  initShm();
+  loadPlantDescription();
+  configValid = validateConfiguration();
+  initCoreState();
+  initObserver();
+  initWatchpoints();
+  initGainSchedule();
+  selfTestPassed = runSelfTest();
+  refTarget = 0.0;
+  refCurrent = 0.0;
+  incidentState = 0;
+  incidentCount = 0;
+  costAccumulator = 0.0;
+  costHead = 0;
+  ncChildPid = spawn_noncore();
+
+  while (loopCount < 100000) {
+    /* 1. sense, validate, estimate */
+    sampleSensors();
+    if (validateSensors() == 0) {
+      faultCount = faultCount + 1;
+    }
+    updateFilters();
+    estimateState();
+    observerCorrect();
+    updateWatchpoints();
+    scheduleReference();
+    updateReference();
+
+    /* 2. publish feedback, then compute the safety control — from the
+       shared block, which is the rigged-feedback error */
+    Lock(shmLock);
+    publishFeedback();
+    safeControl = computeSafeControl();
+    Unlock(shmLock);
+
+    wait_period(periodUs);
+
+    /* 3. decide and actuate */
+    Lock(shmLock);
+    output = decision(safeControl);
+    trackFreshness();
+    Unlock(shmLock);
+
+    output = limitOutputRate(prevOutput, output);
+    modePolicy(&trim, &step);
+    presencePolicy(&bias, &cal);
+    output = (output + trim * step + bias) * cal;
+    /*** SafeFlow Annotation assert(safe(output)) ***/
+    sendControl(output);
+    prevOutput = output;
+    observerPredict(output);
+    telemetryRecord(output);
+    accountPerformance(output);
+    updateGainSchedule();
+    incidentStep(anyWatchpointTripped());
+    if (inIncident() == 1 && loopCount % 50 == 0) {
+      log_event("incident active, recent cost", recentCost());
+    }
+
+    handleOperator();
+
+    /* 4. housekeeping */
+    if (loopCount % 100 == 99) {
+      superviseNonCore();
+    }
+    if (loopCount % 200 == 199) {
+      publishTuning();
+      runDiagnostics();
+      if (observerHealthy() == 0) {
+        log_event("observer innovation high", obsInnovationNorm);
+      }
+      if (anyWatchpointTripped() == 1) {
+        faultCount = faultCount + 1;
+      }
+    }
+    if (loopCount % 2000 == 1999) {
+      telemetryFlush();
+    }
+    loopCount = loopCount + 1;
+  }
+  shutdownRamp(prevOutput);
+  return 0;
+}

@@ -1,0 +1,926 @@
+/* ============================================================================
+ * Inverted Pendulum core controller — Simplex architecture.
+ *
+ * Reconstruction of the first subject system of the paper ("IP" row of
+ * Table 1).  The core component balances the pendulum with a conservative
+ * LQR controller and admits the output of the non-core (complex)
+ * controller only after the run-time recoverability monitor approves it.
+ *
+ * Shared memory layout (all regions writable by the non-core subsystem):
+ *   fbShm     - sensor feedback published by the core for the non-core
+ *   ncCtrl    - control output published by the non-core controller
+ *   ncStatus  - heartbeat / mode / tuning requests from the non-core
+ *   wdInfo    - watchdog bookkeeping (non-core process id, enable flag)
+ *
+ * Known value-flow findings (reproduced from the paper's evaluation):
+ *   - ERROR: the pid argument of kill() in superviseNonCore() is read
+ *     from unmonitored non-core shared memory; a faulty non-core
+ *     component can overwrite it with the core's own pid.
+ *   - 7 warnings: unmonitored reads of non-core values (watchdog fields,
+ *     status fields, request/mode flags, sequence freshness).
+ *   - 2 false positives: critical data control-dependent on non-core
+ *     request/mode flags that select between core-computed values.
+ *
+ * NOTE: the monitoring function checkNonCoreControl() was split out of
+ * decision() so that the assume(core(...)) annotation can be applied at
+ * function granularity (see systems/originals/ip_controller_orig.c).
+ * ==========================================================================*/
+
+/* ---------------------------------------------------------------- types -- */
+
+struct Feedback {
+  double track;        /* trolley position on the track [m]      */
+  double angle;        /* pendulum angle from vertical [rad]     */
+  double track_vel;    /* estimated trolley velocity [m/s]       */
+  double angle_vel;    /* estimated angular velocity [rad/s]     */
+  long   seq;          /* publication sequence number            */
+  long   timestamp;    /* core clock at publication [us]         */
+};
+typedef struct Feedback Feedback;
+
+struct NCControl {
+  double control;      /* proposed actuator voltage [-5V, +5V]   */
+  long   seq;          /* matches the feedback it was computed from */
+  int    valid;        /* non-core claims the value is fresh     */
+  int    pad;
+};
+typedef struct NCControl NCControl;
+
+struct NCStatus {
+  long   heartbeat;    /* incremented every non-core period      */
+  int    mode;         /* non-core controller mode               */
+  int    request;      /* ramp/limit request towards the core    */
+  double gain_scale;   /* informational tuning readout           */
+};
+typedef struct NCStatus NCStatus;
+
+struct WatchdogInfo {
+  int    nc_pid;       /* pid of the non-core process            */
+  int    enable;       /* watchdog armed flag                    */
+  long   restart_count;
+};
+typedef struct WatchdogInfo WatchdogInfo;
+
+/* ------------------------------------------------------ shared memory --- */
+
+Feedback     *fbShm;
+NCControl    *ncCtrl;
+NCStatus     *ncStatus;
+WatchdogInfo *wdInfo;
+
+int shmLock;
+
+/* ------------------------------------------------------- core state ----- */
+
+/* sensor history ring buffers (core-private memory) */
+double trackHist[16];
+double angleHist[16];
+int    histHead;
+int    histCount;
+
+/* calibration offsets established at startup */
+double trackOffset;
+double angleOffset;
+
+/* state estimate: [track, track_vel, angle, angle_vel] */
+double stateEst[4];
+double prevTrack;
+double prevAngle;
+
+/* conservative LQR gain for the safety controller */
+double safetyGain[4] = { -0.9458, -2.1153, -29.3567, -6.4735 };
+
+/* actuator limits and rate limiting */
+double uMax = 5.0;
+double uMin = -5.0;
+double rateLimit = 0.8;
+double prevOutput;
+
+/* supervision bookkeeping */
+long   lastNCSeq;
+int    staleCount;
+int    rejectCount;
+int    acceptCount;
+long   loopCount;
+int    ncChildPid;
+
+/* telemetry counters */
+long   telemetryTick;
+int    logLevel;
+
+/* period of the control loop in microseconds */
+long   periodUs = 10000;
+
+/* --------------------------------------------------------- externs ------ */
+
+extern double readTrackSensor(void);
+extern double readAngleSensor(void);
+extern void   sendControl(double u);
+extern void   Lock(int lockid);
+extern void   Unlock(int lockid);
+extern void   wait_period(long usecs);
+extern long   current_time(void);
+extern void   log_event(char *msg, double value);
+extern int    spawn_noncore(void);
+
+/* =================================================== initialization ====== */
+
+void initShm()
+/*** SafeFlow Annotation shminit ***/
+{
+  int shmid;
+  void *shmStart;
+  char *cursor;
+
+  shmid = shmget(5001, sizeof(Feedback) + sizeof(NCControl)
+                       + sizeof(NCStatus) + sizeof(WatchdogInfo), 438);
+  shmStart = shmat(shmid, (void *) 0, 0);
+
+  cursor = (char *) shmStart;
+  fbShm = (Feedback *) cursor;
+  cursor = cursor + sizeof(Feedback);
+  ncCtrl = (NCControl *) cursor;
+  cursor = cursor + sizeof(NCControl);
+  ncStatus = (NCStatus *) cursor;
+  cursor = cursor + sizeof(NCStatus);
+  wdInfo = (WatchdogInfo *) cursor;
+
+  InitCheck(shmStart, sizeof(Feedback) + sizeof(NCControl)
+                      + sizeof(NCStatus) + sizeof(WatchdogInfo));
+  /*** SafeFlow Annotation
+       assume(shmvar(fbShm, sizeof(Feedback)))
+       assume(shmvar(ncCtrl, sizeof(NCControl)))
+       assume(shmvar(ncStatus, sizeof(NCStatus)))
+       assume(shmvar(wdInfo, sizeof(WatchdogInfo)))
+       assume(noncore(fbShm))
+       assume(noncore(ncCtrl))
+       assume(noncore(ncStatus))
+       assume(noncore(wdInfo)) ***/
+}
+
+void initCoreState()
+{
+  int i;
+  for (i = 0; i < 16; i++) {
+    trackHist[i] = 0.0;
+    angleHist[i] = 0.0;
+  }
+  histHead = 0;
+  histCount = 0;
+  trackOffset = 0.0;
+  angleOffset = 0.0;
+  for (i = 0; i < 4; i++) {
+    stateEst[i] = 0.0;
+  }
+  prevTrack = 0.0;
+  prevAngle = 0.0;
+  prevOutput = 0.0;
+  lastNCSeq = 0;
+  staleCount = 0;
+  rejectCount = 0;
+  acceptCount = 0;
+  loopCount = 0;
+  telemetryTick = 0;
+  logLevel = 1;
+}
+
+/* ===================================================== sensor module ===== */
+
+/* push a raw sample pair into the history rings */
+void pushSample(double track, double angle)
+{
+  trackHist[histHead] = track;
+  angleHist[histHead] = angle;
+  histHead = (histHead + 1) % 16;
+  if (histCount < 16) {
+    histCount = histCount + 1;
+  }
+}
+
+/* mean of the most recent [n] samples of a ring buffer */
+double ringMean(double *ring, int n)
+{
+  int i;
+  int idx;
+  double sum = 0.0;
+  if (n > histCount) {
+    n = histCount;
+  }
+  if (n <= 0) {
+    return 0.0;
+  }
+  idx = histHead;
+  for (i = 0; i < n; i++) {
+    idx = idx - 1;
+    if (idx < 0) {
+      idx = 15;
+    }
+    sum = sum + ring[idx];
+  }
+  return sum / (double) n;
+}
+
+/* a small 3-point median to reject single-sample spikes */
+double median3(double a, double b, double c)
+{
+  if (a > b) {
+    double t = a;
+    a = b;
+    b = t;
+  }
+  if (b > c) {
+    double t = b;
+    b = c;
+    c = t;
+  }
+  if (a > b) {
+    double t = a;
+    a = b;
+    b = t;
+  }
+  return b;
+}
+
+/* read, despike and de-bias both sensors */
+void readSensors(double *track, double *angle)
+{
+  double t0 = readTrackSensor();
+  double t1 = readTrackSensor();
+  double t2 = readTrackSensor();
+  double a0 = readAngleSensor();
+  double a1 = readAngleSensor();
+  double a2 = readAngleSensor();
+  double t = median3(t0, t1, t2) - trackOffset;
+  double a = median3(a0, a1, a2) - angleOffset;
+  pushSample(t, a);
+  *track = t;
+  *angle = a;
+}
+
+/* startup calibration: average a quiescent window to establish offsets */
+void calibrateSensors()
+{
+  int i;
+  double tsum = 0.0;
+  double asum = 0.0;
+  for (i = 0; i < 64; i++) {
+    tsum = tsum + readTrackSensor();
+    asum = asum + readAngleSensor();
+    wait_period(1000);
+  }
+  trackOffset = tsum / 64.0;
+  angleOffset = asum / 64.0;
+  log_event("calibration complete", trackOffset);
+}
+
+/* ==================================================== state estimation === */
+
+/* first-difference velocity estimate with exponential smoothing */
+double estimateVelocity(double current, double previous, double dtSeconds,
+                        double smoothed)
+{
+  double raw;
+  if (dtSeconds <= 0.0) {
+    return smoothed;
+  }
+  raw = (current - previous) / dtSeconds;
+  return 0.7 * smoothed + 0.3 * raw;
+}
+
+void estimateState(double track, double angle)
+{
+  double dt = (double) periodUs / 1000000.0;
+  double smoothTrack = ringMean(trackHist, 4);
+  double smoothAngle = ringMean(angleHist, 4);
+  stateEst[1] = estimateVelocity(smoothTrack, prevTrack, dt, stateEst[1]);
+  stateEst[3] = estimateVelocity(smoothAngle, prevAngle, dt, stateEst[3]);
+  stateEst[0] = smoothTrack;
+  stateEst[2] = notchFilter(smoothAngle);
+  prevTrack = smoothTrack;
+  prevAngle = smoothAngle;
+  /* keep the raw sample available for publication */
+  if (track > 10.0 || track < -10.0) {
+    log_event("track sensor out of physical range", track);
+  }
+  if (angle > 1.6 || angle < -1.6) {
+    log_event("angle sensor out of physical range", angle);
+  }
+}
+
+/* ================================================= safety controller ===== */
+
+double clampOutput(double u)
+{
+  if (u > uMax) {
+    return uMax;
+  }
+  if (u < uMin) {
+    return uMin;
+  }
+  return u;
+}
+
+/* deadband suppresses actuator chatter around zero */
+double deadband = 0.01;
+
+double applyDeadband(double u)
+{
+  if (u < deadband && u > -deadband) {
+    return 0.0;
+  }
+  return u;
+}
+
+/* rate limiter protects the actuator from step changes */
+double limitRate(double previous, double proposed)
+{
+  double delta = proposed - previous;
+  if (delta > rateLimit) {
+    return previous + rateLimit;
+  }
+  if (delta < -rateLimit) {
+    return previous - rateLimit;
+  }
+  return proposed;
+}
+
+/* the conservative LQR safety controller: u = -K x */
+double computeSafeControl()
+{
+  double u = 0.0;
+  int i;
+  for (i = 0; i < 4; i++) {
+    u = u - safetyGain[i] * stateEst[i];
+  }
+  return clampOutput(u);
+}
+
+/* ======================================================= monitor ========= */
+
+/* Lyapunov stability envelope of the safety closed loop; coefficients of
+ * the quadratic form x' P x, row-major upper triangle */
+double lyapP[10] = {
+  12.90,  6.45,  30.1,   4.2,
+          5.80,  21.7,   3.9,
+                 260.4, 28.6,
+                         7.3
+};
+double lyapEnvelope = 9.2;
+
+/* quadratic form over the 4-state estimate and a candidate next state */
+double lyapValue(double x0, double x1, double x2, double x3)
+{
+  double v;
+  v = lyapP[0] * x0 * x0 + lyapP[4] * x1 * x1
+    + lyapP[7] * x2 * x2 + lyapP[9] * x3 * x3;
+  v = v + 2.0 * (lyapP[1] * x0 * x1 + lyapP[2] * x0 * x2 + lyapP[3] * x0 * x3);
+  v = v + 2.0 * (lyapP[5] * x1 * x2 + lyapP[6] * x1 * x3);
+  v = v + 2.0 * (lyapP[8] * x2 * x3);
+  return v;
+}
+
+/* one-step prediction of the linearized plant under input u */
+void predictNext(double u, double *nt, double *ntv, double *na, double *nav)
+{
+  double dt = (double) periodUs / 1000000.0;
+  *nt = stateEst[0] + dt * stateEst[1];
+  *ntv = stateEst[1] + dt * (u - 0.981 * stateEst[2]);
+  *na = stateEst[2] + dt * stateEst[3];
+  *nav = stateEst[3] + dt * (21.58 * stateEst[2] - 2.0 * u);
+}
+
+/*
+ * Monitoring function for the non-core control output.  The non-core
+ * region ncCtrl may be dereferenced safely here: every value read from it
+ * is checked for recoverability before escaping.  The feedback used by
+ * the check is the core's own state estimate — NOT the shared-memory
+ * feedback — per the paper's recommended structure.
+ */
+int checkNonCoreControl(double *ncOut)
+/*** SafeFlow Annotation assume(core(ncCtrl, 0, sizeof(NCControl))) ***/
+{
+  double u;
+  double nt;
+  double ntv;
+  double na;
+  double nav;
+  long seq;
+  int valid;
+
+  valid = ncCtrl->valid;
+  if (valid != 1) {
+    return 0;
+  }
+  seq = ncCtrl->seq;
+  if (seq + 4 < lastNCSeq) {
+    /* output computed from feedback that is too old */
+    return 0;
+  }
+  u = ncCtrl->control;
+  if (u != u) {
+    /* NaN: non-core published garbage */
+    return 0;
+  }
+  if (u > uMax || u < uMin) {
+    return 0;
+  }
+  predictNext(u, &nt, &ntv, &na, &nav);
+  if (lyapValue(nt, ntv, na, nav) > lyapEnvelope) {
+    return 0;
+  }
+  *ncOut = u;
+  return 1;
+}
+
+/* ======================================================= decision ======== */
+
+/*
+ * The decision module: dispatch the non-core output when the monitor
+ * accepts it, fall back to the safety controller otherwise.
+ */
+double decision(double safeControl)
+{
+  double ncOut = 0.0;
+  if (checkNonCoreControl(&ncOut)) {
+    acceptCount = acceptCount + 1;
+    return ncOut;
+  }
+  rejectCount = rejectCount + 1;
+  return safeControl;
+}
+
+/* ================================================== publication ========== */
+
+void publishFeedback()
+{
+  fbShm->track = stateEst[0];
+  fbShm->track_vel = stateEst[1];
+  fbShm->angle = stateEst[2];
+  fbShm->angle_vel = stateEst[3];
+  fbShm->timestamp = current_time();
+  fbShm->seq = loopCount;
+}
+
+/* ============================================ supervision / watchdog ===== */
+
+/*
+ * Periodic supervision of the non-core process.  The watchdog pid and
+ * enable flag live in non-core shared memory and are used here without
+ * monitoring: SafeFlow reports the pid flowing into kill() as an error
+ * dependency — a faulty non-core component overwriting wdInfo->nc_pid
+ * with the core's pid would make the core kill itself.
+ */
+void superviseNonCore()
+{
+  int armed = wdInfo->enable;
+  if (armed == 1) {
+    long hb = ncStatus->heartbeat;
+    if (hb == telemetryTick) {
+      /* no heartbeat progress since the last check: restart the process */
+      int pid = wdInfo->nc_pid;
+      kill(pid, 9);
+      wdInfo->restart_count = loopCount;
+      log_event("non-core process restarted", (double) pid);
+    }
+    telemetryTick = hb;
+  }
+}
+
+/* track the freshness of the non-core control output for diagnostics */
+void trackFreshness()
+{
+  long seq = ncCtrl->seq;
+  if (seq == lastNCSeq) {
+    staleCount = staleCount + 1;
+  } else {
+    staleCount = 0;
+  }
+  lastNCSeq = seq;
+  if (staleCount == 100) {
+    log_event("non-core output stale for 100 periods", (double) staleCount);
+  }
+}
+
+/* =========================================== telemetry and logging ======= */
+
+void logStatus()
+{
+  if (logLevel >= 1) {
+    double gs = ncStatus->gain_scale;
+    log_event("nc gain scale", gs);
+    log_event("accepted", (double) acceptCount);
+    log_event("rejected", (double) rejectCount);
+    log_event("loop", (double) loopCount);
+  }
+}
+
+/* ================================================== mode handling ======== */
+
+/*
+ * The non-core subsystem can request smoother hand-over: when request is
+ * set, the dispatched output is additionally rate limited.  Both branch
+ * results are computed from core values; only the selection is driven by
+ * the non-core request flag, which SafeFlow reports as a (control-only)
+ * dependency of the critical output — a candidate false positive that
+ * needs value-flow-graph review (paper §3.4.1).
+ */
+double applyHandOverPolicy(double u)
+{
+  int req = ncStatus->request;
+  double out = u;
+  if (req == 1) {
+    out = limitRate(prevOutput, u);
+  }
+  return out;
+}
+
+/*
+ * The non-core mode flag can ask the core to signal the non-core process
+ * to reload its configuration.  The pid used here is the one the core
+ * obtained when it spawned the process (core data), so only the decision
+ * to signal is non-core controlled: the second candidate false positive.
+ */
+void handleReloadRequest()
+{
+  int m = ncStatus->mode;
+  if (m == 3) {
+    kill(ncChildPid, 10);
+    log_event("asked non-core to reload configuration", (double) m);
+  }
+}
+
+
+/* ================================================ track end-stop guard === */
+
+/* software end-stops: the physical track is 2 m; the guard overrides any
+ * output that keeps pushing the trolley into an end-stop */
+double endStopMargin = 0.15;
+int    endStopLatch;
+
+int nearLeftStop()
+{
+  if (stateEst[0] < -1.0 + endStopMargin) {
+    return 1;
+  }
+  return 0;
+}
+
+int nearRightStop()
+{
+  if (stateEst[0] > 1.0 - endStopMargin) {
+    return 1;
+  }
+  return 0;
+}
+
+/* hysteresis: once latched, the guard stays active until the trolley is
+ * back in the central third of the track */
+double applyEndStopGuard(double u)
+{
+  if (endStopLatch == 1) {
+    if (stateEst[0] > -0.33 && stateEst[0] < 0.33) {
+      endStopLatch = 0;
+    }
+  }
+  if (nearLeftStop() == 1 && u < 0.0) {
+    endStopLatch = 1;
+    return 0.0;
+  }
+  if (nearRightStop() == 1 && u > 0.0) {
+    endStopLatch = 1;
+    return 0.0;
+  }
+  return u;
+}
+
+/* =============================================== notch filter module ===== */
+
+/* second-order biquad notch on the angle channel suppresses the pole's
+ * structural resonance; direct form I with core-private state */
+double notchB0 = 0.977987;
+double notchB1 = -1.868613;
+double notchB2 = 0.977987;
+double notchA1 = -1.815139;
+double notchA2 = 0.902500;
+double notchX1;
+double notchX2;
+double notchY1;
+double notchY2;
+
+void resetNotch()
+{
+  notchX1 = 0.0;
+  notchX2 = 0.0;
+  notchY1 = 0.0;
+  notchY2 = 0.0;
+}
+
+double notchFilter(double sample)
+{
+  double y = notchB0 * sample + notchB1 * notchX1 + notchB2 * notchX2
+           - notchA1 * notchY1 - notchA2 * notchY2;
+  notchX2 = notchX1;
+  notchX1 = sample;
+  notchY2 = notchY1;
+  notchY1 = y;
+  return y;
+}
+
+/* ================================================ telemetry ring ========= */
+
+struct TelemetryRecord {
+  long   tick;
+  double track;
+  double angle;
+  double output;
+  int    used_complex;
+};
+typedef struct TelemetryRecord TelemetryRecord;
+
+TelemetryRecord telemetryRing[64];
+int telemetryHead;
+int telemetryDropped;
+
+void telemetryRecord(double output, int usedComplex)
+{
+  TelemetryRecord *slot = &telemetryRing[telemetryHead];
+  slot->tick = loopCount;
+  slot->track = stateEst[0];
+  slot->angle = stateEst[2];
+  slot->output = output;
+  slot->used_complex = usedComplex;
+  telemetryHead = (telemetryHead + 1) % 64;
+}
+
+/* flush a window of the ring into the event log (rate limited) */
+void telemetryFlush()
+{
+  int i;
+  int idx = telemetryHead;
+  for (i = 0; i < 8; i++) {
+    idx = idx - 1;
+    if (idx < 0) {
+      idx = 63;
+    }
+    log_event("telemetry angle", telemetryRing[idx].angle);
+  }
+}
+
+/* ================================================ startup self test ====== */
+
+/* verify that both sensors respond and that their noise floor is sane
+ * before the control loop may start; a failing self test keeps the
+ * system on the safety controller permanently */
+int selfTestPassed;
+
+double sensorNoiseEstimate(int which)
+{
+  int i;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  double v;
+  for (i = 0; i < 32; i++) {
+    if (which == 0) {
+      v = readTrackSensor();
+    } else {
+      v = readAngleSensor();
+    }
+    sum = sum + v;
+    sumsq = sumsq + v * v;
+    wait_period(500);
+  }
+  return (sumsq - sum * sum / 32.0) / 31.0;
+}
+
+int runSelfTest()
+{
+  double trackVar = sensorNoiseEstimate(0);
+  double angleVar = sensorNoiseEstimate(1);
+  if (trackVar < 0.0 || trackVar > 0.01) {
+    log_event("track sensor noise out of spec", trackVar);
+    return 0;
+  }
+  if (angleVar < 0.0 || angleVar > 0.005) {
+    log_event("angle sensor noise out of spec", angleVar);
+    return 0;
+  }
+  /* exercise the actuator with a tiny symmetric pulse */
+  sendControl(0.05);
+  wait_period(2000);
+  sendControl(-0.05);
+  wait_period(2000);
+  sendControl(0.0);
+  log_event("self test passed", trackVar + angleVar);
+  return 1;
+}
+
+/* ================================================ shutdown sequence ====== */
+
+/* ramp the actuator to zero instead of cutting it: an abrupt zero with
+ * the pendulum deflected would slam the trolley */
+void shutdownRamp(double fromOutput)
+{
+  double u = fromOutput;
+  int i;
+  for (i = 0; i < 20; i++) {
+    u = u * 0.75;
+    sendControl(u);
+    wait_period(periodUs);
+  }
+  sendControl(0.0);
+  log_event("shutdown ramp complete", 0.0);
+}
+
+/* ================================================ fault accounting ======= */
+
+int faultCounts[8];
+
+void recordFault(int kind)
+{
+  if (kind >= 0 && kind < 8) {
+    faultCounts[kind] = faultCounts[kind] + 1;
+  }
+}
+
+int totalFaults()
+{
+  int i;
+  int total = 0;
+  for (i = 0; i < 8; i++) {
+    total = total + faultCounts[i];
+  }
+  return total;
+}
+
+void reportFaults()
+{
+  int i;
+  for (i = 0; i < 8; i++) {
+    if (faultCounts[i] > 0) {
+      log_event("fault class count", (double) faultCounts[i]);
+    }
+  }
+}
+
+
+/* ============================================ actuator health module ===== */
+
+/* the actuator command/response loop is checked by comparing the
+ * commanded voltage with the measured motor current profile */
+double actuatorGainNominal = 0.42;
+double actuatorHealth = 1.0;
+double actuatorResidualAccum;
+long   actuatorSamples;
+
+extern double readMotorCurrent(void);
+
+void actuatorHealthSample(double commanded)
+{
+  double current = readMotorCurrent();
+  double expected = commanded * actuatorGainNominal;
+  double residual = current - expected;
+  if (residual < 0.0) {
+    residual = -residual;
+  }
+  actuatorResidualAccum = actuatorResidualAccum + residual;
+  actuatorSamples = actuatorSamples + 1;
+}
+
+void actuatorHealthUpdate()
+{
+  double mean;
+  if (actuatorSamples < 100) {
+    return;
+  }
+  mean = actuatorResidualAccum / (double) actuatorSamples;
+  if (mean > 0.2) {
+    actuatorHealth = actuatorHealth * 0.9;
+    recordFault(2);
+    log_event("actuator residual high", mean);
+  } else {
+    actuatorHealth = actuatorHealth * 0.99 + 0.01;
+  }
+  actuatorResidualAccum = 0.0;
+  actuatorSamples = 0;
+}
+
+int actuatorDegraded()
+{
+  if (actuatorHealth < 0.5) {
+    return 1;
+  }
+  return 0;
+}
+
+/* ============================================ derivative sanity check ==== */
+
+/* cross-check the estimated velocities against finite differences of the
+ * raw rings: a large discrepancy indicates estimator divergence */
+double lastRawTrack;
+double lastRawAngle;
+
+int velocityConsistent()
+{
+  double dt = (double) periodUs / 1000000.0;
+  double rawTrackVel;
+  double rawAngleVel;
+  double dTrack;
+  double dAngle;
+  if (dt <= 0.0) {
+    return 1;
+  }
+  rawTrackVel = (ringMean(trackHist, 2) - lastRawTrack) / dt;
+  rawAngleVel = (ringMean(angleHist, 2) - lastRawAngle) / dt;
+  lastRawTrack = ringMean(trackHist, 2);
+  lastRawAngle = ringMean(angleHist, 2);
+  dTrack = stateEst[1] - rawTrackVel;
+  dAngle = stateEst[3] - rawAngleVel;
+  if (dTrack < 0.0) {
+    dTrack = -dTrack;
+  }
+  if (dAngle < 0.0) {
+    dAngle = -dAngle;
+  }
+  if (dTrack > 5.0 || dAngle > 8.0) {
+    recordFault(3);
+    return 0;
+  }
+  return 1;
+}
+
+/* ========================================================= main ========== */
+
+int main()
+{
+  double track;
+  double angle;
+  double safeControl;
+  double output;
+
+  initShm();
+  initCoreState();
+  resetNotch();
+  calibrateSensors();
+  selfTestPassed = runSelfTest();
+  if (selfTestPassed == 0) {
+    recordFault(0);
+  }
+  ncChildPid = spawn_noncore();
+
+  while (loopCount < 100000) {
+    /* 1. sense and estimate */
+    readSensors(&track, &angle);
+    estimateState(track, angle);
+
+    /* 2. publish the feedback for the non-core controller */
+    Lock(shmLock);
+    publishFeedback();
+    Unlock(shmLock);
+
+    /* 3. core computes its own safe control while non-core runs */
+    safeControl = computeSafeControl();
+    wait_period(periodUs);
+
+    /* 4. decide and actuate */
+    Lock(shmLock);
+    output = decision(safeControl);
+    trackFreshness();
+    Unlock(shmLock);
+
+    output = applyHandOverPolicy(output);
+    output = applyEndStopGuard(output);
+    output = applyDeadband(output);
+    /*** SafeFlow Annotation assert(safe(output)) ***/
+    sendControl(output);
+    prevOutput = output;
+    telemetryRecord(output, selfTestPassed);
+
+    /* 5. housekeeping */
+    actuatorHealthSample(output);
+    if (loopCount % 100 == 99) {
+      actuatorHealthUpdate();
+      if (actuatorDegraded() == 1) {
+        log_event("actuator degraded, conservative mode", actuatorHealth);
+      }
+      if (velocityConsistent() == 0) {
+        log_event("estimator cross-check failed", stateEst[1]);
+      }
+      superviseNonCore();
+      handleReloadRequest();
+    }
+    if (loopCount % 500 == 499) {
+      logStatus();
+      reportFaults();
+    }
+    if (loopCount % 2000 == 1999) {
+      telemetryFlush();
+    }
+    if (totalFaults() > 100) {
+      log_event("too many faults, stopping", (double) totalFaults());
+      break;
+    }
+    loopCount = loopCount + 1;
+  }
+  shutdownRamp(prevOutput);
+  return 0;
+}

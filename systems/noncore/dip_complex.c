@@ -1,0 +1,244 @@
+/* ============================================================================
+ * Double Inverted Pendulum NON-CORE subsystem: energy-shaping complex
+ * controller, online tuning optimizer and calibration setup tool.
+ * ==========================================================================*/
+
+struct DIPFeedback {
+  double cart;
+  double cart_vel;
+  double angle1;
+  double angle1_vel;
+  double angle2;
+  double angle2_vel;
+  long   seq;
+  long   timestamp;
+};
+typedef struct DIPFeedback DIPFeedback;
+
+struct NCControl {
+  double control;
+  long   seq;
+  int    valid;
+  int    pad;
+};
+typedef struct NCControl NCControl;
+
+struct NCModes {
+  int    dual_mode;
+  int    swing_request;
+  int    hold_request;
+  int    pad;
+};
+typedef struct NCModes NCModes;
+
+struct NCStatus {
+  long   heartbeat;
+  int    state;
+  int    pad;
+};
+typedef struct NCStatus NCStatus;
+
+struct WatchdogInfo {
+  int    nc_pid;
+  int    enable;
+  long   restart_epoch;
+};
+typedef struct WatchdogInfo WatchdogInfo;
+
+struct TuneBlock {
+  double damping;
+  double stiffness;
+  long   epoch;
+};
+typedef struct TuneBlock TuneBlock;
+
+struct CalBlock {
+  double scale1;
+  double scale2;
+  double drift;
+  long   epoch;
+};
+typedef struct CalBlock CalBlock;
+
+DIPFeedback  *fbShm;
+NCControl    *ncCtrl;
+NCModes      *ncModes;
+NCStatus     *ncStatus;
+WatchdogInfo *wdInfo;
+TuneBlock    *tuneShm;
+CalBlock     *calShm;
+
+int shmLock;
+
+double perfGain[6] = { 7.07, 9.41, 201.3, 35.2, -61.0, -12.4 };
+long   localTick;
+double tuneCandidate;
+double bestCostSeen;
+double currentWindowCost;
+int    windowSamples;
+
+extern void   Lock(int lockid);
+extern void   Unlock(int lockid);
+extern void   wait_period(long usecs);
+extern void   gui_draw_text(int row, int col, char *text);
+extern void   gui_draw_value(int row, int col, double value);
+extern void   gui_refresh(void);
+extern int    getownpid(void);
+extern double calMeasureScale(int channel);
+extern double calMeasureDrift(void);
+
+void attachShm()
+{
+  int shmid;
+  void *base;
+  char *cursor;
+  long total;
+  total = sizeof(DIPFeedback) + sizeof(NCControl) + sizeof(NCModes)
+        + sizeof(NCStatus) + sizeof(WatchdogInfo) + sizeof(TuneBlock)
+        + sizeof(CalBlock);
+  shmid = shmget(5003, total, 438);
+  base = shmat(shmid, (void *) 0, 0);
+  cursor = (char *) base;
+  fbShm = (DIPFeedback *) cursor;
+  cursor = cursor + sizeof(DIPFeedback);
+  ncCtrl = (NCControl *) cursor;
+  cursor = cursor + sizeof(NCControl);
+  ncModes = (NCModes *) cursor;
+  cursor = cursor + sizeof(NCModes);
+  ncStatus = (NCStatus *) cursor;
+  cursor = cursor + sizeof(NCStatus);
+  wdInfo = (WatchdogInfo *) cursor;
+  cursor = cursor + sizeof(WatchdogInfo);
+  tuneShm = (TuneBlock *) cursor;
+  cursor = cursor + sizeof(TuneBlock);
+  calShm = (CalBlock *) cursor;
+}
+
+/* calibration setup pass: run once at attach time */
+void runCalibrationTool()
+{
+  calShm->scale1 = calMeasureScale(1);
+  calShm->scale2 = calMeasureScale(2);
+  calShm->drift = calMeasureDrift();
+  calShm->epoch = calShm->epoch + 1;
+}
+
+void registerWithWatchdog()
+{
+  wdInfo->nc_pid = getownpid();
+  wdInfo->enable = 1;
+}
+
+double computeComplexControl()
+{
+  double u = 0.0;
+  u = u - perfGain[0] * fbShm->cart;
+  u = u - perfGain[1] * fbShm->cart_vel;
+  u = u - perfGain[2] * fbShm->angle1;
+  u = u - perfGain[3] * fbShm->angle1_vel;
+  u = u - perfGain[4] * fbShm->angle2;
+  u = u - perfGain[5] * fbShm->angle2_vel;
+  if (u > 5.0) {
+    u = 5.0;
+  }
+  if (u < -5.0) {
+    u = -5.0;
+  }
+  return u;
+}
+
+/* hill-climbing optimizer for the damping suggestion published to the
+ * core: evaluates windows of tracking cost and keeps improvements */
+void optimizerStep()
+{
+  double sample = fbShm->angle1 * fbShm->angle1
+                + fbShm->angle2 * fbShm->angle2
+                + 0.2 * fbShm->cart * fbShm->cart;
+  currentWindowCost = currentWindowCost + sample;
+  windowSamples = windowSamples + 1;
+  if (windowSamples >= 500) {
+    if (currentWindowCost < bestCostSeen) {
+      bestCostSeen = currentWindowCost;
+      tuneShm->damping = tuneCandidate;
+      tuneShm->epoch = tuneShm->epoch + 1;
+    }
+    /* propose the next candidate around the best one */
+    if ((localTick / 500) % 2 == 0) {
+      tuneCandidate = tuneShm->damping + 0.01;
+    } else {
+      tuneCandidate = tuneShm->damping - 0.005;
+    }
+    tuneShm->stiffness = tuneCandidate * 4.0;
+    currentWindowCost = 0.0;
+    windowSamples = 0;
+  }
+}
+
+void publishControl(double u)
+{
+  ncCtrl->control = u;
+  ncCtrl->seq = fbShm->seq;
+  ncCtrl->valid = 1;
+}
+
+void publishStatus()
+{
+  ncStatus->heartbeat = ncStatus->heartbeat + 1;
+  ncStatus->state = 1;
+}
+
+void publishModeRequests()
+{
+  double sway = fbShm->angle1 * fbShm->angle1 + fbShm->angle2 * fbShm->angle2;
+  if (sway > 0.02) {
+    ncModes->dual_mode = 1;
+  } else {
+    ncModes->dual_mode = 0;
+  }
+  if (localTick % 20000 == 19999) {
+    ncModes->swing_request = 1;
+  } else {
+    ncModes->swing_request = 0;
+  }
+}
+
+void drawDashboard()
+{
+  gui_draw_text(0, 0, "DOUBLE IP - COMPLEX CONTROLLER");
+  gui_draw_text(1, 0, "cart:");
+  gui_draw_value(1, 8, fbShm->cart);
+  gui_draw_text(2, 0, "angle1:");
+  gui_draw_value(2, 8, fbShm->angle1);
+  gui_draw_text(3, 0, "angle2:");
+  gui_draw_value(3, 8, fbShm->angle2);
+  gui_draw_text(4, 0, "control:");
+  gui_draw_value(4, 10, ncCtrl->control);
+  gui_draw_text(5, 0, "damping:");
+  gui_draw_value(5, 10, tuneShm->damping);
+  gui_refresh();
+}
+
+int main()
+{
+  attachShm();
+  runCalibrationTool();
+  registerWithWatchdog();
+  bestCostSeen = 1000000.0;
+  tuneCandidate = 0.0;
+  while (localTick < 2000000) {
+    double u;
+    Lock(shmLock);
+    u = computeComplexControl();
+    publishControl(u);
+    publishStatus();
+    publishModeRequests();
+    optimizerStep();
+    Unlock(shmLock);
+    if (localTick % 80 == 79) {
+      drawDashboard();
+    }
+    wait_period(5000);
+    localTick = localTick + 1;
+  }
+  return 0;
+}

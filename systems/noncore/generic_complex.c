@@ -1,0 +1,257 @@
+/* ============================================================================
+ * Generic Simplex NON-CORE subsystem: model-predictive-flavoured complex
+ * controller, configuration publisher and operator GUI.
+ *
+ * Untrusted by construction; the core's monitor decides whether any of
+ * its outputs reach the actuator.
+ * ==========================================================================*/
+
+struct SysConfig {
+  int    use_complex;
+  int    mode;
+  int    ui_enabled;
+  int    pad;
+  long   config_epoch;
+};
+typedef struct SysConfig SysConfig;
+
+struct Feedback {
+  double y[4];
+  long   seq;
+  long   timestamp;
+};
+typedef struct Feedback Feedback;
+
+struct NCControl {
+  double control;
+  long   seq;
+  int    valid;
+  int    pad;
+};
+typedef struct NCControl NCControl;
+
+struct NCStatus {
+  long   heartbeat;
+  int    state;
+  int    pad;
+};
+typedef struct NCStatus NCStatus;
+
+struct WatchdogInfo {
+  int    nc_pid;
+  int    armed;
+};
+typedef struct WatchdogInfo WatchdogInfo;
+
+struct UICommand {
+  int    cmd;
+  int    arg;
+  long   seq;
+};
+typedef struct UICommand UICommand;
+
+struct TuneReadout {
+  double gains[4];
+  double envelope;
+  long   epoch;
+};
+typedef struct TuneReadout TuneReadout;
+
+SysConfig    *cfgShm;
+Feedback     *fbShm;
+NCControl    *ncCtrl;
+NCStatus     *ncStatus;
+WatchdogInfo *wdInfo;
+UICommand    *uiShm;
+TuneReadout  *tuneShm;
+
+int shmLock;
+
+/* local model of the plant for the one-step lookahead */
+double modelA[16];
+double modelB[4];
+int    modelDim;
+
+double horizonWeights[4] = { 1.0, 0.8, 0.6, 0.4 };
+double candidateGrid[9] = { -5.0, -3.0, -1.5, -0.5, 0.0, 0.5, 1.5, 3.0, 5.0 };
+long   localTick;
+
+extern void   Lock(int lockid);
+extern void   Unlock(int lockid);
+extern void   wait_period(long usecs);
+extern void   gui_draw_text(int row, int col, char *text);
+extern void   gui_draw_value(int row, int col, double value);
+extern void   gui_refresh(void);
+extern int    gui_poll_key(void);
+extern int    getownpid(void);
+extern double ncReadModelValue(int index);
+
+void attachShm()
+{
+  int shmid;
+  void *base;
+  char *cursor;
+  long total;
+  total = sizeof(SysConfig) + sizeof(Feedback) + sizeof(NCControl)
+        + sizeof(NCStatus) + sizeof(WatchdogInfo) + sizeof(UICommand)
+        + sizeof(TuneReadout);
+  shmid = shmget(5002, total, 438);
+  base = shmat(shmid, (void *) 0, 0);
+  cursor = (char *) base;
+  cfgShm = (SysConfig *) cursor;
+  cursor = cursor + sizeof(SysConfig);
+  fbShm = (Feedback *) cursor;
+  cursor = cursor + sizeof(Feedback);
+  ncCtrl = (NCControl *) cursor;
+  cursor = cursor + sizeof(NCControl);
+  ncStatus = (NCStatus *) cursor;
+  cursor = cursor + sizeof(NCStatus);
+  wdInfo = (WatchdogInfo *) cursor;
+  cursor = cursor + sizeof(WatchdogInfo);
+  uiShm = (UICommand *) cursor;
+  cursor = cursor + sizeof(UICommand);
+  tuneShm = (TuneReadout *) cursor;
+}
+
+void publishConfiguration()
+{
+  cfgShm->use_complex = 1;
+  cfgShm->mode = 1;
+  cfgShm->ui_enabled = 1;
+  cfgShm->config_epoch = cfgShm->config_epoch + 1;
+}
+
+void loadLocalModel()
+{
+  int i;
+  modelDim = (int) ncReadModelValue(0);
+  if (modelDim < 1) {
+    modelDim = 1;
+  }
+  if (modelDim > 4) {
+    modelDim = 4;
+  }
+  for (i = 0; i < 16; i++) {
+    modelA[i] = ncReadModelValue(1 + i);
+  }
+  for (i = 0; i < 4; i++) {
+    modelB[i] = ncReadModelValue(17 + i);
+  }
+}
+
+/* cost of applying u for one step from the published feedback */
+double lookaheadCost(double u)
+{
+  int i;
+  int j;
+  double next[4];
+  double cost = 0.0;
+  double dt = 0.01;
+  for (i = 0; i < modelDim; i++) {
+    double acc = 0.0;
+    for (j = 0; j < modelDim; j++) {
+      acc = acc + modelA[i * 4 + j] * fbShm->y[j];
+    }
+    next[i] = fbShm->y[i] + dt * (acc + modelB[i] * u);
+  }
+  for (i = 0; i < modelDim; i++) {
+    cost = cost + horizonWeights[i] * next[i] * next[i];
+  }
+  cost = cost + 0.05 * u * u;
+  return cost;
+}
+
+/* grid search over candidate inputs: a poor man's one-step MPC */
+double computeComplexControl()
+{
+  int k;
+  double best = candidateGrid[0];
+  double bestCost = lookaheadCost(candidateGrid[0]);
+  for (k = 1; k < 9; k++) {
+    double c = lookaheadCost(candidateGrid[k]);
+    if (c < bestCost) {
+      bestCost = c;
+      best = candidateGrid[k];
+    }
+  }
+  return best;
+}
+
+void publishControl(double u)
+{
+  ncCtrl->control = u;
+  ncCtrl->seq = fbShm->seq;
+  ncCtrl->valid = 1;
+}
+
+void publishStatus()
+{
+  ncStatus->heartbeat = ncStatus->heartbeat + 1;
+  ncStatus->state = 2;
+}
+
+void registerWithWatchdog()
+{
+  wdInfo->nc_pid = getownpid();
+  wdInfo->armed = 1;
+}
+
+/* ----------------------------- operator GUI ------------------------------ */
+
+void relayOperatorKeys()
+{
+  int key = gui_poll_key();
+  if (key == 106) {          /* 'j' : jog */
+    uiShm->cmd = 1;
+    uiShm->seq = uiShm->seq + 1;
+  }
+  if (key == 114) {          /* 'r' : reload */
+    uiShm->cmd = 2;
+    uiShm->seq = uiShm->seq + 1;
+  }
+  if (key == 0) {
+    uiShm->cmd = 0;
+  }
+}
+
+void drawDashboard()
+{
+  int i;
+  gui_draw_text(0, 0, "GENERIC SIMPLEX - COMPLEX CONTROLLER");
+  for (i = 0; i < modelDim; i++) {
+    gui_draw_text(1 + i, 0, "y:");
+    gui_draw_value(1 + i, 4, fbShm->y[i]);
+  }
+  gui_draw_text(6, 0, "control:");
+  gui_draw_value(6, 10, ncCtrl->control);
+  gui_draw_text(7, 0, "core gains:");
+  for (i = 0; i < 4; i++) {
+    gui_draw_value(8, i * 10, tuneShm->gains[i]);
+  }
+  gui_draw_text(9, 0, "envelope:");
+  gui_draw_value(9, 10, tuneShm->envelope);
+  gui_refresh();
+}
+
+int main()
+{
+  attachShm();
+  loadLocalModel();
+  publishConfiguration();
+  registerWithWatchdog();
+  while (localTick < 1000000) {
+    double u;
+    Lock(shmLock);
+    u = computeComplexControl();
+    publishControl(u);
+    publishStatus();
+    Unlock(shmLock);
+    relayOperatorKeys();
+    if (localTick % 40 == 39) {
+      drawDashboard();
+    }
+    wait_period(10000);
+    localTick = localTick + 1;
+  }
+  return 0;
+}

@@ -1,0 +1,225 @@
+/* ============================================================================
+ * Inverted Pendulum NON-CORE subsystem: complex controller + status GUI.
+ *
+ * This component is deliberately outside the trusted computing base: it
+ * may crash, publish garbage, or scribble over any shared-memory cell.
+ * The core component must remain safe regardless (which is exactly what
+ * SafeFlow verifies on the core side).
+ *
+ * The complex controller implements a higher-performance state feedback
+ * with a feedforward reference tracker and an adaptive gain-scale knob
+ * driven by recent tracking cost.
+ * ==========================================================================*/
+
+struct Feedback {
+  double track;
+  double angle;
+  double track_vel;
+  double angle_vel;
+  long   seq;
+  long   timestamp;
+};
+typedef struct Feedback Feedback;
+
+struct NCControl {
+  double control;
+  long   seq;
+  int    valid;
+  int    pad;
+};
+typedef struct NCControl NCControl;
+
+struct NCStatus {
+  long   heartbeat;
+  int    mode;
+  int    request;
+  double gain_scale;
+};
+typedef struct NCStatus NCStatus;
+
+struct WatchdogInfo {
+  int    nc_pid;
+  int    enable;
+  long   restart_count;
+};
+typedef struct WatchdogInfo WatchdogInfo;
+
+Feedback     *fbShm;
+NCControl    *ncCtrl;
+NCStatus     *ncStatus;
+WatchdogInfo *wdInfo;
+
+int shmLock;
+
+/* aggressive nominal gain, tuned for tracking performance */
+double perfGain[4] = { 8.9443, 7.8153, 52.7046, 10.8826 };
+double gainScale = 1.0;
+double refTrack;
+long   localTick;
+double costWindow[32];
+int    costHead;
+
+extern void   Lock(int lockid);
+extern void   Unlock(int lockid);
+extern void   wait_period(long usecs);
+extern long   current_time(void);
+extern void   gui_draw_text(int row, int col, char *text);
+extern void   gui_draw_value(int row, int col, double value);
+extern void   gui_refresh(void);
+extern int    getownpid(void);
+
+void attachShm()
+{
+  int shmid;
+  void *base;
+  char *cursor;
+  shmid = shmget(5001, sizeof(Feedback) + sizeof(NCControl)
+                       + sizeof(NCStatus) + sizeof(WatchdogInfo), 438);
+  base = shmat(shmid, (void *) 0, 0);
+  cursor = (char *) base;
+  fbShm = (Feedback *) cursor;
+  cursor = cursor + sizeof(Feedback);
+  ncCtrl = (NCControl *) cursor;
+  cursor = cursor + sizeof(NCControl);
+  ncStatus = (NCStatus *) cursor;
+  cursor = cursor + sizeof(NCStatus);
+  wdInfo = (WatchdogInfo *) cursor;
+}
+
+void registerWithWatchdog()
+{
+  wdInfo->nc_pid = getownpid();
+  wdInfo->enable = 1;
+}
+
+/* reference: slow sinusoid-ish sweep approximated by a triangle wave */
+double referencePosition()
+{
+  long phase = localTick % 8000;
+  double x;
+  if (phase < 4000) {
+    x = -0.3 + 0.00015 * (double) phase;
+  } else {
+    x = 0.3 - 0.00015 * (double) (phase - 4000);
+  }
+  return x;
+}
+
+/* adaptive scale: grow when tracking well, shrink after bad windows */
+void adaptGainScale(double cost)
+{
+  double mean = 0.0;
+  int i;
+  costWindow[costHead] = cost;
+  costHead = (costHead + 1) % 32;
+  for (i = 0; i < 32; i++) {
+    mean = mean + costWindow[i];
+  }
+  mean = mean / 32.0;
+  if (mean < 0.02 && gainScale < 1.4) {
+    gainScale = gainScale + 0.001;
+  }
+  if (mean > 0.2 && gainScale > 0.6) {
+    gainScale = gainScale - 0.01;
+  }
+}
+
+double computeComplexControl()
+{
+  double err0 = fbShm->track - referencePosition();
+  double u = 0.0;
+  u = u - perfGain[0] * err0;
+  u = u - perfGain[1] * fbShm->track_vel;
+  u = u - perfGain[2] * fbShm->angle;
+  u = u - perfGain[3] * fbShm->angle_vel;
+  u = u * gainScale;
+  if (u > 5.0) {
+    u = 5.0;
+  }
+  if (u < -5.0) {
+    u = -5.0;
+  }
+  adaptGainScale(err0 * err0 + fbShm->angle * fbShm->angle);
+  return u;
+}
+
+void publishControl(double u)
+{
+  ncCtrl->control = u;
+  ncCtrl->seq = fbShm->seq;
+  ncCtrl->valid = 1;
+}
+
+void publishStatus()
+{
+  ncStatus->heartbeat = ncStatus->heartbeat + 1;
+  ncStatus->mode = 1;
+  ncStatus->gain_scale = gainScale;
+  if (localTick % 4000 == 3999) {
+    ncStatus->request = 1;
+  } else {
+    ncStatus->request = 0;
+  }
+}
+
+/* ----------------------------- status GUI -------------------------------- */
+
+void drawDashboard()
+{
+  gui_draw_text(0, 0, "IP COMPLEX CONTROLLER");
+  gui_draw_text(1, 0, "track:");
+  gui_draw_value(1, 10, fbShm->track);
+  gui_draw_text(2, 0, "angle:");
+  gui_draw_value(2, 10, fbShm->angle);
+  gui_draw_text(3, 0, "control:");
+  gui_draw_value(3, 10, ncCtrl->control);
+  gui_draw_text(4, 0, "gain scale:");
+  gui_draw_value(4, 12, gainScale);
+  gui_draw_text(5, 0, "heartbeat:");
+  gui_draw_value(5, 12, (double) ncStatus->heartbeat);
+  gui_refresh();
+}
+
+void drawTrackBar()
+{
+  int col = (int) ((fbShm->track + 1.0) * 20.0);
+  int i;
+  if (col < 0) {
+    col = 0;
+  }
+  if (col > 40) {
+    col = 40;
+  }
+  for (i = 0; i < 41; i++) {
+    if (i == col) {
+      gui_draw_text(7, i, "#");
+    } else {
+      gui_draw_text(7, i, "-");
+    }
+  }
+}
+
+int main()
+{
+  int i;
+  attachShm();
+  registerWithWatchdog();
+  for (i = 0; i < 32; i++) {
+    costWindow[i] = 0.0;
+  }
+  while (localTick < 1000000) {
+    double u;
+    Lock(shmLock);
+    u = computeComplexControl();
+    publishControl(u);
+    publishStatus();
+    Unlock(shmLock);
+    if (localTick % 50 == 49) {
+      drawDashboard();
+      drawTrackBar();
+    }
+    wait_period(10000);
+    localTick = localTick + 1;
+  }
+  return 0;
+}
