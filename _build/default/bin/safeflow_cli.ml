@@ -1,0 +1,124 @@
+(* SafeFlow command-line interface.
+
+   Usage:
+     safeflow analyze file.c [--no-control-deps] [--ctx-insensitive]
+                             [--field-insensitive] [--vfg out.dot]
+     safeflow initcheck file.c
+     safeflow dump-ir file.c
+     safeflow synth N *)
+
+open Cmdliner
+
+let config_of ~control_deps ~context_sensitive ~field_sensitive =
+  {
+    Safeflow.Config.default with
+    control_deps;
+    context_sensitive;
+    field_sensitive;
+  }
+
+let analyze_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniC source file")
+  in
+  let no_control = Arg.(value & flag & info [ "no-control-deps" ] ~doc:"disable control-dependence reporting") in
+  let ctx_insensitive = Arg.(value & flag & info [ "ctx-insensitive" ] ~doc:"merge monitoring contexts (ablation)") in
+  let field_insensitive = Arg.(value & flag & info [ "field-insensitive" ] ~doc:"ignore byte offsets in regions (ablation)") in
+  let vfg = Arg.(value & opt (some string) None & info [ "vfg" ] ~docv:"OUT.dot" ~doc:"write the value-flow graph as DOT") in
+  let use_summary = Arg.(value & flag & info [ "summary" ] ~doc:"use the ESP-style summary engine (single bottom-up pass; data dependencies only)") in
+  let run file no_control ctx_insensitive field_insensitive vfg use_summary =
+    try
+      let config =
+        config_of ~control_deps:(not no_control)
+          ~context_sensitive:(not ctx_insensitive)
+          ~field_sensitive:(not field_insensitive)
+      in
+      let report =
+        if use_summary then begin
+          let ic = open_in_bin file in
+          let n = in_channel_length ic in
+          let src = really_input_string ic n in
+          close_in ic;
+          let r, _ = Safeflow.Driver.analyze_summary ~config ~file src in
+          Fmt.pr "%a@." Safeflow.Report.pp r;
+          r
+        end
+        else begin
+          let a = Safeflow.Driver.analyze_file ~config file in
+          Fmt.pr "%a@." Safeflow.Report.pp a.Safeflow.Driver.report;
+          Option.iter
+            (fun path ->
+              Safeflow.Vfg.write_dot path a.Safeflow.Driver.phase3;
+              Fmt.pr "value-flow graph written to %s@." path)
+            vfg;
+          a.Safeflow.Driver.report
+        end
+      in
+      if Safeflow.Report.errors report <> [] then exit 1
+    with Minic.Loc.Error (loc, msg) ->
+      Fmt.epr "%a: %s@." Minic.Loc.pp loc msg;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"run the full SafeFlow analysis on a core component")
+    Term.(const run $ file $ no_control $ ctx_insensitive $ field_insensitive $ vfg
+          $ use_summary)
+
+let initcheck_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniC source file")
+  in
+  let run file =
+    try
+      let a = Safeflow.Driver.analyze_file file in
+      let layout =
+        Safeflow.Shm.run_init_check a.Safeflow.Driver.prepared.Safeflow.Driver.ir
+          a.Safeflow.Driver.shm
+      in
+      Fmt.pr "InitCheck passed; shared-memory layout:@.";
+      List.iter (fun (n, off, sz) -> Fmt.pr "  %-16s offset %5d size %5d@." n off sz) layout
+    with
+    | Safeflow.Shm.Init_check_failed msg ->
+      Fmt.epr "InitCheck FAILED: %s@." msg;
+      exit 1
+    | Minic.Loc.Error (loc, msg) ->
+      Fmt.epr "%a: %s@." Minic.Loc.pp loc msg;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "initcheck"
+       ~doc:"execute the initializing function and verify the region layout")
+    Term.(const run $ file)
+
+let dump_ir_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniC source file")
+  in
+  let optimize =
+    Arg.(value & flag & info [ "opt" ] ~doc:"run the optimizer before printing")
+  in
+  let run file optimize =
+    try
+      let p = Safeflow.Driver.prepare_file file in
+      if optimize then begin
+        let n = Ssair.Opt.run p.Safeflow.Driver.ir in
+        Fmt.epr "; %d rewrites@." n
+      end;
+      Fmt.pr "%a@." Ssair.Ir.pp_program p.Safeflow.Driver.ir
+    with Minic.Loc.Error (loc, msg) ->
+      Fmt.epr "%a: %s@." Minic.Loc.pp loc msg;
+      exit 2
+  in
+  Cmd.v (Cmd.info "dump-ir" ~doc:"print the SSA IR of a source file")
+    Term.(const run $ file $ optimize)
+
+let synth_cmd =
+  let n = Arg.(value & pos 0 int 8 & info [] ~docv:"N" ~doc:"worker count") in
+  let run n = print_string (Safeflow.Synth.of_size n) in
+  Cmd.v (Cmd.info "synth" ~doc:"emit a synthetic core component of the given size")
+    Term.(const run $ n)
+
+let () =
+  let doc = "static analysis to enforce safe value flow in embedded control systems" in
+  let info = Cmd.info "safeflow" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ analyze_cmd; initcheck_cmd; dump_ir_cmd; synth_cmd ]))

@@ -1,0 +1,1 @@
+examples/analyze_systems.mli:

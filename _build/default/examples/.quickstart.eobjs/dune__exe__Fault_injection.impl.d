@@ -1,0 +1,1 @@
+examples/fault_injection.ml: Fmt Plant Shm_rt Sim Simplex

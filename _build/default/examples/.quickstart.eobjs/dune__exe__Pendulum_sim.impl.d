@@ -1,0 +1,1 @@
+examples/pendulum_sim.ml: Array Controller Fmt Monitor Plant Sim Simplex

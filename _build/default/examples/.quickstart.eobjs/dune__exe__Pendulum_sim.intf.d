@@ -1,0 +1,1 @@
+examples/pendulum_sim.mli:

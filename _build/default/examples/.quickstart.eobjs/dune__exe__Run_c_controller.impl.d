@@ -1,0 +1,1 @@
+examples/run_c_controller.ml: Array Controller Float Fmt Int64 Linalg List Minic Plant Safeflow Simplex Ssair Sys

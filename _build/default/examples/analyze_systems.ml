@@ -1,0 +1,51 @@
+(* Analyze the three bundled control systems and print a Table-1-style
+   summary (the full reproduction with paper-vs-measured columns lives in
+   the benchmark harness: `dune exec bench/main.exe -- table1`). *)
+
+let find path =
+  let candidates = [ path; "../" ^ path; "../../" ^ path; "../../../" ^ path ] in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> failwith ("cannot find " ^ path)
+
+let () =
+  Fmt.pr "=== SafeFlow over the three subject systems ===@.@.";
+  let rows =
+    List.map
+      (fun (label, core, extras) ->
+        let a = Safeflow.Driver.analyze_file (find ("systems/" ^ core)) in
+        let r = a.Safeflow.Driver.report in
+        let core_loc = List.assoc "loc" r.Safeflow.Report.stats in
+        let extra_loc =
+          List.fold_left
+            (fun acc f ->
+              let ic = open_in_bin (find ("systems/" ^ f)) in
+              let n = in_channel_length ic in
+              let s = really_input_string ic n in
+              close_in ic;
+              acc + Safeflow.Driver.count_loc s)
+            0 extras
+        in
+        (label, a, core_loc, core_loc + extra_loc))
+      [ ("IP", "ip_controller.c", [ "noncore/ip_complex.c" ]);
+        ("Generic Simplex", "generic_simplex.c", [ "noncore/generic_complex.c" ]);
+        ("Double IP", "double_ip.c", [ "noncore/dip_complex.c" ]) ]
+  in
+  Fmt.pr "%-16s %9s %9s %6s %7s %9s %7s@." "System" "LOC(tot)" "LOC(core)" "Annot"
+    "Errors" "Warnings" "FalseP";
+  List.iter
+    (fun (label, a, core_loc, total_loc) ->
+      let r = a.Safeflow.Driver.report in
+      Fmt.pr "%-16s %9d %9d %6d %7d %9d %7d@." label total_loc core_loc
+        r.Safeflow.Report.annotation_lines
+        (List.length (Safeflow.Report.errors r))
+        (List.length r.Safeflow.Report.warnings)
+        (List.length (Safeflow.Report.control_deps r)))
+    rows;
+  Fmt.pr "@.";
+  (* details per system *)
+  List.iter
+    (fun (label, a, _, _) ->
+      Fmt.pr "=== %s ===@." label;
+      Fmt.pr "%a@.@." Safeflow.Report.pp a.Safeflow.Driver.report)
+    rows

@@ -1,0 +1,67 @@
+(* Fault-injection study: the run-time consequences of the value-flow
+   errors that SafeFlow finds statically (paper §4).
+
+   Two attacks are reproduced:
+
+   1. "Rigged feedback" (the generic-Simplex error): the non-core
+      component overwrites the published feedback cells that the
+      vulnerable decision module re-reads for its recoverability check.
+      The monitor then sees a calm plant and admits an in-range but
+      destabilizing output.  The fixed core (local feedback copy — the
+      change SafeFlow's report leads to) is immune.
+
+   2. "Kill pid" (found in all three systems): the non-core component
+      overwrites the watchdog pid cell with the core's own pid; at the
+      next supervision period the core kills itself. *)
+
+open Simplex
+
+let show name (r : Sim.result) =
+  let outcome =
+    if r.Sim.core_killed then "CORE KILLED ITSELF"
+    else if r.Sim.crashed then
+      Fmt.str "PENDULUM CRASHED at step %d" r.Sim.steps_run
+    else "survived all steps"
+  in
+  Fmt.pr "  %-44s -> %s@." name outcome
+
+let () =
+  let plant = Plant.inverted_pendulum () in
+  let base = { (Sim.default_config plant) with steps = 3000 } in
+
+  Fmt.pr "=== Attack 1: rigged feedback (generic-Simplex error #1) ===@.@.";
+  Fmt.pr "The non-core controller publishes a destabilizing but in-range output@.";
+  Fmt.pr "and, from step 300 on, rewrites the shared feedback cells to zeros.@.@.";
+  show "vulnerable core (re-reads shm feedback)"
+    (Sim.run { base with scenario = Sim.Rigged_feedback 300; variant = Sim.Vulnerable });
+  show "fixed core (local feedback copy)"
+    (Sim.run { base with scenario = Sim.Rigged_feedback 300; variant = Sim.Fixed });
+  Fmt.pr "@.SafeFlow flags the vulnerable variant statically: the safety-check@.";
+  Fmt.pr "inputs are unmonitored non-core values flowing into critical data.@.";
+
+  Fmt.pr "@.=== Attack 2: watchdog pid overwrite (error in all 3 systems) ===@.@.";
+  Fmt.pr "From step 100 the non-core component writes the core's own pid into@.";
+  Fmt.pr "the watchdog cell; the supervision period then calls kill(pid, 9).@.@.";
+  show "core with shm-sourced kill pid"
+    (Sim.run { base with scenario = Sim.Kill_pid 100 });
+  show "same core, no attack" (Sim.run base);
+  Fmt.pr "@.SafeFlow reports the kill() argument as an error dependency: the pid@.";
+  Fmt.pr "is unmonitored non-core data (see systems/*.c superviseNonCore).@.";
+
+  (* protocol-violation accounting from the shared-memory emulation *)
+  Fmt.pr "@.=== Non-core encapsulation cannot be assumed (§3.4.2) ===@.@.";
+  let shm = Shm_rt.create () in
+  Shm_rt.add_region shm "fb" ~noncore:true;
+  Shm_rt.add_region shm "core_only" ~noncore:false;
+  Shm_rt.add_cell shm ~region:"fb" "x" (Shm_rt.F 1.0);
+  Shm_rt.add_cell shm ~region:"core_only" "gain" (Shm_rt.F 3.0);
+  Shm_rt.lock shm;
+  Shm_rt.noncore_set shm "x" (Shm_rt.F 99.0);      (* write under the core's lock *)
+  Shm_rt.unlock shm;
+  Shm_rt.noncore_set shm "gain" (Shm_rt.F 0.0);    (* write into a core region *)
+  Fmt.pr "  protocol violations recorded: %d (both writes still happened)@."
+    shm.Shm_rt.lock_violations;
+  Fmt.pr "  fb.x = %.1f, core_only.gain = %.1f@." (Shm_rt.get_f shm "x")
+    (Shm_rt.get_f shm "gain");
+  Fmt.pr "@.This is why the analysis keeps noncore(S) sticky: core writes do not@.";
+  Fmt.pr "make a shared location trustworthy again.@."

@@ -1,0 +1,1 @@
+lib/dataflow/callgraph.ml: Hashtbl List Minic Option Scc String

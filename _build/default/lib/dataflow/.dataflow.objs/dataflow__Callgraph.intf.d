@@ -1,0 +1,1 @@
+lib/dataflow/callgraph.mli: Hashtbl Minic Scc

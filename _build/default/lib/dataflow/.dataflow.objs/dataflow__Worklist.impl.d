@@ -1,0 +1,1 @@
+lib/dataflow/worklist.ml: Hashtbl List Queue

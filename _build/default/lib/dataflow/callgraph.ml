@@ -1,0 +1,80 @@
+(** Call graph over a typed MiniC program: direct-call edges between
+    defined functions, with SCC condensation and the bottom-up / top-down
+    traversal orders used by the interprocedural phases (paper §3.3). *)
+
+type t = {
+  defined : (string, Minic.Tast.tfunc) Hashtbl.t;
+  callees : (string, string list) Hashtbl.t;  (** defined callees only *)
+  callers : (string, string list) Hashtbl.t;
+  all_callees : (string, string list) Hashtbl.t;  (** including externs *)
+  scc : string Scc.t;
+  names : string list;
+}
+
+let calls_in_func (f : Minic.Tast.tfunc) : string list =
+  Minic.Tast.fold_texpr_stmts
+    (fun acc e ->
+      match e.Minic.Tast.tdesc with Minic.Tast.Tcall (g, _) -> g :: acc | _ -> acc)
+    [] f.tf_body
+  |> List.sort_uniq String.compare
+
+let build (prog : Minic.Tast.program) : t =
+  let defined = Hashtbl.create 32 in
+  List.iter (fun f -> Hashtbl.replace defined f.Minic.Tast.tf_name f) prog.p_funcs;
+  let callees = Hashtbl.create 32 in
+  let all_callees = Hashtbl.create 32 in
+  let callers = Hashtbl.create 32 in
+  let names = List.map (fun f -> f.Minic.Tast.tf_name) prog.p_funcs in
+  List.iter (fun n -> Hashtbl.replace callers n []) names;
+  List.iter
+    (fun f ->
+      let name = f.Minic.Tast.tf_name in
+      let cs = calls_in_func f in
+      Hashtbl.replace all_callees name cs;
+      let defined_cs = List.filter (Hashtbl.mem defined) cs in
+      Hashtbl.replace callees name defined_cs;
+      List.iter
+        (fun c ->
+          let old = Option.value ~default:[] (Hashtbl.find_opt callers c) in
+          Hashtbl.replace callers c (name :: old))
+        defined_cs)
+    prog.p_funcs;
+  let succs n = Option.value ~default:[] (Hashtbl.find_opt callees n) in
+  let scc = Scc.compute names succs in
+  { defined; callees; callers; all_callees; scc; names }
+
+let callees_of t n = Option.value ~default:[] (Hashtbl.find_opt t.callees n)
+let callers_of t n = Option.value ~default:[] (Hashtbl.find_opt t.callers n)
+let all_callees_of t n = Option.value ~default:[] (Hashtbl.find_opt t.all_callees n)
+
+(** SCCs from the leaves of the call graph up to [main] (callees before
+    callers). *)
+let bottom_up t = Scc.reverse_topological t.scc
+
+(** SCCs from [main] down to the leaves (callers before callees). *)
+let top_down t = Scc.topological t.scc
+
+(** Is [callee] reachable from [caller] through defined functions? *)
+let reachable t ~from target =
+  let seen = Hashtbl.create 16 in
+  let rec go n =
+    if String.equal n target then true
+    else if Hashtbl.mem seen n then false
+    else begin
+      Hashtbl.replace seen n ();
+      List.exists go (callees_of t n)
+    end
+  in
+  go from
+
+(** All defined functions reachable from [root], [root] included. *)
+let reachable_set t root =
+  let seen = Hashtbl.create 16 in
+  let rec go n =
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.replace seen n ();
+      List.iter go (callees_of t n)
+    end
+  in
+  go root;
+  seen

@@ -1,0 +1,33 @@
+(** Call graph over a typed MiniC program: direct-call edges between
+    defined functions, SCC condensation, and the bottom-up / top-down
+    orders used by the interprocedural phases (paper §3.3). *)
+
+type t = {
+  defined : (string, Minic.Tast.tfunc) Hashtbl.t;
+  callees : (string, string list) Hashtbl.t;      (** defined callees only *)
+  callers : (string, string list) Hashtbl.t;
+  all_callees : (string, string list) Hashtbl.t;  (** including externs *)
+  scc : string Scc.t;
+  names : string list;
+}
+
+val calls_in_func : Minic.Tast.tfunc -> string list
+(** callee names appearing in a function body (deduplicated) *)
+
+val build : Minic.Tast.program -> t
+
+val callees_of : t -> string -> string list
+
+val callers_of : t -> string -> string list
+
+val all_callees_of : t -> string -> string list
+
+val bottom_up : t -> string list list
+(** SCCs from the leaves up to [main] (callees before callers) *)
+
+val top_down : t -> string list list
+
+val reachable : t -> from:string -> string -> bool
+
+val reachable_set : t -> string -> (string, unit) Hashtbl.t
+(** all defined functions reachable from a root (root included) *)

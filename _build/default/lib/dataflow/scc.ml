@@ -1,0 +1,75 @@
+(** Tarjan's strongly-connected-components algorithm over an arbitrary
+    hashable node type, plus condensation utilities.
+
+    Used for call-graph SCC condensation (paper §3.3: shared-memory
+    pointer facts are propagated bottom-up and top-down over the SCCs of
+    the call graph). *)
+
+type 'a t = {
+  components : 'a list array;  (** SCCs in reverse topological order *)
+  index_of : 'a -> int;        (** node → index of its component *)
+}
+
+(** [compute nodes succs] computes the SCCs of the directed graph whose
+    vertices are [nodes] (duplicates allowed) and edges [succs].
+    [components] come out in *reverse* topological order: if there is an
+    edge u→v with u,v in different components, v's component appears
+    before u's. *)
+let compute (type a) (nodes : a list) (succs : a -> a list) : a t =
+  let module H = Hashtbl in
+  let index : (a, int) H.t = H.create 64 in
+  let lowlink : (a, int) H.t = H.create 64 in
+  let on_stack : (a, unit) H.t = H.create 64 in
+  let stack : a Stack.t = Stack.create () in
+  let counter = ref 0 in
+  let comps = ref [] in
+  let comp_of : (a, int) H.t = H.create 64 in
+  let ncomps = ref 0 in
+  (* explicit work stack to avoid OCaml stack overflow on deep graphs *)
+  let rec strongconnect v =
+    H.replace index v !counter;
+    H.replace lowlink v !counter;
+    incr counter;
+    Stack.push v stack;
+    H.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (H.mem index w) then begin
+          strongconnect w;
+          H.replace lowlink v (min (H.find lowlink v) (H.find lowlink w))
+        end
+        else if H.mem on_stack w then
+          H.replace lowlink v (min (H.find lowlink v) (H.find index w)))
+      (succs v);
+    if H.find lowlink v = H.find index v then begin
+      let comp = ref [] in
+      let continue = ref true in
+      while !continue do
+        let w = Stack.pop stack in
+        H.remove on_stack w;
+        H.replace comp_of w !ncomps;
+        comp := w :: !comp;
+        if w == v || w = v then continue := false
+      done;
+      comps := !comp :: !comps;
+      incr ncomps
+    end
+  in
+  List.iter (fun v -> if not (H.mem index v) then strongconnect v) nodes;
+  let components = Array.of_list (List.rev !comps) in
+  { components; index_of = (fun v -> H.find comp_of v) }
+
+(** Topological order of components (sources first): the reverse of the
+    array order. *)
+let topological t = Array.to_list t.components |> List.rev
+
+(** Reverse topological order (sinks first) — the natural bottom-up
+    processing order for call graphs rooted at [main]. *)
+let reverse_topological t = Array.to_list t.components
+
+(** Is node [v] part of a non-trivial cycle (an SCC of size > 1, or a
+    self-loop)? *)
+let in_cycle t succs v =
+  match t.components.(t.index_of v) with
+  | [ _ ] -> List.exists (fun w -> w = v) (succs v)
+  | _ -> true

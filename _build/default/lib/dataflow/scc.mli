@@ -1,0 +1,20 @@
+(** Tarjan's strongly-connected components over an arbitrary node type,
+    with the traversal orders used by the interprocedural phases. *)
+
+type 'a t = {
+  components : 'a list array;  (** SCCs in reverse topological order *)
+  index_of : 'a -> int;        (** node → index into [components] *)
+}
+
+val compute : 'a list -> ('a -> 'a list) -> 'a t
+(** [compute nodes succs] — components come out in reverse topological
+    order: for an inter-component edge u→v, v's component precedes u's. *)
+
+val topological : 'a t -> 'a list list
+(** sources first (top-down processing order) *)
+
+val reverse_topological : 'a t -> 'a list list
+(** sinks first (bottom-up processing order) *)
+
+val in_cycle : 'a t -> ('a -> 'a list) -> 'a -> bool
+(** is the node part of a non-trivial SCC or a self-loop? *)

@@ -1,0 +1,65 @@
+(** Generic worklist fixpoint solver for forward dataflow problems over an
+    integer-indexed flow graph (CFG basic blocks, call-graph components...).
+
+    The client supplies the lattice operations; the solver iterates until
+    the block-output map stabilizes.  Termination is the client's
+    responsibility (finite-height lattice or widening inside [transfer]). *)
+
+type 'fact problem = {
+  entry : int;                          (** entry node id *)
+  nodes : int list;                     (** all node ids *)
+  succs : int -> int list;
+  preds : int -> int list;
+  init : 'fact;                         (** fact at entry input *)
+  bottom : 'fact;                       (** initial out-fact of every node *)
+  join : 'fact -> 'fact -> 'fact;
+  equal : 'fact -> 'fact -> bool;
+  transfer : int -> 'fact -> 'fact;     (** node id, in-fact → out-fact *)
+}
+
+type 'fact solution = {
+  in_fact : int -> 'fact;
+  out_fact : int -> 'fact;
+  iterations : int;  (** number of transfer applications, for benchmarks *)
+}
+
+let solve (p : 'fact problem) : 'fact solution =
+  let out = Hashtbl.create 64 in
+  let inf = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace out n p.bottom) p.nodes;
+  let work = Queue.create () in
+  let queued = Hashtbl.create 64 in
+  let enqueue n =
+    if not (Hashtbl.mem queued n) then begin
+      Hashtbl.replace queued n ();
+      Queue.add n work
+    end
+  in
+  List.iter enqueue p.nodes;
+  let iterations = ref 0 in
+  while not (Queue.is_empty work) do
+    let n = Queue.pop work in
+    Hashtbl.remove queued n;
+    let in_f =
+      let pred_facts = List.map (fun m -> Hashtbl.find out m) (p.preds n) in
+      let base = if n = p.entry then p.init else p.bottom in
+      List.fold_left p.join base pred_facts
+    in
+    Hashtbl.replace inf n in_f;
+    incr iterations;
+    let out_f = p.transfer n in_f in
+    let old = Hashtbl.find out n in
+    if not (p.equal old out_f) then begin
+      Hashtbl.replace out n out_f;
+      List.iter enqueue (p.succs n)
+    end
+  done;
+  {
+    in_fact =
+      (fun n ->
+        match Hashtbl.find_opt inf n with Some f -> f | None -> p.bottom);
+    out_fact =
+      (fun n ->
+        match Hashtbl.find_opt out n with Some f -> f | None -> p.bottom);
+    iterations = !iterations;
+  }

@@ -1,0 +1,23 @@
+(** Generic worklist fixpoint solver for forward dataflow problems over an
+    integer-indexed flow graph.  Termination is the client's concern
+    (finite-height lattice or widening inside [transfer]). *)
+
+type 'fact problem = {
+  entry : int;
+  nodes : int list;
+  succs : int -> int list;
+  preds : int -> int list;
+  init : 'fact;    (** fact entering the entry node *)
+  bottom : 'fact;  (** initial out-fact of every node *)
+  join : 'fact -> 'fact -> 'fact;
+  equal : 'fact -> 'fact -> bool;
+  transfer : int -> 'fact -> 'fact;
+}
+
+type 'fact solution = {
+  in_fact : int -> 'fact;
+  out_fact : int -> 'fact;
+  iterations : int;  (** transfer applications (benchmarking) *)
+}
+
+val solve : 'fact problem -> 'fact solution

@@ -1,0 +1,1 @@
+lib/ir/build.ml: Annot Ast Fmt Hashtbl Ir List Loc Minic Option Tast Ty

@@ -1,0 +1,1 @@
+lib/ir/cdg.ml: Dom Hashtbl Ir List Option

@@ -1,0 +1,1 @@
+lib/ir/cdg.mli: Hashtbl Ir

@@ -1,0 +1,1 @@
+lib/ir/dom.ml: Hashtbl Ir List Option

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Ast Bytes Char Fmt Hashtbl Int32 Int64 Ir List Minic String Tast Ty

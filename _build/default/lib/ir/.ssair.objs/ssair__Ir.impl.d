@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Annot Ast Fmt Hashtbl List Loc Minic Option String Tast Ty

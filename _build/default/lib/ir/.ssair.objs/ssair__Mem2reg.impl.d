@@ -1,0 +1,1 @@
+lib/ir/mem2reg.ml: Dom Hashtbl Ir List Minic Option Queue Ty

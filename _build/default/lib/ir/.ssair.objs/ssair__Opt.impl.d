@@ -1,0 +1,1 @@
+lib/ir/opt.ml: Ast Hashtbl Int64 Ir List Minic Option Ty

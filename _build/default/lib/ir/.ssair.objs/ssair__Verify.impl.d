@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Dom Dump Fmt Hashtbl Ir List Option

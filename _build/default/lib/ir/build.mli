@@ -1,0 +1,9 @@
+(** Lowering from the typed AST to the (pre-SSA) IR: every local and
+    parameter receives a stack slot; short-circuit and ternary operators
+    lower to control flow; SafeFlow annotations become
+    pseudo-instructions.  Run {!Mem2reg} afterwards for SSA form. *)
+
+val lower_func :
+  Minic.Ty.env -> (string, Minic.Ty.t) Hashtbl.t -> Minic.Tast.tfunc -> Ir.func
+
+val lower : Minic.Tast.program -> Ir.program

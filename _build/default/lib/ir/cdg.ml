@@ -1,0 +1,71 @@
+(** Control-dependence graph (Ferrante–Ottenstein–Warren).
+
+    Block B is control-dependent on block A iff A has successors S1, S2
+    such that B post-dominates S1 but not A.  Computed from the
+    post-dominator tree: for each CFG edge A→S where S does not
+    post-dominate A, every node on the post-dominator-tree path from S up
+    to (but excluding) ipostdom(A) is control-dependent on A.
+
+    Used by SafeFlow phase 3 to detect critical data that is control-
+    dependent on unmonitored non-core values (§3.4.1). *)
+
+type t = {
+  deps : (Ir.bid, Ir.bid list) Hashtbl.t;
+      (** block → blocks it is control-dependent on *)
+  controls : (Ir.bid, Ir.bid list) Hashtbl.t;
+      (** block → blocks control-dependent on it *)
+}
+
+let compute (f : Ir.func) : t =
+  let pdt = Dom.compute_post f in
+  let deps = Hashtbl.create 16 in
+  let controls = Hashtbl.create 16 in
+  let add b a =
+    let old = Option.value ~default:[] (Hashtbl.find_opt deps b) in
+    if not (List.mem a old) then begin
+      Hashtbl.replace deps b (a :: old);
+      let oldc = Option.value ~default:[] (Hashtbl.find_opt controls a) in
+      Hashtbl.replace controls a (b :: oldc)
+    end
+  in
+  List.iter
+    (fun blk ->
+      let a = blk.Ir.bbid in
+      List.iter
+        (fun s ->
+          (* walk the post-dominator tree from s up to ipostdom(a) *)
+          let stop = Hashtbl.find_opt pdt.Dom.idom a in
+          let rec walk n =
+            if Some n <> stop && n <> Dom.virtual_exit then begin
+              add n a;
+              match Hashtbl.find_opt pdt.Dom.idom n with
+              | Some p when p <> n -> walk p
+              | _ -> ()
+            end
+          in
+          (* only if s does not post-dominate a, which the walk encodes:
+             if s post-dominates a then s = ipostdom(a) or above, and the
+             walk stops immediately or never starts *)
+          walk s)
+        (Ir.successors f blk))
+    f.blocks;
+  { deps; controls }
+
+(** Blocks that [b] is control-dependent on. *)
+let deps_of t b = Option.value ~default:[] (Hashtbl.find_opt t.deps b)
+
+(** Transitive closure of control dependence for [b] (not including [b]
+    unless it controls itself through a loop). *)
+let transitive_deps t b =
+  let seen = Hashtbl.create 16 in
+  let rec go n =
+    List.iter
+      (fun a ->
+        if not (Hashtbl.mem seen a) then begin
+          Hashtbl.replace seen a ();
+          go a
+        end)
+      (deps_of t n)
+  in
+  go b;
+  Hashtbl.fold (fun k () acc -> k :: acc) seen []

@@ -1,0 +1,14 @@
+(** Control-dependence graph (Ferrante–Ottenstein–Warren), computed from
+    the post-dominator tree.  Used by phase 3 to detect critical data
+    that is control-dependent on unmonitored non-core values. *)
+
+type t = {
+  deps : (Ir.bid, Ir.bid list) Hashtbl.t;      (** block → its controllers *)
+  controls : (Ir.bid, Ir.bid list) Hashtbl.t;  (** block → blocks it controls *)
+}
+
+val compute : Ir.func -> t
+
+val deps_of : t -> Ir.bid -> Ir.bid list
+
+val transitive_deps : t -> Ir.bid -> Ir.bid list

@@ -1,0 +1,8 @@
+(** SSA construction: promotion of scalar stack slots to registers
+    (Cytron-style phi insertion over dominance frontiers + renaming along
+    the dominator tree).  Address-taken slots stay in memory. *)
+
+val run_func : Ir.func -> int
+(** promote one function; returns the number of slots promoted *)
+
+val run : Ir.program -> int

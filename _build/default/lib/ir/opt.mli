@@ -1,0 +1,10 @@
+(** Scalar optimizations over the SSA IR: constant and branch folding,
+    trivial-phi elimination, dead-code elimination, block merging and
+    unreachable-block pruning — to a fixpoint.  Semantics-preserving
+    (checked differentially in the tests) and analysis-stable
+    (annotations and their operands always survive). *)
+
+val run_func : Ir.func -> int
+(** optimize one function; returns the number of rewrites *)
+
+val run : Ir.program -> int

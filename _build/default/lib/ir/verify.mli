@@ -1,0 +1,11 @@
+(** IR well-formedness verifier: unique ids, existing branch targets,
+    defined uses, and (with [~ssa:true]) dominance of uses by definitions
+    and phi/predecessor agreement. *)
+
+type violation = { vfunc : string; vmsg : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check_func : ?ssa:bool -> Ir.func -> violation list
+
+val check_program : ?ssa:bool -> Ir.program -> violation list

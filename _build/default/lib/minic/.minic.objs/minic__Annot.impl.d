@@ -1,0 +1,1 @@
+lib/minic/annot.ml: Fmt List String Ty

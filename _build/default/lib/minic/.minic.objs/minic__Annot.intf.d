@@ -1,0 +1,1 @@
+lib/minic/annot.mli: Format Ty

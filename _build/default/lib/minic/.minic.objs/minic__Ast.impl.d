@@ -1,0 +1,1 @@
+lib/minic/ast.ml: Annot Fmt Int64 List Loc Option Ty

@@ -1,0 +1,1 @@
+lib/minic/lexer.ml: Annot Buffer Int64 List Loc Re String Token

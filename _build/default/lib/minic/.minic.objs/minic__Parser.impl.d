@@ -1,0 +1,1 @@
+lib/minic/parser.ml: Annot Array Ast Char Fmt Hashtbl Int64 Lexer List Loc Token Ty

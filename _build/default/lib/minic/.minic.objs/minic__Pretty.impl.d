@@ -1,0 +1,1 @@
+lib/minic/pretty.ml: Annot Ast Float Fmt Ty

@@ -1,0 +1,1 @@
+lib/minic/tast.ml: Annot Ast List Loc Option String Ty

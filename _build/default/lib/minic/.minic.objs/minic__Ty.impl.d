@@ -1,0 +1,1 @@
+lib/minic/ty.ml: Fmt Hashtbl List String

@@ -1,0 +1,1 @@
+lib/minic/ty.mli: Format Hashtbl

@@ -1,0 +1,1 @@
+lib/minic/typecheck.ml: Ast Char Fmt Hashtbl Int64 List Loc Option Tast Ty

@@ -1,0 +1,228 @@
+(** SafeFlow annotation language (paper §3.1, §3.2.1, §3.4.3).
+
+    Annotations are embedded in C comments opening with the marker
+    ["SafeFlow Annotation"].  The lexer carves such comments out of the
+    token stream and this module parses their payload.
+
+    Grammar (clauses separated by [;] or juxtaposition):
+    {v
+      clause ::= assume(core(ptr, aexpr, aexpr))
+               | assume(shmvar(ptr, aexpr))
+               | assume(noncore(ptr))
+               | assert(safe(ident))
+               | shminit
+    v} *)
+
+(** Arithmetic expressions allowed inside annotations: integer literals,
+    [sizeof(type)] and sums/products thereof. *)
+type aexpr =
+  | Aint of int
+  | Asizeof of Ty.t
+  | Aadd of aexpr * aexpr
+  | Amul of aexpr * aexpr
+
+type clause =
+  | Assume_core of { ptr : string; off : aexpr; size : aexpr }
+      (** [assume(core(p, off, sz))] — within the annotated (monitoring)
+          function, locations [p+off .. p+off+sz) hold core values. *)
+  | Assert_safe of string
+      (** [assert(safe(x))] — local [x] is critical data; the analysis must
+          prove it never depends on unmonitored non-core values. *)
+  | Shminit
+      (** marks a shared-memory initializing function; restrictions P2/P3
+          are suspended inside it. *)
+  | Shmvar of { ptr : string; size : aexpr }
+      (** post-condition of an initializing function: [ptr] denotes a
+          shared-memory region of [size] bytes. *)
+  | Noncore of string
+      (** the region named by this shm pointer (or the socket descriptor,
+          §3.4.3) is writable by non-core components. *)
+
+type t = clause list
+
+let rec eval_aexpr env = function
+  | Aint n -> n
+  | Asizeof ty -> Ty.sizeof env ty
+  | Aadd (a, b) -> eval_aexpr env a + eval_aexpr env b
+  | Amul (a, b) -> eval_aexpr env a * eval_aexpr env b
+
+let rec pp_aexpr ppf = function
+  | Aint n -> Fmt.int ppf n
+  | Asizeof ty -> Fmt.pf ppf "sizeof(%a)" Ty.pp ty
+  | Aadd (a, b) -> Fmt.pf ppf "%a + %a" pp_aexpr a pp_aexpr b
+  | Amul (a, b) -> Fmt.pf ppf "%a * %a" pp_aexpr a pp_aexpr b
+
+let pp_clause ppf = function
+  | Assume_core { ptr; off; size } ->
+    Fmt.pf ppf "assume(core(%s, %a, %a))" ptr pp_aexpr off pp_aexpr size
+  | Assert_safe x -> Fmt.pf ppf "assert(safe(%s))" x
+  | Shminit -> Fmt.string ppf "shminit"
+  | Shmvar { ptr; size } -> Fmt.pf ppf "assume(shmvar(%s, %a))" ptr pp_aexpr size
+  | Noncore p -> Fmt.pf ppf "assume(noncore(%s))" p
+
+let pp = Fmt.(list ~sep:(any ";@ ") pp_clause)
+
+(* -- Payload parser -------------------------------------------------- *)
+
+exception Parse_error of string
+
+type stream = { text : string; mutable pos : int }
+
+let peek s = if s.pos < String.length s.text then Some s.text.[s.pos] else None
+
+let skip_ws s =
+  let continue = ref true in
+  while !continue do
+    match peek s with
+    | Some (' ' | '\t' | '\n' | '\r' | ';') -> s.pos <- s.pos + 1
+    | _ -> continue := false
+  done
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let read_ident s =
+  skip_ws s;
+  let start = s.pos in
+  let continue = ref true in
+  while !continue do
+    match peek s with
+    | Some c when is_ident_char c -> s.pos <- s.pos + 1
+    | _ -> continue := false
+  done;
+  if s.pos = start then raise (Parse_error (Fmt.str "identifier expected at offset %d" start));
+  String.sub s.text start (s.pos - start)
+
+let expect s c =
+  skip_ws s;
+  match peek s with
+  | Some c' when c' = c -> s.pos <- s.pos + 1
+  | _ -> raise (Parse_error (Fmt.str "'%c' expected at offset %d" c s.pos))
+
+let read_int s =
+  skip_ws s;
+  let start = s.pos in
+  let continue = ref true in
+  while !continue do
+    match peek s with
+    | Some c when c >= '0' && c <= '9' -> s.pos <- s.pos + 1
+    | _ -> continue := false
+  done;
+  if s.pos = start then raise (Parse_error "integer expected");
+  int_of_string (String.sub s.text start (s.pos - start))
+
+(* Base type names usable inside sizeof() in an annotation; struct tags and
+   typedef names are represented as [Named] and resolved later. *)
+let type_of_name = function
+  | "void" -> Ty.Void
+  | "char" -> Ty.Char
+  | "int" -> Ty.Int
+  | "long" -> Ty.Long
+  | "float" -> Ty.Float
+  | "double" -> Ty.Double
+  | name -> Ty.Named name
+
+let rec parse_aexpr s =
+  let lhs = parse_atom s in
+  skip_ws s;
+  match peek s with
+  | Some '+' ->
+    s.pos <- s.pos + 1;
+    Aadd (lhs, parse_aexpr s)
+  | _ -> lhs
+
+and parse_atom s =
+  skip_ws s;
+  match peek s with
+  | Some c when c >= '0' && c <= '9' ->
+    let n = read_int s in
+    parse_mul_tail s (Aint n)
+  | _ ->
+    let id = read_ident s in
+    if String.equal id "sizeof" then begin
+      expect s '(';
+      let base = read_ident s in
+      let ty =
+        if String.equal base "struct" then Ty.Struct (read_ident s) else type_of_name base
+      in
+      (* allow a trailing '*' for pointer types *)
+      skip_ws s;
+      let ty = match peek s with
+        | Some '*' -> s.pos <- s.pos + 1; Ty.Ptr ty
+        | _ -> ty
+      in
+      expect s ')';
+      parse_mul_tail s (Asizeof ty)
+    end
+    else raise (Parse_error (Fmt.str "unexpected identifier %S in annotation expression" id))
+
+and parse_mul_tail s lhs =
+  skip_ws s;
+  match peek s with
+  | Some '*' ->
+    s.pos <- s.pos + 1;
+    Amul (lhs, parse_atom s)
+  | _ -> lhs
+
+let parse_clause s : clause =
+  let kw = read_ident s in
+  match kw with
+  | "shminit" -> Shminit
+  | "assume" -> begin
+    expect s '(';
+    let pred = read_ident s in
+    let clause =
+      match pred with
+      | "core" ->
+        expect s '(';
+        let ptr = read_ident s in
+        expect s ',';
+        let off = parse_aexpr s in
+        expect s ',';
+        let size = parse_aexpr s in
+        expect s ')';
+        Assume_core { ptr; off; size }
+      | "shmvar" ->
+        expect s '(';
+        let ptr = read_ident s in
+        expect s ',';
+        let size = parse_aexpr s in
+        expect s ')';
+        Shmvar { ptr; size }
+      | "noncore" ->
+        expect s '(';
+        let ptr = read_ident s in
+        expect s ')';
+        Noncore ptr
+      | other -> raise (Parse_error (Fmt.str "unknown assume predicate %S" other))
+    in
+    expect s ')';
+    clause
+  end
+  | "assert" ->
+    expect s '(';
+    let pred = read_ident s in
+    if not (String.equal pred "safe") then
+      raise (Parse_error (Fmt.str "unknown assert predicate %S" pred));
+    expect s '(';
+    let x = read_ident s in
+    expect s ')';
+    expect s ')';
+    Assert_safe x
+  | other -> raise (Parse_error (Fmt.str "unknown annotation keyword %S" other))
+
+(** Parse the payload of a SafeFlow annotation comment (marker already
+    stripped).  Raises [Parse_error]. *)
+let parse_payload text : t =
+  let s = { text; pos = 0 } in
+  let starts_clause c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
+  let rec go acc =
+    skip_ws s;
+    match peek s with
+    | Some c when starts_clause c -> go (parse_clause s :: acc)
+    | _ -> List.rev acc (* trailing comment decoration *)
+  in
+  go []
+
+(** The marker string that introduces a SafeFlow annotation comment. *)
+let marker = "SafeFlow Annotation"

@@ -1,0 +1,150 @@
+(** Abstract syntax for MiniC — the C subset the paper's subject systems
+    are written in.
+
+    The subset covers: scalar/pointer/array/struct types, globals with
+    constant initializers, functions, the usual statement forms including
+    [switch], and expressions with casts, address-of, indexing and field
+    access.  Function pointers, [goto] and variadic functions are outside
+    the subset (matching the paper's language restrictions). *)
+
+type unop =
+  | Neg   (** arithmetic negation *)
+  | Lnot  (** logical ! *)
+  | Bnot  (** bitwise ~ *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Shl | Shr | Band | Bor | Bxor
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor  (** short-circuit && and || *)
+
+type expr = { edesc : edesc; eloc : Loc.t }
+
+and edesc =
+  | Cint of int64
+  | Cfloat of float
+  | Cstr of string
+  | Cchar of char
+  | Var of string
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Assign of expr * expr          (** lhs must be an lvalue *)
+  | Call of string * expr list     (** direct calls only *)
+  | Deref of expr
+  | Addr of expr
+  | Index of expr * expr           (** a[i] *)
+  | Field of expr * string         (** s.f *)
+  | Arrow of expr * string         (** p->f *)
+  | Cast of Ty.t * expr
+  | Sizeof of Ty.t
+  | Cond of expr * expr * expr     (** c ? a : b *)
+
+type init =
+  | Iexpr of expr
+  | Ilist of init list  (** brace initializer for arrays/structs *)
+
+type stmt = { sdesc : sdesc; sloc : Loc.t }
+
+and sdesc =
+  | Sexpr of expr
+  | Sdecl of Ty.t * string * init option
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sdo of stmt list * expr                       (** do ... while (e) *)
+  | Sfor of stmt option * expr option * stmt option * stmt list
+  | Sswitch of expr * case list
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+  | Sannot of Annot.t  (** statement-level SafeFlow annotation *)
+
+and case = { cval : int64 option (* None = default *); cbody : stmt list; cloc : Loc.t }
+
+type param = { pname : string; pty : Ty.t }
+
+type func = {
+  fname : string;
+  fret : Ty.t;
+  fparams : param list;
+  fbody : stmt list;
+  fannot : Annot.t;  (** function-level annotations (shminit, assume(core ...)) *)
+  floc : Loc.t;
+}
+
+type global = {
+  gname : string;
+  gty : Ty.t;
+  ginit : init option;
+  gloc : Loc.t;
+}
+
+type decl =
+  | Dstruct of string * Ty.field list * Loc.t
+  | Dtypedef of string * Ty.t * Loc.t
+  | Dglobal of global
+  | Dfunc of func
+  | Dextern of string * Ty.t * Ty.t list * Loc.t  (** extern function declaration *)
+
+type program = decl list
+
+(* -- Convenience constructors (used heavily by tests and Synth) ------- *)
+
+let mk_expr ?(loc = Loc.dummy) edesc = { edesc; eloc = loc }
+let mk_stmt ?(loc = Loc.dummy) sdesc = { sdesc; sloc = loc }
+
+let int_e ?loc n = mk_expr ?loc (Cint (Int64.of_int n))
+let var_e ?loc x = mk_expr ?loc (Var x)
+let call_e ?loc f args = mk_expr ?loc (Call (f, args))
+
+let pp_unop ppf op =
+  Fmt.string ppf (match op with Neg -> "-" | Lnot -> "!" | Bnot -> "~")
+
+let pp_binop ppf op =
+  Fmt.string ppf
+    (match op with
+    | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+    | Shl -> "<<" | Shr -> ">>" | Band -> "&" | Bor -> "|" | Bxor -> "^"
+    | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+    | Land -> "&&" | Lor -> "||")
+
+(** Fold over every expression in a statement list (pre-order). *)
+let rec fold_expr_stmts f acc stmts = List.fold_left (fold_expr_stmt f) acc stmts
+
+and fold_expr_stmt f acc stmt =
+  match stmt.sdesc with
+  | Sexpr e -> fold_expr f acc e
+  | Sdecl (_, _, Some init) -> fold_expr_init f acc init
+  | Sdecl (_, _, None) -> acc
+  | Sif (c, t, e) ->
+    let acc = fold_expr f acc c in
+    let acc = fold_expr_stmts f acc t in
+    fold_expr_stmts f acc e
+  | Swhile (c, body) -> fold_expr_stmts f (fold_expr f acc c) body
+  | Sdo (body, c) -> fold_expr f (fold_expr_stmts f acc body) c
+  | Sfor (init, cond, step, body) ->
+    let acc = Option.fold ~none:acc ~some:(fold_expr_stmt f acc) init in
+    let acc = Option.fold ~none:acc ~some:(fold_expr f acc) cond in
+    let acc = Option.fold ~none:acc ~some:(fold_expr_stmt f acc) step in
+    fold_expr_stmts f acc body
+  | Sswitch (e, cases) ->
+    let acc = fold_expr f acc e in
+    List.fold_left (fun acc c -> fold_expr_stmts f acc c.cbody) acc cases
+  | Sreturn (Some e) -> fold_expr f acc e
+  | Sreturn None | Sbreak | Scontinue | Sannot _ -> acc
+  | Sblock body -> fold_expr_stmts f acc body
+
+and fold_expr_init f acc = function
+  | Iexpr e -> fold_expr f acc e
+  | Ilist inits -> List.fold_left (fold_expr_init f) acc inits
+
+and fold_expr f acc e =
+  let acc = f acc e in
+  match e.edesc with
+  | Cint _ | Cfloat _ | Cstr _ | Cchar _ | Var _ | Sizeof _ -> acc
+  | Unop (_, a) | Deref a | Addr a | Field (a, _) | Arrow (a, _) | Cast (_, a) ->
+    fold_expr f acc a
+  | Binop (_, a, b) | Assign (a, b) | Index (a, b) ->
+    fold_expr f (fold_expr f acc a) b
+  | Call (_, args) -> List.fold_left (fold_expr f) acc args
+  | Cond (c, a, b) -> fold_expr f (fold_expr f (fold_expr f acc c) a) b

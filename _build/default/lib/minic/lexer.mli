@@ -1,0 +1,9 @@
+(** Hand-written lexer.  Block comments containing the SafeFlow
+    annotation marker are emitted as [ANNOT] tokens; other comments and
+    preprocessor lines are skipped. *)
+
+type lexed = { tok : Token.t; loc : Loc.t }
+
+val tokenize : file:string -> string -> lexed list
+(** lex a whole buffer (last element is [EOF]).
+    @raise Loc.Error on lexical errors *)

@@ -1,0 +1,10 @@
+(** Recursive-descent parser for MiniC.  Typedef names are tracked during
+    parsing to disambiguate declarations from expressions; compound
+    assignments and increments are desugared to plain assignments. *)
+
+val parse_program : Lexer.lexed list -> Ast.program
+(** @raise Loc.Error on parse errors *)
+
+val parse_string : ?file:string -> string -> Ast.program
+
+val parse_file : string -> Ast.program

@@ -1,0 +1,136 @@
+(** Pretty-printer from the MiniC AST back to C source.
+
+    Used by the parser round-trip tests (parse ∘ print ∘ parse must be
+    stable) and by the synthetic-workload generator in the benchmark
+    harness. *)
+
+open Ast
+
+(* declarators: print "t name" handling pointers and arrays *)
+let rec pp_declarator ppf (ty, name) =
+  match ty with
+  | Ty.Array (t, n) -> Fmt.pf ppf "%a[%d]" pp_declarator (t, name) n
+  | Ty.Ptr t -> pp_declarator ppf (t, "*" ^ name)
+  | base -> Fmt.pf ppf "%a %s" Ty.pp base name
+
+let prec_of_binop = function
+  | Mul | Div | Mod -> 10
+  | Add | Sub -> 9
+  | Shl | Shr -> 8
+  | Lt | Le | Gt | Ge -> 7
+  | Eq | Ne -> 6
+  | Band -> 5
+  | Bxor -> 4
+  | Bor -> 3
+  | Land -> 2
+  | Lor -> 1
+
+let rec pp_expr_prec prec ppf e =
+  let paren p body =
+    if p < prec then Fmt.pf ppf "(%t)" body else body ppf
+  in
+  match e.edesc with
+  | Cint n -> Fmt.pf ppf "%Ld" n
+  | Cfloat f ->
+    if Float.is_integer f && Float.abs f < 1e15 then Fmt.pf ppf "%.1f" f
+    else Fmt.pf ppf "%.17g" f
+  | Cstr s -> Fmt.pf ppf "%S" s
+  | Cchar c -> Fmt.pf ppf "%C" c
+  | Var x -> Fmt.string ppf x
+  | Unop (op, a) ->
+    (* parenthesize the operand so "-(-8)" never prints as "--8" *)
+    paren 11 (fun ppf -> Fmt.pf ppf "%a(%a)" pp_unop op (pp_expr_prec 0) a)
+  | Binop (op, a, b) ->
+    let p = prec_of_binop op in
+    paren p (fun ppf ->
+        Fmt.pf ppf "%a %a %a" (pp_expr_prec p) a pp_binop op (pp_expr_prec (p + 1)) b)
+  | Assign (l, r) ->
+    paren 0 (fun ppf -> Fmt.pf ppf "%a = %a" (pp_expr_prec 1) l (pp_expr_prec 0) r)
+  | Call (f, args) ->
+    Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:(any ", ") (pp_expr_prec 0)) args
+  | Deref a -> paren 11 (fun ppf -> Fmt.pf ppf "*%a" (pp_expr_prec 11) a)
+  | Addr a -> paren 11 (fun ppf -> Fmt.pf ppf "&%a" (pp_expr_prec 11) a)
+  | Index (a, i) -> Fmt.pf ppf "%a[%a]" (pp_expr_prec 12) a (pp_expr_prec 0) i
+  | Field (s, f) -> Fmt.pf ppf "%a.%s" (pp_expr_prec 12) s f
+  | Arrow (p, f) -> Fmt.pf ppf "%a->%s" (pp_expr_prec 12) p f
+  | Cast (ty, a) -> paren 11 (fun ppf -> Fmt.pf ppf "(%a) %a" Ty.pp ty (pp_expr_prec 11) a)
+  | Sizeof ty -> Fmt.pf ppf "sizeof(%a)" Ty.pp ty
+  | Cond (c, a, b) ->
+    paren 0 (fun ppf ->
+        Fmt.pf ppf "%a ? %a : %a" (pp_expr_prec 1) c (pp_expr_prec 0) a
+          (pp_expr_prec 0) b)
+
+let pp_expr ppf e = pp_expr_prec 0 ppf e
+
+let rec pp_init ppf = function
+  | Iexpr e -> pp_expr ppf e
+  | Ilist items -> Fmt.pf ppf "{ %a }" Fmt.(list ~sep:(any ", ") pp_init) items
+
+let pp_annot_comment ppf (a : Annot.t) =
+  Fmt.pf ppf "/*** %s %a ***/" Annot.marker Annot.pp a
+
+let rec pp_stmt ppf s =
+  match s.sdesc with
+  | Sexpr e -> Fmt.pf ppf "%a;" pp_expr e
+  | Sdecl (ty, name, None) -> Fmt.pf ppf "%a;" pp_declarator (ty, name)
+  | Sdecl (ty, name, Some init) ->
+    Fmt.pf ppf "%a = %a;" pp_declarator (ty, name) pp_init init
+  | Sif (c, t, []) -> Fmt.pf ppf "if (%a) %a" pp_expr c pp_body t
+  | Sif (c, t, e) -> Fmt.pf ppf "if (%a) %a else %a" pp_expr c pp_body t pp_body e
+  | Swhile (c, b) -> Fmt.pf ppf "while (%a) %a" pp_expr c pp_body b
+  | Sdo (b, c) -> Fmt.pf ppf "do %a while (%a);" pp_body b pp_expr c
+  | Sfor (init, cond, step, b) ->
+    let pp_opt_stmt ppf = function
+      | Some { sdesc = Sexpr e; _ } -> pp_expr ppf e
+      | Some { sdesc = Sdecl (ty, n, i); _ } -> (
+        match i with
+        | None -> pp_declarator ppf (ty, n)
+        | Some i -> Fmt.pf ppf "%a = %a" pp_declarator (ty, n) pp_init i)
+      | Some s -> pp_stmt ppf s
+      | None -> ()
+    in
+    Fmt.pf ppf "for (%a; %a; %a) %a" pp_opt_stmt init
+      Fmt.(option pp_expr) cond pp_opt_stmt step pp_body b
+  | Sswitch (e, cases) ->
+    Fmt.pf ppf "switch (%a) {@;<1 2>@[<v>%a@]@ }" pp_expr e
+      Fmt.(list ~sep:cut pp_case) cases
+  | Sreturn None -> Fmt.string ppf "return;"
+  | Sreturn (Some e) -> Fmt.pf ppf "return %a;" pp_expr e
+  | Sbreak -> Fmt.string ppf "break;"
+  | Scontinue -> Fmt.string ppf "continue;"
+  | Sblock b -> pp_body ppf b
+  | Sannot a -> pp_annot_comment ppf a
+
+and pp_case ppf c =
+  (match c.cval with
+  | Some v -> Fmt.pf ppf "case %Ld:" v
+  | None -> Fmt.string ppf "default:");
+  Fmt.pf ppf "@;<1 2>@[<v>%a@]" Fmt.(list ~sep:cut pp_stmt) c.cbody
+
+and pp_body ppf stmts =
+  Fmt.pf ppf "{@;<1 2>@[<v>%a@]@ }" Fmt.(list ~sep:cut pp_stmt) stmts
+
+let pp_decl ppf = function
+  | Dstruct (name, fields, _) ->
+    let pp_field ppf (f : Ty.field) = Fmt.pf ppf "%a;" pp_declarator (f.fty, f.fname) in
+    Fmt.pf ppf "@[<v>struct %s {@;<1 2>@[<v>%a@]@ };@]" name
+      Fmt.(list ~sep:cut pp_field) fields
+  | Dtypedef (name, ty, _) -> Fmt.pf ppf "typedef %a;" pp_declarator (ty, name)
+  | Dglobal g -> (
+    match g.ginit with
+    | None -> Fmt.pf ppf "%a;" pp_declarator (g.gty, g.gname)
+    | Some i -> Fmt.pf ppf "%a = %a;" pp_declarator (g.gty, g.gname) pp_init i)
+  | Dextern (name, ret, params, _) ->
+    Fmt.pf ppf "extern %a(%a);" pp_declarator (ret, name)
+      Fmt.(list ~sep:(any ", ") Ty.pp) params
+  | Dfunc f ->
+    let pp_param ppf (p : param) = pp_declarator ppf (p.pty, p.pname) in
+    Fmt.pf ppf "@[<v>%a(%a)@ %a%a@]" pp_declarator (f.fret, f.fname)
+      Fmt.(list ~sep:(any ", ") pp_param) f.fparams
+      (fun ppf a -> if a <> [] then Fmt.pf ppf "%a@ " pp_annot_comment a) f.fannot
+      pp_body f.fbody
+
+let pp_program ppf prog =
+  Fmt.pf ppf "@[<v>%a@]@." Fmt.(list ~sep:(any "@ @ ") pp_decl) prog
+
+let program_to_string prog = Fmt.str "%a" pp_program prog

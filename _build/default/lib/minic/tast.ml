@@ -1,0 +1,114 @@
+(** Typed abstract syntax, produced by {!Typecheck}.
+
+    Every expression carries its resolved type; typedefs are resolved,
+    [sizeof] is folded to a constant, locals are alpha-renamed to unique
+    names, and array-to-pointer decay is explicit via [Tdecay]. *)
+
+type texpr = { tdesc : tdesc; tty : Ty.t; tloc : Loc.t }
+
+and tdesc =
+  | Tint of int64
+  | Tfloat of float
+  | Tstr of string
+  | Tlocal of string           (** unique local / parameter name *)
+  | Tglobal of string
+  | Tunop of Ast.unop * texpr
+  | Tbinop of Ast.binop * texpr * texpr
+  | Tassign of texpr * texpr
+  | Tcall of string * texpr list
+  | Tderef of texpr
+  | Taddr of texpr
+  | Tindex of texpr * texpr    (** base (pointer or array lvalue), index *)
+  | Tfield of texpr * string   (** struct lvalue, field name *)
+  | Tcast of Ty.t * texpr
+  | Tcond of texpr * texpr * texpr
+  | Tdecay of texpr            (** array lvalue used as pointer rvalue *)
+
+type tstmt = { tsdesc : tsdesc; tsloc : Loc.t }
+
+and tsdesc =
+  | TSexpr of texpr
+  | TSdecl of string * Ty.t * texpr option
+      (** unique name; brace initializers are desugared to element stores *)
+  | TSif of texpr * tstmt list * tstmt list
+  | TSwhile of texpr * tstmt list
+  | TSdo of tstmt list * texpr
+  | TSfor of tstmt option * texpr option * tstmt option * tstmt list
+  | TSswitch of texpr * tcase list
+  | TSreturn of texpr option
+  | TSbreak
+  | TScontinue
+  | TSblock of tstmt list
+  | TSannot of Annot.t
+
+and tcase = { tcval : int64 option; tcbody : tstmt list; tcloc : Loc.t }
+
+type tfunc = {
+  tf_name : string;
+  tf_ret : Ty.t;
+  tf_params : (string * Ty.t) list;  (** unique names *)
+  tf_locals : (string * Ty.t) list;  (** all locals after renaming *)
+  tf_body : tstmt list;
+  tf_annot : Annot.t;
+  tf_loc : Loc.t;
+}
+
+(** A global scalar initializer element: (byte offset, value). *)
+type ginit_elem = { gi_offset : int; gi_value : texpr }
+
+type tglobal = {
+  tg_name : string;
+  tg_ty : Ty.t;
+  tg_init : ginit_elem list;
+  tg_loc : Loc.t;
+}
+
+type program = {
+  p_env : Ty.env;
+  p_globals : tglobal list;
+  p_externs : (string * Ty.t * Ty.t list) list;  (** name, ret, params *)
+  p_funcs : tfunc list;
+}
+
+let is_lvalue e =
+  match e.tdesc with
+  | Tlocal _ | Tglobal _ | Tderef _ | Tindex _ | Tfield _ -> true
+  | _ -> false
+
+let find_func prog name = List.find_opt (fun f -> String.equal f.tf_name name) prog.p_funcs
+
+let find_extern prog name =
+  List.find_opt (fun (n, _, _) -> String.equal n name) prog.p_externs
+
+(** Fold [f] over every expression of a statement list, pre-order. *)
+let rec fold_texpr_stmts f acc stmts = List.fold_left (fold_texpr_stmt f) acc stmts
+
+and fold_texpr_stmt f acc s =
+  match s.tsdesc with
+  | TSexpr e -> fold_texpr f acc e
+  | TSdecl (_, _, Some e) -> fold_texpr f acc e
+  | TSdecl (_, _, None) -> acc
+  | TSif (c, t, e) ->
+    fold_texpr_stmts f (fold_texpr_stmts f (fold_texpr f acc c) t) e
+  | TSwhile (c, b) -> fold_texpr_stmts f (fold_texpr f acc c) b
+  | TSdo (b, c) -> fold_texpr f (fold_texpr_stmts f acc b) c
+  | TSfor (i, c, st, b) ->
+    let acc = Option.fold ~none:acc ~some:(fold_texpr_stmt f acc) i in
+    let acc = Option.fold ~none:acc ~some:(fold_texpr f acc) c in
+    let acc = Option.fold ~none:acc ~some:(fold_texpr_stmt f acc) st in
+    fold_texpr_stmts f acc b
+  | TSswitch (e, cases) ->
+    List.fold_left (fun acc c -> fold_texpr_stmts f acc c.tcbody) (fold_texpr f acc e) cases
+  | TSreturn (Some e) -> fold_texpr f acc e
+  | TSreturn None | TSbreak | TScontinue | TSannot _ -> acc
+  | TSblock b -> fold_texpr_stmts f acc b
+
+and fold_texpr f acc e =
+  let acc = f acc e in
+  match e.tdesc with
+  | Tint _ | Tfloat _ | Tstr _ | Tlocal _ | Tglobal _ -> acc
+  | Tunop (_, a) | Tderef a | Taddr a | Tfield (a, _) | Tcast (_, a) | Tdecay a ->
+    fold_texpr f acc a
+  | Tbinop (_, a, b) | Tassign (a, b) | Tindex (a, b) -> fold_texpr f (fold_texpr f acc a) b
+  | Tcall (_, args) -> List.fold_left (fold_texpr f) acc args
+  | Tcond (c, a, b) -> fold_texpr f (fold_texpr f (fold_texpr f acc c) a) b

@@ -1,0 +1,131 @@
+(** MiniC types, layout computation and compatibility rules.
+
+    The type language mirrors the subset of C used by the embedded control
+    systems analyzed in the paper: scalar arithmetic types, pointers,
+    fixed-size arrays, named structs and typedefs.  Function types appear
+    only at declaration sites (no function pointers — a restriction the
+    paper's language subset shares). *)
+
+type t =
+  | Void
+  | Char
+  | Int
+  | Long
+  | Float
+  | Double
+  | Ptr of t
+  | Array of t * int  (** element type, static length *)
+  | Struct of string  (** by-name reference; fields live in the env *)
+  | Named of string   (** unresolved typedef name *)
+  | Fun of t * t list (** return type, parameter types *)
+
+type field = { fname : string; fty : t }
+
+(** Struct and typedef environment, filled by the typechecker. *)
+type env = {
+  structs : (string, field list) Hashtbl.t;
+  typedefs : (string, t) Hashtbl.t;
+}
+
+let empty_env () = { structs = Hashtbl.create 16; typedefs = Hashtbl.create 16 }
+
+(** [resolve env ty] chases typedef names until a structural type is
+    reached.  Raises [Not_found] on an unknown typedef. *)
+let rec resolve env = function
+  | Named n -> resolve env (Hashtbl.find env.typedefs n)
+  | ty -> ty
+
+let rec pp ppf = function
+  | Void -> Fmt.string ppf "void"
+  | Char -> Fmt.string ppf "char"
+  | Int -> Fmt.string ppf "int"
+  | Long -> Fmt.string ppf "long"
+  | Float -> Fmt.string ppf "float"
+  | Double -> Fmt.string ppf "double"
+  | Ptr t -> Fmt.pf ppf "%a*" pp t
+  | Array (t, n) -> Fmt.pf ppf "%a[%d]" pp t n
+  | Struct s -> Fmt.pf ppf "struct %s" s
+  | Named n -> Fmt.string ppf n
+  | Fun (r, args) -> Fmt.pf ppf "%a(%a)" pp r Fmt.(list ~sep:comma pp) args
+
+let to_string t = Fmt.str "%a" pp t
+
+let rec equal a b =
+  match (a, b) with
+  | Void, Void | Char, Char | Int, Int | Long, Long | Float, Float | Double, Double -> true
+  | Ptr a, Ptr b -> equal a b
+  | Array (a, n), Array (b, m) -> n = m && equal a b
+  | Struct a, Struct b -> String.equal a b
+  | Named a, Named b -> String.equal a b
+  | Fun (r1, a1), Fun (r2, a2) ->
+    equal r1 r2 && List.length a1 = List.length a2 && List.for_all2 equal a1 a2
+  | (Void | Char | Int | Long | Float | Double | Ptr _ | Array _ | Struct _ | Named _ | Fun _), _
+    -> false
+
+let is_integer = function Char | Int | Long -> true | _ -> false
+let is_float = function Float | Double -> true | _ -> false
+let is_arith t = is_integer t || is_float t
+let is_pointer = function Ptr _ -> true | _ -> false
+let is_scalar t = is_arith t || is_pointer t
+
+(** Natural alignment following a conventional LP64 ABI. *)
+let rec alignof env ty =
+  match resolve env ty with
+  | Void -> 1
+  | Char -> 1
+  | Int | Float -> 4
+  | Long | Double | Ptr _ -> 8
+  | Array (t, _) -> alignof env t
+  | Struct s ->
+    let fields = try Hashtbl.find env.structs s with Not_found -> [] in
+    List.fold_left (fun a f -> max a (alignof env f.fty)) 1 fields
+  | Named _ -> 1 (* unreachable after resolve *)
+  | Fun _ -> 8
+
+let align_up off a = (off + a - 1) / a * a
+
+(** [sizeof env ty] — byte size under the LP64 layout used throughout the
+    analysis (shared-memory offsets in annotations use the same layout). *)
+let rec sizeof env ty =
+  match resolve env ty with
+  | Void -> 0
+  | Char -> 1
+  | Int | Float -> 4
+  | Long | Double | Ptr _ -> 8
+  | Array (t, n) -> n * sizeof env t
+  | Struct s ->
+    let fields = try Hashtbl.find env.structs s with Not_found -> [] in
+    let off =
+      List.fold_left
+        (fun off f -> align_up off (alignof env f.fty) + sizeof env f.fty)
+        0 fields
+    in
+    align_up (max off 1) (alignof env ty)
+  | Named _ -> 0
+  | Fun _ -> 8
+
+(** Byte offset of field [fname] within struct [sname]. *)
+let field_offset env sname fname =
+  let fields = try Hashtbl.find env.structs sname with Not_found -> [] in
+  let rec go off = function
+    | [] -> None
+    | f :: rest ->
+      let off = align_up off (alignof env f.fty) in
+      if String.equal f.fname fname then Some off else go (off + sizeof env f.fty) rest
+  in
+  go 0 fields
+
+let field_type env sname fname =
+  match Hashtbl.find_opt env.structs sname with
+  | None -> None
+  | Some fields ->
+    List.find_map (fun f -> if String.equal f.fname fname then Some f.fty else None) fields
+
+(** Structural compatibility after typedef resolution — the notion used by
+    restriction P3 (casts between incompatible shared-memory pointer types
+    are rejected). *)
+let rec compatible env a b =
+  match (resolve env a, resolve env b) with
+  | Ptr a, Ptr b -> compatible env a b
+  | Array (a, n), Array (b, m) -> n = m && compatible env a b
+  | a, b -> equal a b

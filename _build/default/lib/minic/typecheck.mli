@@ -1,0 +1,10 @@
+(** Type checker and elaborator: {!Ast.program} → {!Tast.program}.
+    Resolves typedefs, folds [sizeof], inserts array decay and implicit
+    conversions, alpha-renames block-scoped locals, desugars brace
+    initializers, and rejects constructs outside the MiniC subset. *)
+
+val builtin_externs : (string * Ty.t * Ty.t list) list
+(** implicitly declared OS interface: shmget/shmat/shmdt/kill/... *)
+
+val check_program : Ast.program -> Tast.program
+(** @raise Loc.Error on type errors *)

@@ -1,0 +1,1 @@
+lib/omega/omega.ml: Fmt Linexpr List String

@@ -1,0 +1,1 @@
+lib/omega/omega.mli: Format Linexpr

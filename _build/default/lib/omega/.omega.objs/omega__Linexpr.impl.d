@@ -1,0 +1,1 @@
+lib/omega/linexpr.ml: Fmt Int List Map Option String

@@ -1,0 +1,89 @@
+(** Affine integer expressions over named variables, with
+    overflow-checked 63-bit arithmetic.
+
+    An expression denotes [const + Σ coeff_i · var_i].  All solver
+    arithmetic goes through {!add_ov}/{!mul_ov}; on overflow the solver
+    gives up with {!Overflow} and the client treats the query result as
+    unknown (conservatively feasible). *)
+
+exception Overflow
+
+let add_ov a b =
+  let r = a + b in
+  (* overflow iff operands share sign and result differs in sign *)
+  if (a >= 0 && b >= 0 && r < 0) || (a < 0 && b < 0 && r >= 0) then raise Overflow;
+  r
+
+let mul_ov a b =
+  if a = 0 || b = 0 then 0
+  else
+    let r = a * b in
+    if r / b <> a then raise Overflow;
+    r
+
+module Vmap = Map.Make (String)
+
+type t = { coeffs : int Vmap.t; const : int }
+
+let zero = { coeffs = Vmap.empty; const = 0 }
+
+let const c = { coeffs = Vmap.empty; const = c }
+
+let var ?(coeff = 1) v =
+  if coeff = 0 then zero else { coeffs = Vmap.singleton v coeff; const = 0 }
+
+let coeff_of t v = Option.value ~default:0 (Vmap.find_opt v t.coeffs)
+
+let normalize_coeffs m = Vmap.filter (fun _ c -> c <> 0) m
+
+let add a b =
+  {
+    coeffs =
+      normalize_coeffs
+        (Vmap.union (fun _ x y -> Some (add_ov x y)) a.coeffs b.coeffs);
+    const = add_ov a.const b.const;
+  }
+
+let scale k t =
+  if k = 0 then zero
+  else
+    { coeffs = Vmap.map (fun c -> mul_ov k c) t.coeffs; const = mul_ov k t.const }
+
+let sub a b = add a (scale (-1) b)
+
+let neg t = scale (-1) t
+
+let is_const t = Vmap.is_empty t.coeffs
+
+let vars t = Vmap.fold (fun v _ acc -> v :: acc) t.coeffs []
+
+(** Substitute [v := e] in [t]. *)
+let subst t v e =
+  match Vmap.find_opt v t.coeffs with
+  | None -> t
+  | Some c -> add { t with coeffs = Vmap.remove v t.coeffs } (scale c e)
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+(** gcd of all variable coefficients (0 when constant). *)
+let coeff_gcd t = Vmap.fold (fun _ c g -> gcd c g) t.coeffs 0
+
+let equal a b = a.const = b.const && Vmap.equal Int.equal a.coeffs b.coeffs
+
+let compare a b =
+  match Int.compare a.const b.const with
+  | 0 -> Vmap.compare Int.compare a.coeffs b.coeffs
+  | c -> c
+
+let pp ppf t =
+  let terms =
+    Vmap.bindings t.coeffs
+    |> List.map (fun (v, c) ->
+           if c = 1 then v else if c = -1 then "-" ^ v else Fmt.str "%d%s" c v)
+  in
+  let parts = if t.const <> 0 || terms = [] then terms @ [ string_of_int t.const ] else terms in
+  Fmt.string ppf (String.concat " + " parts)
+
+(** Evaluate under a full assignment. *)
+let eval t (assignment : string -> int) =
+  Vmap.fold (fun v c acc -> add_ov acc (mul_ov c (assignment v))) t.coeffs t.const

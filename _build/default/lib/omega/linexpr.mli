@@ -1,0 +1,54 @@
+(** Affine integer expressions over named variables with overflow-checked
+    63-bit arithmetic: [const + Σ coeffᵢ·varᵢ]. *)
+
+exception Overflow
+(** raised by any operation whose result would exceed native-int range;
+    the solver treats the query as undecided *)
+
+val add_ov : int -> int -> int
+(** overflow-checked addition. @raise Overflow *)
+
+val mul_ov : int -> int -> int
+(** overflow-checked multiplication. @raise Overflow *)
+
+module Vmap : Map.S with type key = string
+
+type t = { coeffs : int Vmap.t; const : int }
+
+val zero : t
+
+val const : int -> t
+
+val var : ?coeff:int -> string -> t
+
+val coeff_of : t -> string -> int
+(** coefficient of a variable (0 when absent) *)
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : int -> t -> t
+
+val neg : t -> t
+
+val is_const : t -> bool
+
+val vars : t -> string list
+
+val subst : t -> string -> t -> t
+(** [subst t v e] replaces [v] by the expression [e] *)
+
+val gcd : int -> int -> int
+
+val coeff_gcd : t -> int
+(** gcd of all variable coefficients; 0 for constant expressions *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val eval : t -> (string -> int) -> int
+(** evaluate under a complete assignment. @raise Overflow *)

@@ -1,0 +1,284 @@
+(** Integer linear-arithmetic feasibility — the core of the Omega test
+    (Pugh, 1991), which the paper invokes for the A1/A2 array-bounds
+    restrictions ("the set of affine constraints are given to an integer
+    programming solver such as Omega", §3.3).
+
+    Capabilities: conjunctions of affine equalities and inequalities over
+    integer variables.  Equalities are eliminated with Pugh's symmetric-
+    modulus substitution; inequalities with Fourier–Motzkin elimination
+    using the real shadow / dark shadow refinement and splinter search, so
+    the answer is exact whenever the solver terminates within budget.
+
+    On arithmetic overflow or budget exhaustion the solver answers
+    [Unknown], which clients must treat conservatively. *)
+
+module Linexpr = Linexpr
+(** Re-export: affine expressions (the library's main module shadows its
+    siblings, so clients reach them through here). *)
+
+type cstr =
+  | Eq of Linexpr.t   (** e = 0 *)
+  | Geq of Linexpr.t  (** e ≥ 0 *)
+
+type result = Sat | Unsat | Unknown
+
+let pp_cstr ppf = function
+  | Eq e -> Fmt.pf ppf "%a = 0" Linexpr.pp e
+  | Geq e -> Fmt.pf ppf "%a >= 0" Linexpr.pp e
+
+let pp_result ppf r =
+  Fmt.string ppf (match r with Sat -> "sat" | Unsat -> "unsat" | Unknown -> "unknown")
+
+exception Infeasible
+exception Give_up
+
+type budget = { mutable fuel : int }
+
+let spend budget n =
+  budget.fuel <- budget.fuel - n;
+  if budget.fuel < 0 then raise Give_up
+
+(* symmetric residue in (-m/2, m/2] *)
+let mod_hat a m =
+  let r = ((a mod m) + m) mod m in
+  if 2 * r > m then r - m else r
+
+(** Normalize one constraint; raises [Infeasible] for contradictory
+    constants, returns [None] for trivially-true constraints. *)
+let normalize (c : cstr) : cstr option =
+  match c with
+  | Eq e ->
+    let g = Linexpr.coeff_gcd e in
+    if g = 0 then if e.Linexpr.const = 0 then None else raise Infeasible
+    else if e.Linexpr.const mod g <> 0 then raise Infeasible
+    else if g = 1 then Some (Eq e)
+    else
+      Some
+        (Eq
+           {
+             Linexpr.coeffs = Linexpr.Vmap.map (fun c -> c / g) e.Linexpr.coeffs;
+             const = e.Linexpr.const / g;
+           })
+  | Geq e ->
+    let g = Linexpr.coeff_gcd e in
+    if g = 0 then if e.Linexpr.const >= 0 then None else raise Infeasible
+    else if g = 1 then Some (Geq e)
+    else
+      (* floor-divide the constant: tightening is sound and complete for
+         integer solutions *)
+      let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b) in
+      Some
+        (Geq
+           {
+             Linexpr.coeffs = Linexpr.Vmap.map (fun c -> c / g) e.Linexpr.coeffs;
+             const = fdiv e.Linexpr.const g;
+           })
+
+let normalize_all cs = List.filter_map normalize cs
+
+let subst_cstr v e = function
+  | Eq x -> Eq (Linexpr.subst x v e)
+  | Geq x -> Geq (Linexpr.subst x v e)
+
+let vars_of cs =
+  List.fold_left
+    (fun acc c ->
+      let e = match c with Eq e | Geq e -> e in
+      List.fold_left (fun acc v -> if List.mem v acc then acc else v :: acc) acc
+        (Linexpr.vars e))
+    [] cs
+
+let sigma_counter = ref 0
+
+let fresh_sigma () =
+  incr sigma_counter;
+  Fmt.str "$sigma%d" !sigma_counter
+
+(** Eliminate all equalities, producing an inequality-only system. *)
+let rec eliminate_equalities budget (cs : cstr list) : cstr list =
+  spend budget 1;
+  let cs = normalize_all cs in
+  match
+    List.find_opt (function Eq e -> not (Linexpr.is_const e) | _ -> false) cs
+  with
+  | None ->
+    (* any remaining Eq is constant: normalize_all already checked them *)
+    List.filter (function Eq _ -> false | Geq _ -> true) cs
+  | Some (Eq e as eq) -> (
+    let rest = List.filter (fun c -> c != eq) cs in
+    (* choose the variable with the smallest |coefficient| *)
+    let k, ak =
+      Linexpr.Vmap.fold
+        (fun v c (bv, bc) -> if abs c < abs bc || bc = 0 then (v, c) else (bv, bc))
+        e.Linexpr.coeffs ("", 0)
+    in
+    if abs ak = 1 then begin
+      (* x_k = -sign(ak) * (e - ak x_k) *)
+      let without_k = { e with Linexpr.coeffs = Linexpr.Vmap.remove k e.Linexpr.coeffs } in
+      let rhs = Linexpr.scale (-ak) without_k in
+      (* ak = ±1 so -1/ak = -ak *)
+      eliminate_equalities budget (List.map (subst_cstr k rhs) rest)
+    end
+    else begin
+      let m = abs ak + 1 in
+      let sigma = fresh_sigma () in
+      (* x_k = sign(ak) * ( Σ_{i≠k} mod̂(a_i,m) x_i + mod̂(c,m) − m·σ ) *)
+      let s = if ak > 0 then 1 else -1 in
+      let sum =
+        Linexpr.Vmap.fold
+          (fun v c acc ->
+            if String.equal v k then acc
+            else Linexpr.add acc (Linexpr.var ~coeff:(mod_hat c m) v))
+          e.Linexpr.coeffs
+          (Linexpr.const (mod_hat e.Linexpr.const m))
+      in
+      let rhs =
+        Linexpr.scale s (Linexpr.add sum (Linexpr.var ~coeff:(-m) sigma))
+      in
+      (* substitute into every constraint, including the equality itself:
+         its coefficients shrink geometrically (Pugh 1991) *)
+      eliminate_equalities budget (List.map (subst_cstr k rhs) (eq :: rest))
+    end)
+  | Some (Geq _) -> assert false
+
+(** Feasibility of an inequality-only system. *)
+let rec ineq_feasible budget (cs : cstr list) : bool =
+  spend budget (1 + List.length cs);
+  let cs = normalize_all cs in
+  match vars_of cs with
+  | [] -> true (* all constraints were constant-true after normalize *)
+  | vars ->
+    (* choose elimination variable: prefer exact eliminations and few pairs *)
+    let info v =
+      let lowers = ref 0 and uppers = ref 0 and exact = ref true in
+      List.iter
+        (fun c ->
+          let e = match c with Eq e | Geq e -> e in
+          let a = Linexpr.coeff_of e v in
+          if a > 0 then begin
+            incr lowers;
+            if a <> 1 then exact := false
+          end
+          else if a < 0 then begin
+            incr uppers;
+            if a <> -1 then exact := false
+          end)
+        cs;
+      (!exact, !lowers * !uppers)
+    in
+    let v, (exact, _) =
+      List.fold_left
+        (fun (bv, (bex, bp)) v ->
+          let ex, p = info v in
+          if (ex && not bex) || ((ex = bex) && p < bp) then (v, (ex, p)) else (bv, (bex, bp)))
+        (List.hd vars, info (List.hd vars))
+        (List.tl vars)
+    in
+    let lowers = ref [] and uppers = ref [] and others = ref [] in
+    List.iter
+      (fun c ->
+        let e = match c with Eq e | Geq e -> e in
+        let a = Linexpr.coeff_of e v in
+        let rest = { e with Linexpr.coeffs = Linexpr.Vmap.remove v e.Linexpr.coeffs } in
+        if a > 0 then
+          (* a·v + rest ≥ 0  ⇔  a·v ≥ −rest *)
+          lowers := (a, Linexpr.neg rest) :: !lowers
+        else if a < 0 then
+          (* a·v + rest ≥ 0  ⇔  (−a)·v ≤ rest *)
+          uppers := (-a, rest) :: !uppers
+        else others := c :: !others)
+      cs;
+    if !lowers = [] || !uppers = [] then
+      (* v is unbounded on one side: drop all constraints involving it *)
+      ineq_feasible budget !others
+    else begin
+      let shadow ~dark =
+        List.concat_map
+          (fun (a, l) ->
+            List.map
+              (fun (c, u) ->
+                (* a·v ≥ l, c·v ≤ u  ⇒  a·u − c·l ≥ (a−1)(c−1) for dark *)
+                let lhs = Linexpr.sub (Linexpr.scale a u) (Linexpr.scale c l) in
+                let slack = if dark then (a - 1) * (c - 1) else 0 in
+                Geq (Linexpr.add lhs (Linexpr.const (-slack))))
+              !uppers)
+          !lowers
+      in
+      if exact then ineq_feasible budget (shadow ~dark:false @ !others)
+      else begin
+        (* dark shadow: sufficient for satisfiability *)
+        let dark_ok =
+          try ineq_feasible budget (shadow ~dark:true @ !others) with Infeasible -> false
+        in
+        if dark_ok then true
+        else
+          let real_ok =
+            try ineq_feasible budget (shadow ~dark:false @ !others)
+            with Infeasible -> false
+          in
+          if not real_ok then false
+          else begin
+            (* splinters: an integer solution, if any, has a·v within a
+               bounded distance of some lower bound (Pugh 1991) *)
+            let cmax = List.fold_left (fun acc (c, _) -> max acc c) 1 !uppers in
+            List.exists
+              (fun (a, l) ->
+                let range = ((a * cmax) - a - cmax) / cmax in
+                let rec try_i i =
+                  if i > range then false
+                  else begin
+                    spend budget 10;
+                    (* a·v = l + i *)
+                    let eqc =
+                      Eq
+                        (Linexpr.add
+                           (Linexpr.sub (Linexpr.var ~coeff:a v) l)
+                           (Linexpr.const (-i)))
+                    in
+                    let sat =
+                      try ineq_feasible budget (eliminate_equalities budget (eqc :: cs))
+                      with Infeasible -> false
+                    in
+                    sat || try_i (i + 1)
+                  end
+                in
+                try_i 0)
+              !lowers
+          end
+      end
+    end
+
+(** Decide feasibility of a conjunction of constraints. *)
+let feasible ?(fuel = 200_000) (cs : cstr list) : result =
+  let budget = { fuel } in
+  try
+    let ineqs = eliminate_equalities budget (normalize_all cs) in
+    if ineq_feasible budget ineqs then Sat else Unsat
+  with
+  | Infeasible -> Unsat
+  | Give_up | Linexpr.Overflow -> Unknown
+
+(* -- Convenience constructors -------------------------------------------- *)
+
+(** e1 ≤ e2 *)
+let le e1 e2 = Geq (Linexpr.sub e2 e1)
+
+(** e1 < e2 (integers: e1 ≤ e2 − 1) *)
+let lt e1 e2 = Geq (Linexpr.add (Linexpr.sub e2 e1) (Linexpr.const (-1)))
+
+(** e1 ≥ e2 *)
+let ge e1 e2 = le e2 e1
+
+(** e1 > e2 *)
+let gt e1 e2 = lt e2 e1
+
+(** e1 = e2 *)
+let eq e1 e2 = Eq (Linexpr.sub e1 e2)
+
+(** Is [cs ∧ extra] infeasible — i.e. does [cs] entail ¬extra?  Utility
+    for bounds checking: indices violate bounds iff
+    [constraints ∧ (idx < 0 ∨ idx ≥ size)] is satisfiable. *)
+let entails_not cs extra =
+  match feasible (extra :: cs) with
+  | Unsat -> true
+  | Sat | Unknown -> false

@@ -1,0 +1,46 @@
+(** Integer linear-arithmetic feasibility — the core of the Omega test
+    (Pugh, 1991), used by SafeFlow's A1/A2 array-bounds restrictions.
+
+    Decides satisfiability of conjunctions of affine equalities and
+    inequalities over the integers.  Equalities are eliminated with
+    Pugh's symmetric-modulus substitution; inequalities with
+    Fourier–Motzkin using the real-shadow / dark-shadow refinement and
+    splinter search, so answers are exact whenever the solver finishes
+    within budget.  Arithmetic overflow or budget exhaustion yields
+    [Unknown], which clients must treat conservatively. *)
+
+module Linexpr = Linexpr
+(** affine expressions (re-exported: the library's main module shadows
+    its siblings) *)
+
+type cstr =
+  | Eq of Linexpr.t   (** e = 0 *)
+  | Geq of Linexpr.t  (** e ≥ 0 *)
+
+type result = Sat | Unsat | Unknown
+
+val pp_cstr : Format.formatter -> cstr -> unit
+
+val pp_result : Format.formatter -> result -> unit
+
+val feasible : ?fuel:int -> cstr list -> result
+(** Decide the conjunction.  [fuel] bounds the total work (default
+    200_000 abstract steps); exhaustion returns [Unknown]. *)
+
+(** {1 Constraint constructors} *)
+
+val le : Linexpr.t -> Linexpr.t -> cstr
+(** e1 ≤ e2 *)
+
+val lt : Linexpr.t -> Linexpr.t -> cstr
+(** e1 < e2 (integer semantics: e1 ≤ e2 − 1) *)
+
+val ge : Linexpr.t -> Linexpr.t -> cstr
+
+val gt : Linexpr.t -> Linexpr.t -> cstr
+
+val eq : Linexpr.t -> Linexpr.t -> cstr
+
+val entails_not : cstr list -> cstr -> bool
+(** [entails_not cs c] — true iff [cs ∧ c] is definitely unsatisfiable
+    ([Unknown] counts as "no"). *)

@@ -1,0 +1,1 @@
+lib/safeflow/safeflow.ml: Assume Config Driver Dyntaint Phase1 Phase2 Phase3 Report Shm Summary Synth Vfg

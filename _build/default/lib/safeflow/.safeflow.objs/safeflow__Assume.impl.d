@@ -1,0 +1,1 @@
+lib/safeflow/assume.ml: Annot Fmt List Minic Phase1 Pointsto Shm Ssair

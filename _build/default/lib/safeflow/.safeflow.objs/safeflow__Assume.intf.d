@@ -1,0 +1,1 @@
+lib/safeflow/assume.mli: Format Phase1 Pointsto Shm Ssair

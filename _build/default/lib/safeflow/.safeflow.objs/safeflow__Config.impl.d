@@ -1,0 +1,1 @@
+lib/safeflow/config.ml:

@@ -1,0 +1,1 @@
+lib/safeflow/driver.ml: Ast Config List Loc Minic Option Parser Phase1 Phase2 Phase3 Pointsto Report Shm Ssair String Summary Typecheck

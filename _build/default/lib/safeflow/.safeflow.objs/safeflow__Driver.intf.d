@@ -1,0 +1,1 @@
+lib/safeflow/driver.mli: Config Minic Phase1 Phase3 Pointsto Report Shm Ssair Summary

@@ -1,0 +1,1 @@
+lib/safeflow/dyntaint.ml: Annot Bytes Config Fmt Fun Hashtbl List Loc Minic Shm Ssair String Ty

@@ -1,0 +1,1 @@
+lib/safeflow/dyntaint.mli: Config Minic Shm Ssair

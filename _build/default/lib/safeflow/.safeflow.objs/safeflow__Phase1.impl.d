@@ -1,0 +1,1 @@
+lib/safeflow/phase1.ml: Config Fmt Hashtbl Int64 List Minic Option Pointsto Set Shm Ssair Ty

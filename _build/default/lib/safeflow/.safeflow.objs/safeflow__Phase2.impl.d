@@ -1,0 +1,1 @@
+lib/safeflow/phase2.ml: Ast Config Fmt Hashtbl Int64 List Minic Omega Option Phase1 Pointsto Report Shm Ssair String Ty

@@ -1,0 +1,1 @@
+lib/safeflow/phase3.ml: Annot Assume Config Fmt Hashtbl List Loc Minic Option Phase1 Pointsto Report Shm Ssair String Ty

@@ -1,0 +1,1 @@
+lib/safeflow/report.ml: Fmt List Loc Minic

@@ -1,0 +1,1 @@
+lib/safeflow/report.mli: Format Loc Minic

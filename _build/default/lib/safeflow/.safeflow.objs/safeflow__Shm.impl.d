@@ -1,0 +1,1 @@
+lib/safeflow/shm.ml: Annot Fmt Hashtbl List Loc Minic Ssair String Ty

@@ -1,0 +1,1 @@
+lib/safeflow/shm.mli: Hashtbl Loc Minic Ssair Ty

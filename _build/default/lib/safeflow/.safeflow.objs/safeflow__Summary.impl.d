@@ -1,0 +1,1 @@
+lib/safeflow/summary.ml: Annot Assume Config Dataflow Fmt Hashtbl List Loc Minic Option Phase1 Pointsto Queue Report Set Shm Ssair String Ty

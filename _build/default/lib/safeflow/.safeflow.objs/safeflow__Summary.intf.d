@@ -1,0 +1,1 @@
+lib/safeflow/summary.mli: Config Format Minic Phase1 Pointsto Report Set Shm Ssair

@@ -1,0 +1,1 @@
+lib/safeflow/synth.mli:

@@ -1,0 +1,1 @@
+lib/safeflow/vfg.ml: Buffer Fmt Hashtbl List Phase3 String

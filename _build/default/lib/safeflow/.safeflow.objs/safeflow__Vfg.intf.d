@@ -1,0 +1,1 @@
+lib/safeflow/vfg.mli: Hashtbl Phase3

@@ -1,0 +1,153 @@
+(** End-to-end SafeFlow pipeline: MiniC source → SSA IR → shared-memory
+    model → phases 1–3 → report.
+
+    The staged API ({!prepare}, {!stage1}...) exists so the benchmark
+    harness can time each phase separately (experiment B1). *)
+
+open Minic
+
+type prepared = {
+  ir : Ssair.Ir.program;
+  annotation_lines : int;
+  loc_total : int;
+}
+
+(** Count annotation clauses in a parsed program (the paper's "annotation
+    line count" — each clause occupies one line in our systems). *)
+let count_annotations (prog : Ast.program) : int =
+  let stmt_clauses stmts =
+    Ast.fold_expr_stmts (fun acc _ -> acc) 0 stmts |> ignore;
+    (* walk statements directly for Sannot *)
+    let rec go acc (s : Ast.stmt) =
+      match s.sdesc with
+      | Ast.Sannot clauses -> acc + List.length clauses
+      | Ast.Sif (_, a, b) -> List.fold_left go (List.fold_left go acc a) b
+      | Ast.Swhile (_, a) | Ast.Sdo (a, _) -> List.fold_left go acc a
+      | Ast.Sfor (i, _, st, a) ->
+        let acc = Option.fold ~none:acc ~some:(go acc) i in
+        let acc = Option.fold ~none:acc ~some:(go acc) st in
+        List.fold_left go acc a
+      | Ast.Sswitch (_, cases) ->
+        List.fold_left (fun acc c -> List.fold_left go acc c.Ast.cbody) acc cases
+      | Ast.Sblock a -> List.fold_left go acc a
+      | _ -> acc
+    in
+    List.fold_left go 0 stmts
+  in
+  List.fold_left
+    (fun acc d ->
+      match d with
+      | Ast.Dfunc f -> acc + List.length f.fannot + stmt_clauses f.fbody
+      | _ -> acc)
+    0 prog
+
+let count_loc (src : string) : int =
+  String.split_on_char '\n' src
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length
+
+(** Frontend + IR construction (shared by all phases). *)
+let prepare_source ?(file = "<input>") (src : string) : prepared =
+  let ast = Parser.parse_string ~file src in
+  let tast = Typecheck.check_program ast in
+  let ir = Ssair.Build.lower tast in
+  ignore (Ssair.Mem2reg.run ir);
+  (match Ssair.Verify.check_program ~ssa:true ir with
+  | [] -> ()
+  | v :: _ ->
+    Loc.error Loc.dummy "internal IR verification failed: %s" v.Ssair.Verify.vmsg);
+  { ir; annotation_lines = count_annotations ast; loc_total = count_loc src }
+
+let prepare_file path : prepared =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  prepare_source ~file:path src
+
+(* -- Staged pipeline ------------------------------------------------------------ *)
+
+let stage_shm (p : prepared) : Shm.t = Shm.discover p.ir
+
+let stage_phase1 ?config (p : prepared) (shm : Shm.t) : Phase1.t =
+  Phase1.run ?config p.ir shm
+
+let stage_pointsto (p : prepared) : Pointsto.t = Pointsto.analyze p.ir
+
+let stage_phase2 ?config (p : prepared) (p1 : Phase1.t) : Report.violation list =
+  Phase2.run ?config p.ir p1
+
+let stage_phase3 ?config (p : prepared) (shm : Shm.t) (p1 : Phase1.t) (pts : Pointsto.t) :
+    Phase3.result =
+  Phase3.run ?config p.ir shm p1 pts
+
+(* -- One-shot analysis ------------------------------------------------------------ *)
+
+type analysis = {
+  report : Report.t;
+  phase3 : Phase3.result;
+  prepared : prepared;
+  shm : Shm.t;
+}
+
+let analyze ?(config = Config.default) ?file (src : string) : analysis =
+  let p = prepare_source ?file src in
+  let shm = stage_shm p in
+  let p1 = stage_phase1 ~config p shm in
+  let violations = stage_phase2 ~config p p1 in
+  let pts = stage_pointsto p in
+  let ph3 = stage_phase3 ~config p shm p1 pts in
+  let report =
+    {
+      Report.violations;
+      warnings =
+        List.sort
+          (fun (a : Report.warning) b -> Loc.compare a.w_loc b.w_loc)
+          ph3.Phase3.warnings;
+      dependencies = ph3.Phase3.dependencies;
+      regions =
+        List.map (fun r -> (r.Shm.r_name, r.Shm.r_size, r.Shm.r_noncore)) shm.Shm.regions;
+      annotation_lines = p.annotation_lines;
+      stats =
+        [ ("loc", p.loc_total);
+          ("functions", List.length p.ir.Ssair.Ir.funcs);
+          ("phase3_passes", ph3.Phase3.passes);
+          ("phase3_contexts", ph3.Phase3.pair_count) ];
+    }
+  in
+  { report; phase3 = ph3; prepared = p; shm }
+
+let analyze_file ?config path : analysis =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  analyze ?config ~file:path src
+
+(** Summary-engine variant of phase 3 (paper §3.3's ESP-style
+    optimization): single bottom-up pass with per-function value-flow
+    summaries.  Warnings match the exact engine; dependencies are data
+    only (no control-dependence classification). *)
+let stage_summary ?config (p : prepared) (shm : Shm.t) (p1 : Phase1.t) (pts : Pointsto.t) :
+    Summary.result =
+  Summary.run ?config p.ir shm p1 pts
+
+(** One-shot analysis with the summary engine. *)
+let analyze_summary ?(config = Config.default) ?file (src : string) :
+    Report.t * Summary.result =
+  let p = prepare_source ?file src in
+  let shm = stage_shm p in
+  let p1 = stage_phase1 ~config p shm in
+  let violations = stage_phase2 ~config p p1 in
+  let pts = stage_pointsto p in
+  let s = stage_summary ~config p shm p1 pts in
+  ( {
+      Report.violations;
+      warnings = s.Summary.warnings;
+      dependencies = s.Summary.dependencies;
+      regions =
+        List.map (fun r -> (r.Shm.r_name, r.Shm.r_size, r.Shm.r_noncore)) shm.Shm.regions;
+      annotation_lines = p.annotation_lines;
+      stats = [ ("loc", p.loc_total); ("summary_passes", s.Summary.passes) ];
+    },
+    s )

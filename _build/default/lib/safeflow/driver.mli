@@ -1,0 +1,57 @@
+(** End-to-end pipeline: MiniC source → SSA IR → region model →
+    phases 1–3 → report.  The staged functions exist so benchmarks can
+    time each phase (experiment B1). *)
+
+type prepared = {
+  ir : Ssair.Ir.program;
+  annotation_lines : int;
+  loc_total : int;
+}
+
+val count_annotations : Minic.Ast.program -> int
+(** annotation clauses in a parsed program (the paper's "lines of
+    annotation": each clause occupies one line in our systems) *)
+
+val count_loc : string -> int
+(** non-empty source lines *)
+
+val prepare_source : ?file:string -> string -> prepared
+(** frontend + lowering + SSA + IR verification *)
+
+val prepare_file : string -> prepared
+
+(** {1 Staged pipeline} *)
+
+val stage_shm : prepared -> Shm.t
+
+val stage_phase1 : ?config:Config.t -> prepared -> Shm.t -> Phase1.t
+
+val stage_pointsto : prepared -> Pointsto.t
+
+val stage_phase2 : ?config:Config.t -> prepared -> Phase1.t -> Report.violation list
+
+val stage_phase3 :
+  ?config:Config.t -> prepared -> Shm.t -> Phase1.t -> Pointsto.t -> Phase3.result
+
+(** {1 One-shot analysis} *)
+
+type analysis = {
+  report : Report.t;
+  phase3 : Phase3.result;  (** taint state, for VFG export *)
+  prepared : prepared;
+  shm : Shm.t;
+}
+
+val analyze : ?config:Config.t -> ?file:string -> string -> analysis
+
+val analyze_file : ?config:Config.t -> string -> analysis
+
+(** {1 Summary engine (paper §3.3's ESP-style optimization)} *)
+
+val stage_summary :
+  ?config:Config.t -> prepared -> Shm.t -> Phase1.t -> Pointsto.t -> Summary.result
+
+val analyze_summary :
+  ?config:Config.t -> ?file:string -> string -> Report.t * Summary.result
+(** one-shot analysis using per-function value-flow summaries; warnings
+    match {!analyze}, dependencies are data-flow only *)

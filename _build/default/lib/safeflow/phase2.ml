@@ -1,0 +1,502 @@
+(** Phase 2 (paper §3.3): enforcement of the language restrictions on
+    shared-memory pointer usage.
+
+    - P1: shared memory must not be deallocated before the end of [main];
+    - P2: shared-memory pointers must not be stored into memory (no
+      aliasing through memory);
+    - P3: no casts of shared-memory pointers to incompatible pointer types
+      or to integers;
+    - A1/A2: array indexing within shared memory must be provably in
+      bounds; index expressions must be affine in loop induction
+      variables.  Affine constraints are generated from dominating branch
+      conditions and induction-variable structure and discharged by the
+      {!Omega} integer feasibility test.
+
+    Initializing functions (and their callees) are exempt (§3.2.1). *)
+
+open Minic
+module Offset = Pointsto.Offset
+
+let dealloc_functions = [ "shmdt"; "shmctl"; "free" ]
+
+(* -- Affine abstraction of integer SSA values -------------------------------- *)
+
+type affine_ctx = {
+  func : Ssair.Ir.func;
+  defs : (Ssair.Ir.vid, Ssair.Ir.def_site) Hashtbl.t;
+  dom : Ssair.Dom.tree;
+  memo : (Ssair.Ir.vid, Omega.Linexpr.t option) Hashtbl.t;
+  mutable visiting : Ssair.Ir.vid list;  (* cycle guard: phis under expansion *)
+}
+
+let mk_affine_ctx f =
+  {
+    func = f;
+    defs = Ssair.Ir.def_table f;
+    dom = Ssair.Dom.compute f;
+    memo = Hashtbl.create 32;
+    visiting = [];
+  }
+
+let sym_of_vid id = Fmt.str "v%d" id
+let sym_of_param p = "p_" ^ p
+
+(** Affine view of a value: [Some e] when expressible, [None] otherwise
+    (opaque values become fresh unconstrained symbols, so the result is
+    always [Some]; [None] is reserved for non-integer shapes). *)
+let rec affine_of_value ctx (v : Ssair.Ir.value) : Omega.Linexpr.t =
+  match v with
+  | Ssair.Ir.Vint (n, _) -> Omega.Linexpr.const (Int64.to_int n)
+  | Ssair.Ir.Vparam p -> Omega.Linexpr.var (sym_of_param p)
+  | Ssair.Ir.Vreg id -> affine_of_vid ctx id
+  | Ssair.Ir.Vfloat _ | Ssair.Ir.Vglobal _ | Ssair.Ir.Vstr _ | Ssair.Ir.Vundef _ ->
+    Omega.Linexpr.var (sym_of_vid (Hashtbl.hash v land 0xffffff))
+
+and affine_of_vid ctx id : Omega.Linexpr.t =
+  if List.mem id ctx.visiting then Omega.Linexpr.var (sym_of_vid id)
+  else
+    match Hashtbl.find_opt ctx.memo id with
+    | Some (Some e) -> e
+    | Some None -> Omega.Linexpr.var (sym_of_vid id)
+    | None ->
+      let e =
+        match Hashtbl.find_opt ctx.defs id with
+        | Some (Ssair.Ir.Def_instr (i, _)) -> (
+          match i.Ssair.Ir.idesc with
+          | Ssair.Ir.Binop { op = Ast.Add; lhs; rhs; _ } ->
+            Omega.Linexpr.add (affine_of_value ctx lhs) (affine_of_value ctx rhs)
+          | Ssair.Ir.Binop { op = Ast.Sub; lhs; rhs; _ } ->
+            Omega.Linexpr.sub (affine_of_value ctx lhs) (affine_of_value ctx rhs)
+          | Ssair.Ir.Binop { op = Ast.Mul; lhs = Ssair.Ir.Vint (n, _); rhs; _ } ->
+            Omega.Linexpr.scale (Int64.to_int n) (affine_of_value ctx rhs)
+          | Ssair.Ir.Binop { op = Ast.Mul; lhs; rhs = Ssair.Ir.Vint (n, _); _ } ->
+            Omega.Linexpr.scale (Int64.to_int n) (affine_of_value ctx lhs)
+          | Ssair.Ir.Cast { to_ty; cval; _ }
+            when Ty.is_integer to_ty ->
+            affine_of_value ctx cval
+          | _ -> Omega.Linexpr.var (sym_of_vid id)
+          )
+        | Some (Ssair.Ir.Def_phi (p, _)) ->
+          ignore p;
+          Omega.Linexpr.var (sym_of_vid id)
+        | None -> Omega.Linexpr.var (sym_of_vid id)
+      in
+      Hashtbl.replace ctx.memo id (Some e);
+      e
+
+(** Constraints from the comparison [lhs op rhs] holding ([polarity] true)
+    or failing. *)
+let constraint_of_cmp ctx op lhs rhs polarity : Omega.cstr option =
+  let a = affine_of_value ctx lhs and b = affine_of_value ctx rhs in
+  let open Omega in
+  match (op, polarity) with
+  | Ast.Lt, true -> Some (lt a b)
+  | Ast.Lt, false -> Some (ge a b)
+  | Ast.Le, true -> Some (le a b)
+  | Ast.Le, false -> Some (gt a b)
+  | Ast.Gt, true -> Some (gt a b)
+  | Ast.Gt, false -> Some (le a b)
+  | Ast.Ge, true -> Some (ge a b)
+  | Ast.Ge, false -> Some (lt a b)
+  | Ast.Eq, true -> Some (eq a b)
+  | Ast.Ne, false -> Some (eq a b)
+  | _ -> None
+
+(** Constraints implied by boolean value [id] holding with [pol]arity.
+    Unwraps normalizations ((x != 0), (x == 0), !x) and recognizes the
+    short-circuit phi patterns produced by lowering [&&] and [||], so that
+    compound loop guards like [k >= 0 && k < n] contribute both
+    conjuncts. *)
+let rec cond_constraints ctx id pol depth : Omega.cstr list =
+  if depth > 8 then []
+  else
+    match Hashtbl.find_opt ctx.defs id with
+    | Some (Ssair.Ir.Def_instr ({ idesc = Ssair.Ir.Binop { op; lhs; rhs; _ }; _ }, _)) -> (
+      match (op, lhs, rhs) with
+      | Ast.Ne, Ssair.Ir.Vreg x, Ssair.Ir.Vint (0L, _) ->
+        cond_constraints ctx x pol (depth + 1)
+      | Ast.Eq, Ssair.Ir.Vreg x, Ssair.Ir.Vint (0L, _) ->
+        cond_constraints ctx x (not pol) (depth + 1)
+      | (Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne), _, _ ->
+        Option.to_list (constraint_of_cmp ctx op lhs rhs pol)
+      | _ -> [])
+    | Some
+        (Ssair.Ir.Def_instr
+           ({ idesc = Ssair.Ir.Unop { uop = Ast.Lnot; operand = Ssair.Ir.Vreg x; _ }; _ }, _))
+      ->
+      cond_constraints ctx x (not pol) (depth + 1)
+    | Some (Ssair.Ir.Def_phi (p, pblk)) -> (
+      (* short-circuit shapes: one incoming edge carries the left operand
+         and is the edge taken when the left operand decides the result *)
+      match p.Ssair.Ir.incoming with
+      | [ (b1, v1); (b2, v2) ] -> (
+        let classify (ba, va) (br, vr) =
+          (* does [ba] branch on [va] with the phi block as the
+             short-circuit target? *)
+          match ((Ssair.Ir.block ctx.func ba).Ssair.Ir.termin, va) with
+          | Ssair.Ir.Cbr (Ssair.Ir.Vreg c, tb, eb), Ssair.Ir.Vreg vc
+            when vc = c && tb <> eb ->
+            if eb = pblk && tb = br then Some (`And, c, vr)
+            else if tb = pblk && eb = br then Some (`Or, c, vr)
+            else None
+          | _ -> None
+        in
+        let shape =
+          match classify (b1, v1) (b2, v2) with
+          | Some s -> Some s
+          | None -> classify (b2, v2) (b1, v1)
+        in
+        match shape with
+        | Some (`And, c, vr) when pol -> (
+          (* (a && b) true: both hold *)
+          match vr with
+          | Ssair.Ir.Vreg r ->
+            cond_constraints ctx c true (depth + 1)
+            @ cond_constraints ctx r true (depth + 1)
+          | _ -> cond_constraints ctx c true (depth + 1))
+        | Some (`Or, c, vr) when not pol -> (
+          (* (a || b) false: both fail *)
+          match vr with
+          | Ssair.Ir.Vreg r ->
+            cond_constraints ctx c false (depth + 1)
+            @ cond_constraints ctx r false (depth + 1)
+          | _ -> cond_constraints ctx c false (depth + 1))
+        | _ -> [])
+      | _ -> [])
+    | _ -> []
+
+(** Branch conditions known to hold at [bid]: climb the dominator tree;
+    a branch's polarity is known when the chain enters the branch through
+    a successor whose only predecessor is the branching block (edge
+    dominance). *)
+let dominating_constraints ctx bid : Omega.cstr list =
+  let preds = Ssair.Ir.predecessors ctx.func in
+  let single_pred blk from =
+    match Hashtbl.find_opt preds blk with Some [ p ] -> p = from | _ -> false
+  in
+  let rec climb child acc =
+    match Ssair.Dom.idom ctx.dom child with
+    | None -> acc
+    | Some parent when parent = child -> acc
+    | Some parent ->
+      let acc =
+        match (Ssair.Ir.block ctx.func parent).Ssair.Ir.termin with
+        | Ssair.Ir.Cbr (Ssair.Ir.Vreg c, tb, eb) when tb <> eb -> (
+          let polarity =
+            if child = tb && single_pred child parent then Some true
+            else if child = eb && single_pred child parent then Some false
+            else None
+          in
+          match polarity with
+          | None -> acc
+          | Some pol -> cond_constraints ctx c pol 0 @ acc)
+        | _ -> acc
+      in
+      climb parent acc
+  in
+  climb bid []
+
+(** Induction constraints for the phi symbols appearing in [e]: a phi
+    whose non-phi incomings are affine and whose self-updates all step by
+    a non-negative (resp. non-positive) constant is bounded below (resp.
+    above) by its initial values. *)
+let induction_constraints ctx (e : Omega.Linexpr.t) : Omega.cstr list =
+  let cs = ref [] in
+  List.iter
+    (fun sym ->
+      match
+        if String.length sym > 1 && sym.[0] = 'v' then int_of_string_opt (String.sub sym 1 (String.length sym - 1))
+        else None
+      with
+      | None -> ()
+      | Some id -> (
+        match Hashtbl.find_opt ctx.defs id with
+        | Some (Ssair.Ir.Def_phi (p, _)) ->
+          let steps = ref [] and inits = ref [] and ok = ref true in
+          List.iter
+            (fun (_, v) ->
+              match v with
+              | Ssair.Ir.Vreg w -> (
+                match Hashtbl.find_opt ctx.defs w with
+                | Some
+                    (Ssair.Ir.Def_instr
+                       ({ idesc = Ssair.Ir.Binop { op; lhs; rhs; _ }; _ }, _)) -> (
+                  match (op, lhs, rhs) with
+                  | Ast.Add, Ssair.Ir.Vreg x, Ssair.Ir.Vint (c, _) when x = p.Ssair.Ir.pid ->
+                    steps := Int64.to_int c :: !steps
+                  | Ast.Add, Ssair.Ir.Vint (c, _), Ssair.Ir.Vreg x when x = p.Ssair.Ir.pid ->
+                    steps := Int64.to_int c :: !steps
+                  | Ast.Sub, Ssair.Ir.Vreg x, Ssair.Ir.Vint (c, _) when x = p.Ssair.Ir.pid ->
+                    steps := -Int64.to_int c :: !steps
+                  | _ ->
+                    ctx.visiting <- p.Ssair.Ir.pid :: ctx.visiting;
+                    inits := affine_of_value ctx v :: !inits;
+                    ctx.visiting <- List.tl ctx.visiting)
+                | _ ->
+                  ctx.visiting <- p.Ssair.Ir.pid :: ctx.visiting;
+                  inits := affine_of_value ctx v :: !inits;
+                  ctx.visiting <- List.tl ctx.visiting)
+              | Ssair.Ir.Vint (n, _) -> inits := Omega.Linexpr.const (Int64.to_int n) :: !inits
+              | Ssair.Ir.Vparam q -> inits := Omega.Linexpr.var (sym_of_param q) :: !inits
+              | _ -> ok := false)
+            p.Ssair.Ir.incoming;
+          if !ok && !inits <> [] then begin
+            let phi_e = Omega.Linexpr.var sym in
+            if List.for_all (fun s -> s >= 0) !steps then
+              List.iter (fun init -> cs := Omega.ge phi_e init :: !cs) !inits
+            else if List.for_all (fun s -> s <= 0) !steps then
+              List.iter (fun init -> cs := Omega.le phi_e init :: !cs) !inits
+          end
+        | _ -> ()))
+    (Omega.Linexpr.vars e);
+  !cs
+
+(* -- The checker -------------------------------------------------------------- *)
+
+type state = {
+  prog : Ssair.Ir.program;
+  p1 : Phase1.t;
+  config : Config.t;
+  mutable violations : Report.violation list;
+}
+
+let violate st rule (f : Ssair.Ir.func) loc fmt =
+  Fmt.kstr
+    (fun msg ->
+      st.violations <-
+        { Report.v_rule = rule; v_func = f.fname; v_loc = loc; v_msg = msg }
+        :: st.violations)
+    fmt
+
+(** Does function [fname] (transitively) load or store shared memory? *)
+let shm_accessors (prog : Ssair.Ir.program) (p1 : Phase1.t) : (string, unit) Hashtbl.t =
+  let direct = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ssair.Ir.func) ->
+      List.iter
+        (fun i ->
+          match i.Ssair.Ir.idesc with
+          | Ssair.Ir.Load { ptr; _ } | Ssair.Ir.Store { ptr; _ } ->
+            if not (Phase1.Rset.is_empty (Phase1.shm_targets p1 f ptr)) then
+              Hashtbl.replace direct f.fname ()
+          | _ -> ())
+        (Ssair.Ir.all_instrs f))
+    prog.Ssair.Ir.funcs;
+  (* close over the call graph: callers of accessors access too *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (f : Ssair.Ir.func) ->
+        if not (Hashtbl.mem direct f.fname) then
+          let calls_accessor =
+            List.exists
+              (fun i ->
+                match i.Ssair.Ir.idesc with
+                | Ssair.Ir.Call { callee; _ } -> Hashtbl.mem direct callee
+                | _ -> false)
+              (Ssair.Ir.all_instrs f)
+          in
+          if calls_accessor then begin
+            Hashtbl.replace direct f.fname ();
+            changed := true
+          end)
+      prog.Ssair.Ir.funcs
+  done;
+  direct
+
+let check_p1 st (f : Ssair.Ir.func) accessors =
+  List.iter
+    (fun (b : Ssair.Ir.block) ->
+      List.iteri
+        (fun pos i ->
+          match i.Ssair.Ir.idesc with
+          | Ssair.Ir.Call { callee; args; _ } when List.mem callee dealloc_functions ->
+            let on_shm =
+              List.exists
+                (fun a -> not (Phase1.Rset.is_empty (Phase1.shm_targets st.p1 f a)))
+                args
+            in
+            if on_shm then
+              if not (String.equal f.fname "main") then
+                violate st Report.P1 f i.Ssair.Ir.iloc
+                  "shared memory deallocated outside main"
+              else begin
+                (* allowed only at the end of main: no shared-memory access
+                   may follow on any path *)
+                let tail_instrs =
+                  List.filteri (fun k _ -> k > pos) b.Ssair.Ir.instrs
+                in
+                let instr_touches_shm j =
+                  match j.Ssair.Ir.idesc with
+                  | Ssair.Ir.Load { ptr; _ } | Ssair.Ir.Store { ptr; _ } ->
+                    not (Phase1.Rset.is_empty (Phase1.shm_targets st.p1 f ptr))
+                  | Ssair.Ir.Call { callee = c; _ } -> Hashtbl.mem accessors c
+                  | _ -> false
+                in
+                let later_same_block = List.exists instr_touches_shm tail_instrs in
+                (* blocks reachable from here *)
+                let seen = Hashtbl.create 16 in
+                let rec reach bid =
+                  if not (Hashtbl.mem seen bid) then begin
+                    Hashtbl.replace seen bid ();
+                    match Ssair.Ir.block_opt f bid with
+                    | Some blk -> List.iter reach (Ssair.Ir.successors f blk)
+                    | None -> ()
+                  end
+                in
+                List.iter reach (Ssair.Ir.successors f b);
+                let later_other_blocks =
+                  Hashtbl.fold
+                    (fun bid () acc ->
+                      acc
+                      ||
+                      match Ssair.Ir.block_opt f bid with
+                      | Some blk -> List.exists instr_touches_shm blk.Ssair.Ir.instrs
+                      | None -> false)
+                    seen false
+                in
+                if later_same_block || later_other_blocks then
+                  violate st Report.P1 f i.Ssair.Ir.iloc
+                    "shared memory deallocated before the end of main"
+              end
+          | _ -> ())
+        b.Ssair.Ir.instrs)
+    f.Ssair.Ir.blocks
+
+let check_p2_p3 st (f : Ssair.Ir.func) =
+  let env = st.prog.Ssair.Ir.env in
+  List.iter
+    (fun (i : Ssair.Ir.instr) ->
+      match i.Ssair.Ir.idesc with
+      | Ssair.Ir.Store { sval; _ } ->
+        if not (Phase1.Rset.is_empty (Phase1.shm_targets st.p1 f sval)) then
+          violate st Report.P2 f i.Ssair.Ir.iloc
+            "shared-memory pointer stored into memory (aliasing through memory)"
+      | Ssair.Ir.Cast { from_ty; to_ty; cval } -> (
+        if not (Phase1.Rset.is_empty (Phase1.shm_targets st.p1 f cval)) then
+          match (Ty.resolve env from_ty, Ty.resolve env to_ty) with
+          | Ty.Ptr a, Ty.Ptr b ->
+            if not (Ty.compatible env a b) then
+              violate st Report.P3 f i.Ssair.Ir.iloc
+                "shared-memory pointer cast to incompatible pointer type (%a to %a)"
+                Ty.pp from_ty Ty.pp to_ty
+          | Ty.Ptr _, t when Ty.is_integer t ->
+            violate st Report.P3 f i.Ssair.Ir.iloc
+              "shared-memory pointer cast to integer"
+          | _ -> ())
+      | _ -> ())
+    (Ssair.Ir.all_instrs f)
+
+(** Check one shm array access: gep with non-trivial index. *)
+let check_bounds st ctx (f : Ssair.Ir.func) (i : Ssair.Ir.instr) bid base kind idx =
+  let env = st.prog.Ssair.Ir.env in
+  let targets = Phase1.shm_targets st.p1 f base in
+  if not (Phase1.Rset.is_empty targets) then
+    match kind with
+    | Ssair.Ir.Gfield _ -> () (* field offsets are statically in range by typing *)
+    | Ssair.Ir.Gindex elt ->
+      let elsize = max 1 (Ty.sizeof env elt) in
+      Phase1.Rset.iter
+        (fun tgt ->
+          match Shm.region st.p1.Phase1.shm tgt.Phase1.Rtgt.region with
+          | None -> ()
+          | Some r -> (
+            match tgt.Phase1.Rtgt.off with
+            | Offset.Top ->
+              violate st Report.A2 f i.Ssair.Ir.iloc
+                "indexing shared array in region %s from a statically unknown base offset"
+                r.Shm.r_name
+            | Offset.Byte base_off -> (
+              let avail = r.Shm.r_size - base_off in
+              let nelems = avail / elsize in
+              match idx with
+              | Ssair.Ir.Vint (n, _) ->
+                let n = Int64.to_int n in
+                if n < 0 || n >= nelems then
+                  violate st Report.A1 f i.Ssair.Ir.iloc
+                    "constant index %d outside region %s (%d elements of %d bytes)" n
+                    r.Shm.r_name nelems elsize
+              | _ ->
+                let idx_e = affine_of_value ctx idx in
+                (* symbols that are neither loop phis nor parameters are
+                   opaque (call results, memory loads): a satisfiable
+                   violation query then means "cannot prove affine" (A2)
+                   rather than a definite out-of-bounds access (A1) *)
+                let opaque =
+                  List.exists
+                    (fun sym ->
+                      match
+                        if String.length sym > 1 && sym.[0] = 'v' then
+                          int_of_string_opt (String.sub sym 1 (String.length sym - 1))
+                        else None
+                      with
+                      | None -> not (String.length sym > 2 && String.sub sym 0 2 = "p_")
+                      | Some id -> (
+                        match Hashtbl.find_opt ctx.defs id with
+                        | Some (Ssair.Ir.Def_phi _) -> false
+                        | _ -> true))
+                    (Omega.Linexpr.vars idx_e)
+                in
+                let sat_rule = if opaque then Report.A2 else Report.A1 in
+                let constraints =
+                  dominating_constraints ctx bid @ induction_constraints ctx idx_e
+                in
+                let low_q =
+                  Omega.feasible ~fuel:st.config.Config.omega_fuel
+                    (Omega.le idx_e (Omega.Linexpr.const (-1)) :: constraints)
+                in
+                let high_q =
+                  Omega.feasible ~fuel:st.config.Config.omega_fuel
+                    (Omega.ge idx_e (Omega.Linexpr.const nelems) :: constraints)
+                in
+                (match low_q with
+                | Omega.Unsat -> ()
+                | Omega.Sat ->
+                  violate st sat_rule f i.Ssair.Ir.iloc
+                    "index into region %s can be negative" r.Shm.r_name
+                | Omega.Unknown ->
+                  violate st Report.A2 f i.Ssair.Ir.iloc
+                    "cannot prove index into region %s non-negative (non-affine)"
+                    r.Shm.r_name);
+                match high_q with
+                | Omega.Unsat -> ()
+                | Omega.Sat ->
+                  violate st sat_rule f i.Ssair.Ir.iloc
+                    "index into region %s can exceed %d elements" r.Shm.r_name nelems
+                | Omega.Unknown ->
+                  violate st Report.A2 f i.Ssair.Ir.iloc
+                    "cannot prove index into region %s below bound %d (non-affine)"
+                    r.Shm.r_name nelems)))
+        targets
+
+let check_arrays st (f : Ssair.Ir.func) =
+  let ctx = mk_affine_ctx f in
+  List.iter
+    (fun (b : Ssair.Ir.block) ->
+      List.iter
+        (fun (i : Ssair.Ir.instr) ->
+          match i.Ssair.Ir.idesc with
+          | Ssair.Ir.Gep { base; kind; idx } -> check_bounds st ctx f i b.Ssair.Ir.bbid base kind idx
+          | _ -> ())
+        b.Ssair.Ir.instrs)
+    f.Ssair.Ir.blocks
+
+(** Run phase 2.  Returns restriction violations (empty when the program
+    adheres to the MiniC shared-memory discipline). *)
+let run ?(config = Config.default) (prog : Ssair.Ir.program) (p1 : Phase1.t) :
+    Report.violation list =
+  if not config.Config.check_restrictions then []
+  else begin
+    let st = { prog; p1; config; violations = [] } in
+    let accessors = shm_accessors prog p1 in
+    List.iter
+      (fun (f : Ssair.Ir.func) ->
+        if not (Phase1.is_exempt p1 f.Ssair.Ir.fname) then begin
+          check_p1 st f accessors;
+          check_p2_p3 st f;
+          check_arrays st f
+        end)
+      prog.Ssair.Ir.funcs;
+    List.rev st.violations
+  end

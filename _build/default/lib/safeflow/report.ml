@@ -1,0 +1,98 @@
+(** Diagnostics emitted by the SafeFlow analysis.
+
+    Terminology follows the paper's evaluation (§4):
+    - a {e warning} is an unmonitored read of a non-core shared-memory
+      value by the core component (reported "without any false positives
+      or false negatives");
+    - an {e error dependency} is critical data that is {b data}-dependent
+      on an unmonitored non-core value;
+    - a {e control dependency} is critical data that is only
+      {b control}-dependent on such a value — the class the paper found to
+      account for all its false positives, requiring manual review of the
+      value-flow graph. *)
+
+open Minic
+
+type restriction = P1 | P2 | P3 | A1 | A2
+
+let pp_restriction ppf r =
+  Fmt.string ppf (match r with P1 -> "P1" | P2 -> "P2" | P3 -> "P3" | A1 -> "A1" | A2 -> "A2")
+
+type violation = {
+  v_rule : restriction;
+  v_func : string;
+  v_loc : Loc.t;
+  v_msg : string;
+}
+
+type warning = {
+  w_func : string;          (** core-component function performing the read *)
+  w_region : string;        (** non-core shared-memory region *)
+  w_loc : Loc.t;
+  w_context : string list;  (** monitor-assumption context (region names assumed core) *)
+}
+
+type dep_kind =
+  | Data          (** value flows into the critical computation *)
+  | Control_only  (** only the control flow depends on the non-core value *)
+
+let pp_dep_kind ppf = function
+  | Data -> Fmt.string ppf "data"
+  | Control_only -> Fmt.string ppf "control-only"
+
+type dependency = {
+  d_kind : dep_kind;
+  d_sink : string;   (** description of the critical datum (assert or sink) *)
+  d_func : string;
+  d_loc : Loc.t;     (** location of the assert / sink call *)
+  d_trace : string list;  (** one value-flow path, source first *)
+}
+
+type t = {
+  violations : violation list;
+  warnings : warning list;
+  dependencies : dependency list;
+  regions : (string * int * bool) list;  (** name, size, noncore *)
+  annotation_lines : int;  (** number of annotation clauses in the program *)
+  stats : (string * int) list;  (** misc counters for the benchmark harness *)
+}
+
+let errors t = List.filter (fun d -> d.d_kind = Data) t.dependencies
+let control_deps t = List.filter (fun d -> d.d_kind = Control_only) t.dependencies
+
+let pp_violation ppf v =
+  Fmt.pf ppf "restriction %a violated in %s at %a: %s" pp_restriction v.v_rule v.v_func
+    Loc.pp v.v_loc v.v_msg
+
+let pp_warning ppf w =
+  Fmt.pf ppf "warning: unmonitored non-core read of region '%s' in %s at %a" w.w_region
+    w.w_func Loc.pp w.w_loc
+
+let pp_dependency ppf d =
+  Fmt.pf ppf "%a dependency: %s in %s at %a@,  flow: %a"
+    pp_dep_kind d.d_kind d.d_sink d.d_func Loc.pp d.d_loc
+    Fmt.(list ~sep:(any " ->@ ") string)
+    d.d_trace
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>== SafeFlow report ==@,";
+  Fmt.pf ppf "shared-memory regions:@,";
+  List.iter
+    (fun (n, sz, nc) ->
+      Fmt.pf ppf "  %s: %d bytes%s@," n sz (if nc then " [noncore]" else " [core]"))
+    t.regions;
+  if t.violations <> [] then begin
+    Fmt.pf ppf "restriction violations (%d):@," (List.length t.violations);
+    List.iter (fun v -> Fmt.pf ppf "  %a@," pp_violation v) t.violations
+  end;
+  Fmt.pf ppf "warnings (%d):@," (List.length t.warnings);
+  List.iter (fun w -> Fmt.pf ppf "  %a@," pp_warning w) t.warnings;
+  let errs = errors t and ctrl = control_deps t in
+  Fmt.pf ppf "error dependencies (%d):@," (List.length errs);
+  List.iter (fun d -> Fmt.pf ppf "  @[<v>%a@]@," pp_dependency d) errs;
+  Fmt.pf ppf "control-only dependencies — candidate false positives (%d):@,"
+    (List.length ctrl);
+  List.iter (fun d -> Fmt.pf ppf "  @[<v>%a@]@," pp_dependency d) ctrl;
+  Fmt.pf ppf "@]"
+
+let to_string t = Fmt.str "%a" pp t

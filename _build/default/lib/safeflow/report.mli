@@ -1,0 +1,61 @@
+(** Diagnostics produced by the analysis, using the paper's terminology:
+    warnings (unmonitored non-core reads), error dependencies
+    (data-dependent critical data) and control-only dependencies (the
+    false-positive class needing value-flow-graph review). *)
+
+open Minic
+
+type restriction = P1 | P2 | P3 | A1 | A2
+
+val pp_restriction : Format.formatter -> restriction -> unit
+
+type violation = {
+  v_rule : restriction;
+  v_func : string;
+  v_loc : Loc.t;
+  v_msg : string;
+}
+
+type warning = {
+  w_func : string;
+  w_region : string;
+  w_loc : Loc.t;
+  w_context : string list;  (** monitor assumptions active at the read *)
+}
+
+type dep_kind = Data | Control_only
+
+val pp_dep_kind : Format.formatter -> dep_kind -> unit
+
+type dependency = {
+  d_kind : dep_kind;
+  d_sink : string;        (** the critical datum (assert or implicit sink) *)
+  d_func : string;
+  d_loc : Loc.t;
+  d_trace : string list;  (** one value-flow path, source first *)
+}
+
+type t = {
+  violations : violation list;
+  warnings : warning list;
+  dependencies : dependency list;
+  regions : (string * int * bool) list;  (** name, size, noncore *)
+  annotation_lines : int;
+  stats : (string * int) list;
+}
+
+val errors : t -> dependency list
+(** the [Data] dependencies — the paper's "error dependencies" *)
+
+val control_deps : t -> dependency list
+(** the [Control_only] dependencies — candidate false positives *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val pp_warning : Format.formatter -> warning -> unit
+
+val pp_dependency : Format.formatter -> dependency -> unit
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

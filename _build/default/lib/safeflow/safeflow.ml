@@ -1,0 +1,25 @@
+(** SafeFlow — static analysis to enforce safe value flow in embedded
+    control systems (Kowshik, Roşu, Sha — DSN 2006).
+
+    Public entry point: {!Driver.analyze} / {!Driver.analyze_file} run the
+    full pipeline on MiniC source and return a {!Report.t} listing
+
+    - restriction violations (P1–P3, A1/A2),
+    - warnings (unmonitored reads of non-core shared memory),
+    - error dependencies (critical data depending on unsafe values) and
+      control-only dependencies (the paper's false-positive class).
+
+    The submodules expose each stage for tools and benchmarks. *)
+
+module Config = Config
+module Report = Report
+module Shm = Shm
+module Phase1 = Phase1
+module Phase2 = Phase2
+module Phase3 = Phase3
+module Vfg = Vfg
+module Driver = Driver
+module Synth = Synth
+module Dyntaint = Dyntaint
+module Summary = Summary
+module Assume = Assume

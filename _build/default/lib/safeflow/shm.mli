@@ -1,0 +1,39 @@
+(** Shared-memory region model (§3.2.1): regions are declared by the
+    post-conditions of initializing functions ([shminit] / [shmvar] /
+    [noncore]); {!run_init_check} implements the paper's one-time
+    run-time InitCheck by executing the initializer on the interpreter
+    and verifying the layout. *)
+
+open Minic
+
+type region = {
+  r_name : string;   (** the shm-pointer global naming the region *)
+  r_size : int;      (** bytes *)
+  r_noncore : bool;  (** writable by non-core components *)
+  r_elem : Ty.t;     (** pointee type (array element) *)
+  r_loc : Loc.t;
+}
+
+type t = {
+  regions : region list;
+  init_funcs : string list;
+  by_name : (string, region) Hashtbl.t;
+}
+
+val region : t -> string -> region option
+
+val is_init_func : t -> string -> bool
+
+val discover : Ssair.Ir.program -> t
+
+val array_length : Ty.env -> region -> int
+(** element count when the region is indexed as an array of its pointee
+    type (size / sizeof(elem), per §3.2.1) *)
+
+exception Init_check_failed of string
+
+val run_init_check : Ssair.Ir.program -> t -> (string * int * int) list
+(** Execute the initializing function with a simulated [shmat]; return
+    the verified layout [(region, offset, size)].
+    @raise Init_check_failed on overlap, escape or missing initialization
+    — the paper terminates the core component before bootstrap. *)

@@ -1,0 +1,146 @@
+(** Synthetic core-component generator for the scalability benchmarks
+    (experiment B2).
+
+    Generates MiniC core components with a configurable number of shared
+    regions, worker functions and call-chain depth.  Workers read the
+    regions (a configurable fraction through monitoring functions),
+    massage the values through local arithmetic and feed a critical
+    output; the result is a family of programs whose analysis cost can be
+    plotted against size. *)
+
+type params = {
+  regions : int;        (** shared-memory regions *)
+  workers : int;        (** worker functions *)
+  chain_depth : int;    (** helpers called under each worker *)
+  monitored_fraction : float;  (** fraction of workers that monitor *)
+}
+
+let default = { regions = 4; workers = 8; chain_depth = 2; monitored_fraction = 0.5 }
+
+let buf_add = Buffer.add_string
+
+let generate (p : params) : string =
+  let b = Buffer.create 4096 in
+  buf_add b "struct Block { double a; double bfield; double c; long seq; };\n";
+  buf_add b "typedef struct Block Block;\n\n";
+  for r = 0 to p.regions - 1 do
+    buf_add b (Fmt.str "Block *region%d;\n" r)
+  done;
+  buf_add b "\nextern void sendControl(double v);\n";
+  buf_add b "extern void log_event(char *m, double v);\n\n";
+  (* init function *)
+  buf_add b "void initShm()\n/*** SafeFlow Annotation shminit ***/\n{\n";
+  buf_add b "  int id;\n  void *base;\n  char *cursor;\n";
+  buf_add b
+    (Fmt.str "  id = shmget(6000, %d * sizeof(Block), 438);\n" p.regions);
+  buf_add b "  base = shmat(id, (void *) 0, 0);\n  cursor = (char *) base;\n";
+  for r = 0 to p.regions - 1 do
+    buf_add b (Fmt.str "  region%d = (Block *) cursor;\n" r);
+    if r < p.regions - 1 then buf_add b "  cursor = cursor + sizeof(Block);\n"
+  done;
+  buf_add b "  /*** SafeFlow Annotation\n";
+  for r = 0 to p.regions - 1 do
+    buf_add b (Fmt.str "       assume(shmvar(region%d, sizeof(Block)))\n" r)
+  done;
+  for r = 0 to p.regions - 1 do
+    buf_add b (Fmt.str "       assume(noncore(region%d))\n" r)
+  done;
+  buf_add b "  ***/\n}\n\n";
+  (* helper chains: pure local arithmetic *)
+  for w = 0 to p.workers - 1 do
+    for d = p.chain_depth - 1 downto 0 do
+      if d = p.chain_depth - 1 then
+        buf_add b
+          (Fmt.str
+             "double helper_%d_%d(double x)\n{\n  double y = x * 1.01 + 0.5;\n  int i;\n  for (i = 0; i < 4; i++) {\n    y = y * 0.99 + x * 0.01;\n  }\n  return y;\n}\n\n"
+             w d)
+      else
+        buf_add b
+          (Fmt.str
+             "double helper_%d_%d(double x)\n{\n  double y = helper_%d_%d(x) - 0.25;\n  if (y > 10.0) {\n    y = 10.0;\n  }\n  return y;\n}\n\n"
+             w d w (d + 1))
+    done;
+    let region = w mod p.regions in
+    let monitored =
+      float_of_int w < (p.monitored_fraction *. float_of_int p.workers) -. 1e-9
+    in
+    if monitored then
+      buf_add b
+        (Fmt.str
+           "double worker%d()\n/*** SafeFlow Annotation assume(core(region%d, 0, sizeof(Block))) ***/\n{\n  double v = region%d->a;\n  if (v > 5.0 || v < -5.0) {\n    return 0.0;\n  }\n  return helper_%d_0(v);\n}\n\n"
+           w region region w)
+    else
+      buf_add b
+        (Fmt.str
+           "double worker%d()\n{\n  double v = region%d->bfield;\n  return helper_%d_0(v);\n}\n\n"
+           w region w)
+  done;
+  (* main: combine everything *)
+  buf_add b "int main()\n{\n  double total = 0.0;\n  long tick = 0;\n";
+  buf_add b "  initShm();\n  while (tick < 1000) {\n";
+  for w = 0 to p.workers - 1 do
+    buf_add b (Fmt.str "    total = total + worker%d();\n" w)
+  done;
+  buf_add b "    /*** SafeFlow Annotation assert(safe(total)) ***/\n";
+  buf_add b "    sendControl(total);\n    total = 0.0;\n    tick = tick + 1;\n  }\n";
+  buf_add b "  return 0;\n}\n";
+  Buffer.contents b
+
+(** Scale by a single knob: worker count (size grows roughly linearly). *)
+let of_size n =
+  generate { default with workers = n; regions = max 2 (n / 4); chain_depth = 3 }
+
+(** Worst-case workload for the exact phase-3 engine: a binary tree of
+    monitoring functions.  Each level contributes two alternative
+    monitors with distinct assumptions, both calling into the next level,
+    so the number of distinct monitoring contexts reaching the leaves is
+    2^depth — the paper's "exponential in run-time complexity" case.  The
+    summary engine (B4) stays polynomial in per-instruction work. *)
+let context_explosion ~depth : string =
+  let b = Buffer.create 4096 in
+  buf_add b "struct Block { double a; double bfield; };\n";
+  buf_add b "typedef struct Block Block;\n\n";
+  let nregions = 2 * depth in
+  for r = 0 to nregions - 1 do
+    buf_add b (Fmt.str "Block *region%d;\n" r)
+  done;
+  buf_add b "\nextern void sendControl(double v);\n\n";
+  buf_add b "void initShm()\n/*** SafeFlow Annotation shminit ***/\n{\n";
+  buf_add b "  int id;\n  void *base;\n  char *cursor;\n";
+  buf_add b (Fmt.str "  id = shmget(6500, %d * sizeof(Block), 438);\n" nregions);
+  buf_add b "  base = shmat(id, (void *) 0, 0);\n  cursor = (char *) base;\n";
+  for r = 0 to nregions - 1 do
+    buf_add b (Fmt.str "  region%d = (Block *) cursor;\n" r);
+    if r < nregions - 1 then buf_add b "  cursor = cursor + sizeof(Block);\n"
+  done;
+  buf_add b "  /*** SafeFlow Annotation\n";
+  for r = 0 to nregions - 1 do
+    buf_add b (Fmt.str "       assume(shmvar(region%d, sizeof(Block)))\n" r)
+  done;
+  for r = 0 to nregions - 1 do
+    buf_add b (Fmt.str "       assume(noncore(region%d))\n" r)
+  done;
+  buf_add b "  ***/\n}\n\n";
+  (* the leaf does some arithmetic on a monitored read of region 0 *)
+  buf_add b
+    "double leaf()\n{\n  double v = region0->a;\n  if (v > 5.0 || v < -5.0) {\n    return 0.0;\n  }\n  return v * 0.5;\n}\n\n";
+  (* levels from the bottom up: level d has two monitors calling level d+1 *)
+  for level = depth - 1 downto 0 do
+    let callee side =
+      if level = depth - 1 then "leaf()"
+      else Fmt.str "m%c%d()" side (level + 1)
+    in
+    List.iteri
+      (fun k side ->
+        let region = (2 * level) + k in
+        buf_add b
+          (Fmt.str
+             "double m%c%d()\n/*** SafeFlow Annotation assume(core(region%d, 0, sizeof(Block))) ***/\n{\n  double v = %s + %s;\n  if (v > 10.0) {\n    v = 10.0;\n  }\n  return v;\n}\n\n"
+             side level region (callee 'A') (callee 'B')))
+      [ 'A'; 'B' ]
+  done;
+  buf_add b
+    "int main()\n{\n  double total;\n  initShm();\n  total = mA0() + mB0();\n\
+     \  /*** SafeFlow Annotation assert(safe(total)) ***/\n  sendControl(total);\n\
+     \  return 0;\n}\n";
+  Buffer.contents b

@@ -1,0 +1,22 @@
+(** Synthetic core-component generator for the scalability benchmarks
+    (B2): configurable region count, worker functions, helper-chain depth
+    and monitored fraction. *)
+
+type params = {
+  regions : int;
+  workers : int;
+  chain_depth : int;
+  monitored_fraction : float;
+}
+
+val default : params
+
+val generate : params -> string
+(** MiniC source of a synthetic core component *)
+
+val of_size : int -> string
+(** single-knob scaling: worker count (size grows roughly linearly) *)
+
+val context_explosion : depth:int -> string
+(** binary tree of monitoring functions: 2^depth distinct monitoring
+    contexts reach the leaf — the exact engine's exponential case (B4) *)

@@ -1,0 +1,14 @@
+(** Value-flow-graph export: DOT rendering of the taint state, used for
+    the manual review of reported dependencies the paper requires
+    (§1, §4). *)
+
+val table_to_dot :
+  name:string -> (Phase3.entity, Phase3.origin) Hashtbl.t -> string
+
+val to_dot : Phase3.result -> string
+(** data-flow taint graph *)
+
+val control_to_dot : Phase3.result -> string
+(** control-taint graph *)
+
+val write_dot : string -> Phase3.result -> unit

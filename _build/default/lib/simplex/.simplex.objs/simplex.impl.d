@@ -1,0 +1,1 @@
+lib/simplex/simplex.ml: Controller Monitor Plant Shm_rt Sim

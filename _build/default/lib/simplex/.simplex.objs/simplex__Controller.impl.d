@@ -1,0 +1,1 @@
+lib/simplex/controller.ml: Array Float Linalg Plant

@@ -1,0 +1,1 @@
+lib/simplex/controller.mli: Linalg Plant

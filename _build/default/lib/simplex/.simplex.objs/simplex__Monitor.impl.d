@@ -1,0 +1,1 @@
+lib/simplex/monitor.ml: Array Controller Float Linalg Plant

@@ -1,0 +1,1 @@
+lib/simplex/monitor.mli: Controller Linalg Plant

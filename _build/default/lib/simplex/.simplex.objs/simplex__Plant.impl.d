@@ -1,0 +1,1 @@
+lib/simplex/plant.ml: Array Float Fmt Linalg List

@@ -1,0 +1,1 @@
+lib/simplex/plant.mli: Linalg

@@ -1,0 +1,1 @@
+lib/simplex/shm_rt.ml: Fmt Hashtbl Option

@@ -1,0 +1,1 @@
+lib/simplex/shm_rt.mli: Hashtbl

@@ -1,0 +1,1 @@
+lib/simplex/sim.ml: Array Controller Float Fmt Int64 Linalg Monitor Plant Shm_rt

@@ -1,0 +1,1 @@
+lib/simplex/sim.mli: Controller Linalg Plant

@@ -1,0 +1,55 @@
+(** Controllers for the Simplex architecture.
+
+    The {e safety controller} is a conservatively tuned LQR synthesized
+    with {!Linalg.dare}; the {e complex controller} stands in for the
+    non-core high-performance controller: better tracking when healthy,
+    but it can be configured with the failure modes the paper's
+    experiments exercise (destabilizing gains, saturated output, NaN
+    output, stuck output). *)
+
+type t = {
+  cname : string;
+  gain : Linalg.mat;  (** 1×n state-feedback gain: u = −K x *)
+}
+
+(** Synthesize an LQR controller.  [q_diag] weights the states, [r]
+    weights the input. *)
+let lqr ~name (plant : Plant.t) ~(q_diag : float array) ~(r : float) : t =
+  let n = plant.Plant.state_dim in
+  let q = Array.init n (fun i -> Array.init n (fun j -> if i = j then q_diag.(i) else 0.0)) in
+  let rm = [| [| r |] |] in
+  let p = Linalg.dare plant.Plant.a plant.Plant.b q rm in
+  let k = Linalg.lqr_gain plant.Plant.a plant.Plant.b p rm in
+  { cname = name; gain = k }
+
+(** The conservative safety (core) controller. *)
+let safety (plant : Plant.t) : t =
+  let n = plant.Plant.state_dim in
+  lqr ~name:"safety-lqr" plant ~q_diag:(Array.make n 1.0) ~r:1.0
+
+(** The aggressive complex (non-core) controller: heavier state weights,
+    cheap control — faster convergence, smaller stability margins. *)
+let complex (plant : Plant.t) : t =
+  let n = plant.Plant.state_dim in
+  let q = Array.init n (fun i -> if i = 0 then 80.0 else 20.0) in
+  lqr ~name:"complex-lqr" plant ~q_diag:q ~r:0.05
+
+let output (c : t) (x : Linalg.vec) : float =
+  -.(Linalg.mat_vec c.gain x).(0)
+
+(** Failure modes for the non-core controller (paper §1: "newer, untested
+    components"). *)
+type fault =
+  | Healthy
+  | Destabilizing  (** sign-flipped gain: actively pushes the plant over *)
+  | Stuck of float (** output frozen at a constant *)
+  | Noisy of float (** bounded white noise added to the output *)
+  | Nan_output     (** emits NaN (e.g. uninitialized data race read) *)
+
+let faulty_output (c : t) (fault : fault) (x : Linalg.vec) ~(noise : unit -> float) : float =
+  match fault with
+  | Healthy -> output c x
+  | Destabilizing -> -.(output c x)
+  | Stuck v -> v
+  | Noisy amp -> output c x +. (amp *. noise ())
+  | Nan_output -> Float.nan

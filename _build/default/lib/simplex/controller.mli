@@ -1,0 +1,30 @@
+(** Controllers for the Simplex architecture: a conservative LQR safety
+    controller and an aggressive complex controller with configurable
+    failure modes (the paper's untrusted non-core component). *)
+
+type t = {
+  cname : string;
+  gain : Linalg.mat;  (** 1×n state feedback: u = −K·x *)
+}
+
+val lqr : name:string -> Plant.t -> q_diag:float array -> r:float -> t
+(** synthesize an LQR controller via {!Linalg.dare} *)
+
+val safety : Plant.t -> t
+(** the conservative core controller *)
+
+val complex : Plant.t -> t
+(** the aggressive non-core controller (heavy state weights, cheap
+    control) *)
+
+val output : t -> Linalg.vec -> float
+
+(** Failure modes injected into the complex controller. *)
+type fault =
+  | Healthy
+  | Destabilizing   (** sign-flipped gain *)
+  | Stuck of float  (** output frozen *)
+  | Noisy of float  (** bounded white noise added *)
+  | Nan_output      (** emits NaN *)
+
+val faulty_output : t -> fault -> Linalg.vec -> noise:(unit -> float) -> float

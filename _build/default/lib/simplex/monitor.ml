@@ -1,0 +1,80 @@
+(** Run-time recoverability monitor — the Lyapunov stability envelope of
+    the Simplex architecture ([22] in the paper).
+
+    Given the closed-loop system under the safety controller,
+    A_c = A − B·K, we solve the discrete Lyapunov equation
+    A_cᵀ P A_c − P + Q = 0.  The set { x | xᵀPx ≤ c } is invariant under
+    the safety controller, so the system is {e recoverable} from any
+    state inside it.  A proposed non-core control output [u] is accepted
+    only if the {e predicted next state} A x + B u stays inside the
+    envelope (and [u] itself is a sane actuator value). *)
+
+type t = {
+  p : Linalg.mat;       (** Lyapunov matrix of the safety closed loop *)
+  envelope : float;     (** level c of the invariant set *)
+  plant : Plant.t;
+  u_min : float;
+  u_max : float;
+}
+
+(** Build the monitor from the plant and its safety controller.
+    [envelope] defaults to the Lyapunov level of the largest admissible
+    initial condition (angle 0.3 rad, centered). *)
+let make ?(envelope_state : Linalg.vec option) (plant : Plant.t) (safety : Controller.t) : t =
+  let n = plant.Plant.state_dim in
+  let ac = Linalg.closed_loop plant.Plant.a plant.Plant.b safety.Controller.gain in
+  let q = Linalg.identity n in
+  let p = Linalg.dlyap ac q in
+  let reference =
+    match envelope_state with
+    | Some x -> x
+    | None ->
+      (* conservative: the linear Lyapunov argument ignores actuator
+         saturation, so the envelope must leave the safety controller
+         enough authority to recover with |u| ≤ u_max; higher-order
+         plants get a tighter envelope (less control authority per
+         unstable mode) *)
+      let angle = if n >= 6 then 0.05 else 0.12 in
+      let pos = if n >= 6 then 0.12 else 0.3 in
+      Array.init n (fun i -> if i = 2 then angle else if i = 0 then pos else 0.0)
+  in
+  let envelope = Linalg.quadratic_form p reference in
+  { p; envelope; plant; u_min = plant.Plant.u_min; u_max = plant.Plant.u_max }
+
+(** Lyapunov value of a state. *)
+let value (m : t) (x : Linalg.vec) : float = Linalg.quadratic_form m.p x
+
+let inside (m : t) (x : Linalg.vec) : bool = value m x <= m.envelope
+
+(** The recoverability check applied to a proposed control output: the
+    paper's "checkSafety".  Rejects non-finite and out-of-range outputs,
+    then requires the one-step prediction to stay inside the envelope. *)
+let check (m : t) (x : Linalg.vec) ~(u : float) : bool =
+  Float.is_finite u
+  && u >= m.u_min -. 1e-9
+  && u <= m.u_max +. 1e-9
+  &&
+  let ax = Linalg.mat_vec m.plant.Plant.a x in
+  let bu = Array.map (fun row -> row.(0) *. u) m.plant.Plant.b in
+  let next = Linalg.vec_add ax bu in
+  value m next <= m.envelope
+
+(** Collision-recoverability monitor for the car-following plant (the
+    paper's autonomous-car example): accept an acceleration only if,
+    should the lead vehicle brake at [brake] from now on, the ego vehicle
+    can still stop outside [min_gap] using the same braking authority. *)
+let collision_check ?(min_gap = 8.0) ?(brake = 6.0) ?(horizon = 0.4) (plant : Plant.t)
+    (x : Linalg.vec) ~(u : float) : bool =
+  Float.is_finite u
+  && u >= plant.Plant.u_min -. 1e-9
+  && u <= plant.Plant.u_max +. 1e-9
+  &&
+  let gap = x.(0) and closing = x.(1) and own = x.(2) in
+  (* hold the proposed acceleration for [horizon] seconds (lead coasting) *)
+  let own1 = own +. (u *. horizon) in
+  let gap1 = gap -. ((closing +. (0.5 *. u *. horizon)) *. horizon) in
+  let lead1 = own1 -. (closing +. (u *. horizon)) in
+  (* worst case afterwards: both brake at full authority *)
+  let stop_ego = own1 *. own1 /. (2.0 *. brake) in
+  let stop_lead = Float.max 0.0 lead1 *. Float.max 0.0 lead1 /. (2.0 *. brake) in
+  gap1 +. stop_lead -. stop_ego >= min_gap

@@ -1,0 +1,36 @@
+(** The run-time recoverability monitor: the Lyapunov stability envelope
+    of the safety closed loop (the Simplex architecture's decision
+    criterion, [22] in the paper).
+
+    The envelope { x | xᵀPx ≤ c } with P from the discrete Lyapunov
+    equation of A − B·K_safety is invariant under the safety controller,
+    so any admitted state is recoverable. *)
+
+type t = {
+  p : Linalg.mat;
+  envelope : float;
+  plant : Plant.t;
+  u_min : float;
+  u_max : float;
+}
+
+val make : ?envelope_state:Linalg.vec -> Plant.t -> Controller.t -> t
+(** [envelope_state] sets the boundary reference state; the default is a
+    conservative deflection that stays recoverable under actuator
+    saturation. *)
+
+val value : t -> Linalg.vec -> float
+(** Lyapunov value xᵀPx *)
+
+val inside : t -> Linalg.vec -> bool
+
+val check : t -> Linalg.vec -> u:float -> bool
+(** the paper's "checkSafety": reject non-finite / out-of-range outputs
+    and anything whose one-step prediction leaves the envelope *)
+
+val collision_check :
+  ?min_gap:float -> ?brake:float -> ?horizon:float -> Plant.t -> Linalg.vec ->
+  u:float -> bool
+(** collision-recoverability check for {!Plant.car_following} (the
+    paper's autonomous-car monitor): the ego vehicle must be able to stop
+    outside [min_gap] even if the lead vehicle brakes hard *)

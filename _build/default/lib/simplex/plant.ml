@@ -1,0 +1,128 @@
+(** Discrete-time plant models.
+
+    The paper's systems control an inverted pendulum (Figure 1) and a
+    double inverted pendulum; both are supplied here as linearized
+    cart-pole models about the upright equilibrium, discretized from the
+    continuous dynamics ẋ = Ax + Bu with a truncated matrix exponential.
+    A generic LTI constructor supports the "generic Simplex for simple
+    plants" configuration of the second system. *)
+
+type t = {
+  name : string;
+  a : Linalg.mat;  (** discrete-time state matrix *)
+  b : Linalg.mat;  (** discrete-time input matrix (single input: n×1) *)
+  dt : float;
+  u_min : float;   (** actuator saturation, e.g. −5V *)
+  u_max : float;
+  state_dim : int;
+}
+
+(** Discretize ẋ = Ax + Bu with step [dt]:
+    A_d = I + A·dt + A²dt²/2 + A³dt³/6 + A⁴dt⁴/24,
+    B_d = (I·dt + A·dt²/2 + A²dt³/6 + A³dt⁴/24)·B. *)
+let discretize ~(a : Linalg.mat) ~(b : Linalg.mat) ~dt =
+  let n, _ = Linalg.dims a in
+  let i = Linalg.identity n in
+  let term k m = Linalg.scale (Float.pow dt (float_of_int k) /. float_of_int (List.fold_left ( * ) 1 (List.init k (fun x -> x + 1)))) m in
+  let a2 = Linalg.mul a a in
+  let a3 = Linalg.mul a2 a in
+  let a4 = Linalg.mul a3 a in
+  let ad =
+    List.fold_left Linalg.add i [ term 1 a; term 2 a2; term 3 a3; term 4 a4 ]
+  in
+  let bint =
+    List.fold_left Linalg.add (term 1 i) [ term 2 a; term 3 a2; term 4 a3 ]
+  in
+  (ad, Linalg.mul bint b)
+
+let make ~name ~a ~b ~dt ?(u_min = -5.0) ?(u_max = 5.0) () =
+  let ad, bd = discretize ~a ~b ~dt in
+  { name; a = ad; b = bd; dt; u_min; u_max; state_dim = fst (Linalg.dims a) }
+
+(** Linearized cart-pole (inverted pendulum on a trolley), state
+    [position; velocity; angle; angular velocity], input = trolley force.
+    Parameters: cart mass [mc], pole mass [mp], pole length [l]. *)
+let inverted_pendulum ?(mc = 1.0) ?(mp = 0.1) ?(l = 0.5) ?(dt = 0.01) () =
+  let g = 9.81 in
+  let a =
+    [| [| 0.0; 1.0; 0.0; 0.0 |];
+       [| 0.0; 0.0; -.(mp *. g) /. mc; 0.0 |];
+       [| 0.0; 0.0; 0.0; 1.0 |];
+       [| 0.0; 0.0; (mc +. mp) *. g /. (mc *. l); 0.0 |] |]
+  in
+  let b = [| [| 0.0 |]; [| 1.0 /. mc |]; [| 0.0 |]; [| -1.0 /. (mc *. l) |] |] in
+  make ~name:"inverted-pendulum" ~a ~b ~dt ()
+
+(** Linearized double inverted pendulum: two independent poles of
+    different lengths hinged on one trolley, state
+    [x; ẋ; θ1; θ̇1; θ2; θ̇2].  Small-angle dynamics:
+    ẍ = (u − m1·g·θ1 − m2·g·θ2)/mc and θ̈ᵢ = (g·θᵢ − ẍ)/lᵢ.
+    Controllable iff l1 ≠ l2; open-loop unstable. *)
+let double_inverted_pendulum ?(mc = 1.0) ?(m1 = 0.1) ?(m2 = 0.1) ?(l1 = 0.6) ?(l2 = 0.3)
+    ?(dt = 0.005) () =
+  let g = 9.81 in
+  let xdd = [| 0.0; 0.0; -.(m1 *. g) /. mc; 0.0; -.(m2 *. g) /. mc; 0.0 |] in
+  let theta_row l self_col =
+    Array.init 6 (fun j ->
+        let coupling = -.xdd.(j) /. l in
+        if j = self_col then (g /. l) +. coupling else coupling)
+  in
+  let a =
+    [| [| 0.0; 1.0; 0.0; 0.0; 0.0; 0.0 |];
+       xdd;
+       [| 0.0; 0.0; 0.0; 1.0; 0.0; 0.0 |];
+       theta_row l1 2;
+       [| 0.0; 0.0; 0.0; 0.0; 0.0; 1.0 |];
+       theta_row l2 4 |]
+  in
+  let b =
+    [| [| 0.0 |]; [| 1.0 /. mc |]; [| 0.0 |]; [| -1.0 /. (mc *. l1) |]; [| 0.0 |];
+       [| -1.0 /. (mc *. l2) |] |]
+  in
+  make ~name:"double-inverted-pendulum" ~a ~b ~dt ()
+
+(** A generic stable-izable LTI plant used by the "generic Simplex"
+    system: a chain of integrators with a configurable instability pole. *)
+let generic_lti ?(dim = 3) ?(pole = 0.8) ?(dt = 0.01) () =
+  let a =
+    Array.init dim (fun i ->
+        Array.init dim (fun j ->
+            if j = i + 1 then 1.0 else if i = dim - 1 && j = 0 then pole else 0.0))
+  in
+  let b = Array.init dim (fun i -> [| (if i = dim - 1 then 1.0 else 0.0) |]) in
+  make ~name:(Fmt.str "generic-lti-%d" dim) ~a ~b ~dt ()
+
+let saturate t u = Float.min t.u_max (Float.max t.u_min u)
+
+(** One simulation step: x' = A_d x + B_d·sat(u) + w. *)
+let step t (x : Linalg.vec) ~(u : float) ~(w : Linalg.vec) : Linalg.vec =
+  let u = saturate t u in
+  let ax = Linalg.mat_vec t.a x in
+  let bu = Array.map (fun row -> row.(0) *. u) t.b in
+  Linalg.vec_add (Linalg.vec_add ax bu) w
+
+(** Has the plant left the physically meaningful envelope (fallen over /
+    run off the track)? *)
+let crashed t (x : Linalg.vec) =
+  match t.state_dim with
+  | 4 -> Float.abs x.(0) > 2.0 || Float.abs x.(2) > 0.8
+  | 6 -> Float.abs x.(0) > 2.0 || Float.abs x.(2) > 0.8 || Float.abs x.(4) > 0.8
+  | _ -> Linalg.norm2 x > 100.0
+
+(** Longitudinal car-following model (adaptive cruise): state
+    [gap; closing speed; own speed], input = ego acceleration.  The lead
+    vehicle's acceleration enters through the disturbance term of
+    {!step}.  Linear and open-loop marginally stable (integrators), so
+    the interesting safety question is the collision constraint, not
+    stabilization. *)
+let car_following ?(dt = 0.02) () =
+  let a =
+    [| [| 0.0; -1.0; 0.0 |];   (* gap' = -closing speed *)
+       [| 0.0; 0.0; 0.0 |];    (* closing' = a_ego - a_lead (input/disturbance) *)
+       [| 0.0; 0.0; 0.0 |] |]  (* own' = a_ego *)
+  in
+  let b = [| [| 0.0 |]; [| 1.0 |]; [| 1.0 |] |] in
+  make ~name:"car-following" ~a ~b ~dt ~u_min:(-6.0) ~u_max:2.0 ()
+
+(** Has the ego vehicle collided (gap exhausted)? *)
+let collided (x : Linalg.vec) = x.(0) <= 0.0

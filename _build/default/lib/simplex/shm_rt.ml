@@ -1,0 +1,67 @@
+(** Simulated shared memory between core and non-core components.
+
+    Cells are named, typed slots grouped into regions; non-core regions
+    can be overwritten by the (simulated) non-core component at any point
+    — including between the core's write and its read-back, which is how
+    the paper's "rigged feedback" error becomes exploitable at run time.
+    A lock is modeled so scenarios can also violate the synchronization
+    protocol deliberately. *)
+
+type value = F of float | I of int
+
+type cell = { mutable v : value; cell_region : string }
+
+type t = {
+  cells : (string, cell) Hashtbl.t;
+  regions : (string, bool) Hashtbl.t;  (** region → noncore? *)
+  mutable locked : bool;
+  mutable lock_violations : int;
+  mutable noncore_writes : (string * value) list;  (** log, newest first *)
+}
+
+let create () =
+  {
+    cells = Hashtbl.create 16;
+    regions = Hashtbl.create 4;
+    locked = false;
+    lock_violations = 0;
+    noncore_writes = [];
+  }
+
+let add_region t name ~noncore = Hashtbl.replace t.regions name noncore
+
+let add_cell t ~region name v =
+  if not (Hashtbl.mem t.regions region) then invalid_arg "Shm_rt.add_cell: unknown region";
+  Hashtbl.replace t.cells name { v; cell_region = region }
+
+let lock t = t.locked <- true
+let unlock t = t.locked <- false
+
+let get t name =
+  match Hashtbl.find_opt t.cells name with
+  | Some c -> c.v
+  | None -> invalid_arg (Fmt.str "Shm_rt.get: unknown cell %s" name)
+
+let get_f t name = match get t name with F x -> x | I n -> float_of_int n
+let get_i t name = match get t name with I n -> n | F x -> int_of_float x
+
+(** Core-component write (honors the lock by construction). *)
+let set t name v =
+  match Hashtbl.find_opt t.cells name with
+  | Some c -> c.v <- v
+  | None -> invalid_arg (Fmt.str "Shm_rt.set: unknown cell %s" name)
+
+(** Non-core component write: allowed into non-core regions; a write into
+    a core region or while the core holds the lock is recorded as a
+    protocol violation but still performed — non-core encapsulation
+    cannot be assumed (paper §3.4.2). *)
+let noncore_set t name v =
+  match Hashtbl.find_opt t.cells name with
+  | Some c ->
+    let noncore_region =
+      Option.value ~default:false (Hashtbl.find_opt t.regions c.cell_region)
+    in
+    if t.locked || not noncore_region then t.lock_violations <- t.lock_violations + 1;
+    c.v <- v;
+    t.noncore_writes <- (name, v) :: t.noncore_writes
+  | None -> invalid_arg (Fmt.str "Shm_rt.noncore_set: unknown cell %s" name)

@@ -1,0 +1,40 @@
+(** Simulated shared memory between core and non-core components.
+
+    Non-core writes into core regions or under the core's lock are
+    recorded as protocol violations but still performed — non-core
+    encapsulation cannot be assumed (paper §3.4.2). *)
+
+type value = F of float | I of int
+
+type cell = { mutable v : value; cell_region : string }
+
+type t = {
+  cells : (string, cell) Hashtbl.t;
+  regions : (string, bool) Hashtbl.t;  (** region → noncore? *)
+  mutable locked : bool;
+  mutable lock_violations : int;
+  mutable noncore_writes : (string * value) list;  (** newest first *)
+}
+
+val create : unit -> t
+
+val add_region : t -> string -> noncore:bool -> unit
+
+val add_cell : t -> region:string -> string -> value -> unit
+
+val lock : t -> unit
+
+val unlock : t -> unit
+
+val get : t -> string -> value
+
+val get_f : t -> string -> float
+
+val get_i : t -> string -> int
+
+val set : t -> string -> value -> unit
+(** core-component write *)
+
+val noncore_set : t -> string -> value -> unit
+(** non-core write: always performed; counted as a violation when it
+    targets a core region or races the lock *)

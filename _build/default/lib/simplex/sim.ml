@@ -1,0 +1,230 @@
+(** Closed-loop simulation of the Simplex architecture.
+
+    Each period: the core controller publishes the sensor feedback to
+    shared memory, computes its own safe control, lets the (simulated)
+    non-core controller publish its output, runs the decision module and
+    actuates.  Scenarios inject the faults from the paper's evaluation:
+    a faulty complex controller, a non-core component that rigs the
+    feedback cells to fool the monitor, and a non-core component that
+    overwrites the pid cell consumed by a [kill] call. *)
+
+(* deterministic split-mix RNG so simulations are reproducible *)
+module Rng = struct
+  type t = { mutable s : int64 }
+
+  let create seed = { s = Int64.of_int seed }
+
+  let next t =
+    t.s <- Int64.add t.s 0x9E3779B97F4A7C15L;
+    let z = t.s in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  (* uniform in [-1, 1] *)
+  let uniform t = Int64.to_float (next t) /. 9.223372036854775807e18
+end
+
+type scenario =
+  | Nominal                       (** healthy complex controller *)
+  | Complex_fault of Controller.fault  (** complex controller misbehaves *)
+  | Rigged_feedback of int
+      (** from the given step, the non-core component overwrites the
+          feedback cells the decision module re-reads from shared memory,
+          making the recoverability check pass for its own (destabilizing)
+          output — the paper's generic-Simplex error *)
+  | Kill_pid of int
+      (** from the given step, the non-core component overwrites the pid
+          cell that the core passes to [kill] — the paper's error found in
+          all three systems *)
+
+(** Which decision-module implementation to run. *)
+type core_variant =
+  | Vulnerable  (** reads the feedback for the check from shared memory
+                    (exactly Figure 2: flagged by SafeFlow) *)
+  | Fixed       (** uses a local copy of the feedback (the paper's fix) *)
+
+type event =
+  | Switched_to_safety of int
+  | Switched_to_complex of int
+  | Monitor_reject of int
+  | Crash of int
+  | Core_killed of int  (** the kill(pid) victim was the core itself *)
+
+type result = {
+  steps_run : int;
+  crashed : bool;
+  core_killed : bool;
+  safety_engagements : int;
+  monitor_rejections : int;
+  max_angle : float;
+  max_position : float;
+  final_state : Linalg.vec;
+  events : event list;  (** newest first *)
+  cost : float;  (** Σ xᵀx·dt — tracking performance measure *)
+}
+
+type config = {
+  plant : Plant.t;
+  scenario : scenario;
+  variant : core_variant;
+  steps : int;
+  seed : int;
+  disturbance : float;  (** magnitude of the per-step state disturbance *)
+  x0 : Linalg.vec option;
+}
+
+let default_config plant =
+  {
+    plant;
+    scenario = Nominal;
+    variant = Fixed;
+    steps = 2000;
+    seed = 1;
+    disturbance = 0.002;
+    x0 = None;
+  }
+
+let core_pid = 1000
+let other_pid = 4242
+
+let run (cfg : config) : result =
+  let plant = cfg.plant in
+  let n = plant.Plant.state_dim in
+  let rng = Rng.create cfg.seed in
+  let safety = Controller.safety plant in
+  let complex = Controller.complex plant in
+  let monitor = Monitor.make plant safety in
+  let shm = Shm_rt.create () in
+  Shm_rt.add_region shm "fb" ~noncore:true;    (* feedback published for the non-core *)
+  Shm_rt.add_region shm "ctl" ~noncore:true;   (* non-core control output *)
+  Shm_rt.add_region shm "sys" ~noncore:true;   (* misc: watchdog pid cell *)
+  for i = 0 to n - 1 do
+    Shm_rt.add_cell shm ~region:"fb" (Fmt.str "x%d" i) (Shm_rt.F 0.0)
+  done;
+  Shm_rt.add_cell shm ~region:"ctl" "u_nc" (Shm_rt.F 0.0);
+  Shm_rt.add_cell shm ~region:"sys" "watchdog_pid" (Shm_rt.I other_pid);
+  let x =
+    ref
+      (match cfg.x0 with
+      | Some x -> Array.copy x
+      | None -> Array.init n (fun i -> if i = 2 then 0.05 else 0.0))
+  in
+  let events = ref [] in
+  let safety_engagements = ref 0 in
+  let monitor_rejections = ref 0 in
+  let crashed = ref false in
+  let core_killed = ref false in
+  let using_complex = ref true in
+  let max_angle = ref 0.0 and max_position = ref 0.0 in
+  let cost = ref 0.0 in
+  let steps_run = ref 0 in
+  let complex_fault =
+    match cfg.scenario with
+    | Complex_fault f -> f
+    | Rigged_feedback _ ->
+      (* an in-range but destabilizing output: the range check cannot
+         reject it, only the envelope check can — which is what the
+         rigged feedback defeats *)
+      Controller.Stuck (0.9 *. plant.Plant.u_max)
+    | _ -> Controller.Healthy
+  in
+  let step_idx = ref 0 in
+  (try
+     while !step_idx < cfg.steps do
+       let k = !step_idx in
+       steps_run := k + 1;
+       (* 1. core publishes feedback *)
+       Shm_rt.lock shm;
+       Array.iteri (fun i xi -> Shm_rt.set shm (Fmt.str "x%d" i) (Shm_rt.F xi)) !x;
+       (* core computes its safe control from its own sensor data *)
+       let u_safe = Controller.output safety !x in
+       Shm_rt.unlock shm;
+       (* 2. non-core period: complex controller reads feedback, publishes
+          its output; fault scenarios act here *)
+       let fb = Array.init n (fun i -> Shm_rt.get_f shm (Fmt.str "x%d" i)) in
+       let u_nc =
+         Controller.faulty_output complex complex_fault fb ~noise:(fun () ->
+             Rng.uniform rng)
+       in
+       Shm_rt.noncore_set shm "u_nc" (Shm_rt.F u_nc);
+       (match cfg.scenario with
+       | Rigged_feedback from when k >= from ->
+         (* the non-core component rewrites the published feedback to a
+            calm state so the monitor's re-read sees no danger *)
+         Array.iteri
+           (fun i _ -> Shm_rt.noncore_set shm (Fmt.str "x%d" i) (Shm_rt.F 0.0))
+           fb
+       | Kill_pid from when k >= from ->
+         Shm_rt.noncore_set shm "watchdog_pid" (Shm_rt.I core_pid)
+       | _ -> ());
+       (* 3. decision module *)
+       Shm_rt.lock shm;
+       let u_nc_read = Shm_rt.get_f shm "u_nc" in
+       let check_state =
+         match cfg.variant with
+         | Vulnerable ->
+           (* re-reads the (possibly rigged) shared feedback *)
+           Array.init n (fun i -> Shm_rt.get_f shm (Fmt.str "x%d" i))
+         | Fixed -> !x (* local copy, per the paper's suggested fix *)
+       in
+       let ok = Monitor.check monitor check_state ~u:u_nc_read in
+       let u_applied =
+         if ok then begin
+           if not !using_complex then begin
+             using_complex := true;
+             events := Switched_to_complex k :: !events
+           end;
+           u_nc_read
+         end
+         else begin
+           incr monitor_rejections;
+           events := Monitor_reject k :: !events;
+           if !using_complex then begin
+             using_complex := false;
+             incr safety_engagements;
+             events := Switched_to_safety k :: !events
+           end;
+           u_safe
+         end
+       in
+       Shm_rt.unlock shm;
+       (* watchdog: periodically signals the stale non-core process; the
+          pid comes from shared memory (the paper's kill error) *)
+       if k mod 500 = 499 then begin
+         let pid = Shm_rt.get_i shm "watchdog_pid" in
+         if pid = core_pid then begin
+           core_killed := true;
+           events := Core_killed k :: !events;
+           raise Exit
+         end
+       end;
+       (* 4. actuate and evolve the plant *)
+       let w =
+         Array.init n (fun i ->
+             if i = 1 || i = n - 1 then cfg.disturbance *. Rng.uniform rng else 0.0)
+       in
+       x := Plant.step plant !x ~u:u_applied ~w;
+       max_angle := Float.max !max_angle (Float.abs !x.(min 2 (n - 1)));
+       max_position := Float.max !max_position (Float.abs !x.(0));
+       cost := !cost +. (Linalg.dot !x !x *. plant.Plant.dt);
+       if Plant.crashed plant !x then begin
+         crashed := true;
+         events := Crash k :: !events;
+         raise Exit
+       end;
+       incr step_idx
+     done
+   with Exit -> ());
+  {
+    steps_run = !steps_run;
+    crashed = !crashed;
+    core_killed = !core_killed;
+    safety_engagements = !safety_engagements;
+    monitor_rejections = !monitor_rejections;
+    max_angle = !max_angle;
+    max_position = !max_position;
+    final_state = !x;
+    events = !events;
+    cost = !cost;
+  }

@@ -1,0 +1,10 @@
+(** Simplex-architecture runtime substrate: simulated plants, LQR
+    controllers, the Lyapunov stability-envelope monitor, shared-memory
+    emulation with fault injection, and the closed-loop simulation
+    harness used by the examples and benchmarks. *)
+
+module Plant = Plant
+module Controller = Controller
+module Monitor = Monitor
+module Shm_rt = Shm_rt
+module Sim = Sim

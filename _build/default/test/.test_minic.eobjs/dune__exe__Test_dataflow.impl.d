@@ -1,0 +1,1 @@
+test/test_dataflow.ml: Alcotest Array Dataflow Fmt Hashtbl Int List Minic QCheck QCheck_alcotest

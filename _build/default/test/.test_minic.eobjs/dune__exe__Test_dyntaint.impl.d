@@ -1,0 +1,1 @@
+test/test_dyntaint.ml: Alcotest Astring Driver Dyntaint Fmt Int64 List Minic QCheck QCheck_alcotest Report Safeflow Ssair Synth Sys

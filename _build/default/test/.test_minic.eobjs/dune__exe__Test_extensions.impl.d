@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Astring Driver Float Fmt List Minic Phase3 QCheck QCheck_alcotest Report Safeflow Shm String Summary Synth Sys Vfg

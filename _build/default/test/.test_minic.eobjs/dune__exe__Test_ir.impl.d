@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Astring Fmt Hashtbl Int64 List Loc Minic Option Parser QCheck QCheck_alcotest Ssair Ty Typecheck

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Float Fmt Linalg List QCheck QCheck_alcotest Simplex

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Annot Ast Astring Fmt Hashtbl Int64 Lexer List Loc Minic Parser Pretty QCheck QCheck_alcotest String Tast Token Ty Typecheck

@@ -1,0 +1,1 @@
+test/test_omega.ml: Alcotest Fmt List Omega QCheck QCheck_alcotest

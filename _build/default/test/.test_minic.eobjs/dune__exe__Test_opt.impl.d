@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Fmt Fun Int64 List Minic Option Parser QCheck QCheck_alcotest Safeflow Ssair Sys Typecheck

@@ -1,0 +1,1 @@
+test/test_pointsto.ml: Alcotest Dump Fmt List Minic Option Parser Pointsto Ssair Typecheck

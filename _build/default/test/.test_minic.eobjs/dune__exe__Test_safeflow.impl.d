@@ -1,0 +1,1 @@
+test/test_safeflow.ml: Alcotest Astring Config Driver List Report Safeflow Shm Vfg

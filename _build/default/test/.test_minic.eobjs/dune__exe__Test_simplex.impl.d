@@ -1,0 +1,1 @@
+test/test_simplex.ml: Alcotest Array Controller Float Fmt Monitor Plant QCheck QCheck_alcotest Shm_rt Sim Simplex

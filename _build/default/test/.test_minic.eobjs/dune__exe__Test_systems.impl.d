@@ -1,0 +1,1 @@
+test/test_systems.ml: Alcotest Array Astring Driver Fmt Int64 List Minic Report Safeflow Shm Ssair String Sys

@@ -1,0 +1,164 @@
+(* Tests for the dense linear-algebra kernel: solvers, Lyapunov and
+   Riccati equations, with property tests on random well-conditioned
+   systems. *)
+
+let approx ?(eps = 1e-8) a b = Float.abs (a -. b) <= eps
+
+let check_mat name ?(eps = 1e-8) (a : Linalg.mat) (b : Linalg.mat) =
+  Alcotest.(check bool) name true (Linalg.max_abs_diff a b <= eps)
+
+(* -- Basics ------------------------------------------------------------- *)
+
+let test_mul_identity () =
+  let a = [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  check_mat "I*A = A" (Linalg.mul (Linalg.identity 2) a) a;
+  check_mat "A*I = A" (Linalg.mul a (Linalg.identity 2)) a
+
+let test_transpose_involution () =
+  let a = [| [| 1.0; 2.0; 3.0 |]; [| 4.0; 5.0; 6.0 |] |] in
+  check_mat "(Aᵀ)ᵀ = A" (Linalg.transpose (Linalg.transpose a)) a
+
+let test_solve_simple () =
+  let a = [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let b = [| 5.0; 10.0 |] in
+  let x = Linalg.solve a b in
+  Alcotest.(check bool) "x0" true (approx x.(0) 1.0);
+  Alcotest.(check bool) "x1" true (approx x.(1) 3.0)
+
+let test_solve_singular () =
+  let a = [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  match Linalg.solve a [| 1.0; 2.0 |] with
+  | exception Linalg.Singular -> ()
+  | _ -> Alcotest.fail "expected Singular"
+
+let test_inverse () =
+  let a = [| [| 4.0; 7.0 |]; [| 2.0; 6.0 |] |] in
+  check_mat "A·A⁻¹ = I" (Linalg.mul a (Linalg.inverse a)) (Linalg.identity 2)
+
+let test_quadratic_form () =
+  let p = [| [| 2.0; 0.0 |]; [| 0.0; 3.0 |] |] in
+  Alcotest.(check bool) "xᵀPx" true
+    (approx (Linalg.quadratic_form p [| 1.0; 2.0 |]) 14.0)
+
+(* -- Lyapunov ------------------------------------------------------------ *)
+
+let test_dlyap_residual () =
+  (* stable A *)
+  let a = [| [| 0.5; 0.1 |]; [| -0.2; 0.6 |] |] in
+  let q = Linalg.identity 2 in
+  let p = Linalg.dlyap a q in
+  (* AᵀPA − P + Q = 0 *)
+  let residual =
+    Linalg.add (Linalg.sub (Linalg.mul (Linalg.transpose a) (Linalg.mul p a)) p) q
+  in
+  check_mat ~eps:1e-8 "lyapunov residual" residual (Linalg.mat_make 2 2 0.0)
+
+let test_dlyap_positive_definite () =
+  let a = [| [| 0.5; 0.1 |]; [| -0.2; 0.6 |] |] in
+  let p = Linalg.dlyap a (Linalg.identity 2) in
+  List.iter
+    (fun x ->
+      Alcotest.(check bool) "xᵀPx > 0" true (Linalg.quadratic_form p x > 0.0))
+    [ [| 1.0; 0.0 |]; [| 0.0; 1.0 |]; [| 1.0; -1.0 |]; [| 0.3; 0.7 |] ]
+
+(* -- Riccati / LQR ---------------------------------------------------------- *)
+
+let test_dare_residual () =
+  let plant = Simplex.Plant.inverted_pendulum () in
+  let a = plant.Simplex.Plant.a and b = plant.Simplex.Plant.b in
+  let q = Linalg.identity 4 and r = [| [| 1.0 |] |] in
+  let p = Linalg.dare a b q r in
+  let bt = Linalg.transpose b and at = Linalg.transpose a in
+  let g = Linalg.add r (Linalg.mul bt (Linalg.mul p b)) in
+  let k = Linalg.mul (Linalg.inverse g) (Linalg.mul bt (Linalg.mul p a)) in
+  let rhs =
+    Linalg.add q
+      (Linalg.sub (Linalg.mul at (Linalg.mul p a))
+         (Linalg.mul at (Linalg.mul p (Linalg.mul b k))))
+  in
+  Alcotest.(check bool) "riccati residual small" true (Linalg.max_abs_diff p rhs < 1e-6)
+
+let lqr_stabilizes plant x0 steps =
+  let ctrl = Simplex.Controller.safety plant in
+  let x = ref (Array.copy x0) in
+  let n = plant.Simplex.Plant.state_dim in
+  for _ = 1 to steps do
+    let u = Simplex.Controller.output ctrl !x in
+    x := Simplex.Plant.step plant !x ~u ~w:(Array.make n 0.0)
+  done;
+  Linalg.norm2 !x
+
+let test_lqr_stabilizes_pendulum () =
+  let plant = Simplex.Plant.inverted_pendulum () in
+  let final = lqr_stabilizes plant [| 0.1; 0.0; 0.08; 0.0 |] 3000 in
+  Alcotest.(check bool) "pendulum converges" true (final < 1e-4)
+
+let test_lqr_stabilizes_double_pendulum () =
+  let plant = Simplex.Plant.double_inverted_pendulum () in
+  let final = lqr_stabilizes plant [| 0.0; 0.0; 0.05; 0.0; 0.02; 0.0 |] 6000 in
+  Alcotest.(check bool) "double pendulum converges" true (final < 1e-4)
+
+let test_open_loop_unstable () =
+  let plant = Simplex.Plant.inverted_pendulum () in
+  let x = ref [| 0.0; 0.0; 0.01; 0.0 |] in
+  for _ = 1 to 500 do
+    x := Simplex.Plant.step plant !x ~u:0.0 ~w:(Array.make 4 0.0)
+  done;
+  Alcotest.(check bool) "pendulum falls without control" true (Float.abs !x.(2) > 0.1)
+
+(* -- Properties ---------------------------------------------------------------- *)
+
+let gen_spd_system =
+  (* A = MᵀM + I is SPD and well conditioned for small entries *)
+  let open QCheck.Gen in
+  let* n = int_range 2 5 in
+  let* entries = list_size (return (n * n)) (float_range (-1.0) 1.0) in
+  let* b = list_size (return n) (float_range (-5.0) 5.0) in
+  let m = Array.init n (fun i -> Array.init n (fun j -> List.nth entries ((i * n) + j))) in
+  let a = Linalg.add (Linalg.mul (Linalg.transpose m) m) (Linalg.identity n) in
+  return (a, Array.of_list b)
+
+let arb_spd =
+  QCheck.make
+    ~print:(fun (a, _) -> Fmt.str "%a" Linalg.pp_mat a)
+    gen_spd_system
+
+let prop_solve_residual =
+  QCheck.Test.make ~name:"solve: ‖Ax − b‖ small" ~count:200 arb_spd (fun (a, b) ->
+      let x = Linalg.solve a b in
+      let r = Linalg.vec_sub (Linalg.mat_vec a x) b in
+      Linalg.norm2 r < 1e-6 *. (1.0 +. Linalg.norm2 b))
+
+let prop_inverse_roundtrip =
+  QCheck.Test.make ~name:"inverse: A·A⁻¹ = I" ~count:100 arb_spd (fun (a, _) ->
+      let n, _ = Linalg.dims a in
+      Linalg.max_abs_diff (Linalg.mul a (Linalg.inverse a)) (Linalg.identity n) < 1e-6)
+
+let prop_quadratic_form_nonneg =
+  QCheck.Test.make ~name:"SPD quadratic form positive" ~count:100
+    (QCheck.pair arb_spd (QCheck.list_of_size (QCheck.Gen.return 5) (QCheck.float_range (-3.0) 3.0)))
+    (fun ((a, _), xs) ->
+      let n, _ = Linalg.dims a in
+      let x = Array.init n (fun i -> try List.nth xs i with _ -> 0.5) in
+      if Linalg.norm2 x < 1e-9 then true else Linalg.quadratic_form a x > 0.0)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "linalg"
+    [ ( "basics",
+        [ Alcotest.test_case "mul identity" `Quick test_mul_identity;
+          Alcotest.test_case "transpose" `Quick test_transpose_involution;
+          Alcotest.test_case "solve" `Quick test_solve_simple;
+          Alcotest.test_case "singular" `Quick test_solve_singular;
+          Alcotest.test_case "inverse" `Quick test_inverse;
+          Alcotest.test_case "quadratic form" `Quick test_quadratic_form ] );
+      ( "lyapunov",
+        [ Alcotest.test_case "residual" `Quick test_dlyap_residual;
+          Alcotest.test_case "positive definite" `Quick test_dlyap_positive_definite ] );
+      ( "riccati",
+        [ Alcotest.test_case "dare residual" `Quick test_dare_residual;
+          Alcotest.test_case "lqr pendulum" `Quick test_lqr_stabilizes_pendulum;
+          Alcotest.test_case "lqr double pendulum" `Quick test_lqr_stabilizes_double_pendulum;
+          Alcotest.test_case "open loop unstable" `Quick test_open_loop_unstable ] );
+      ( "properties",
+        [ qt prop_solve_residual; qt prop_inverse_roundtrip; qt prop_quadratic_form_nonneg ] ) ]

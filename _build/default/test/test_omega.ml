@@ -1,0 +1,259 @@
+(* Tests for the Omega-lite integer feasibility solver: unit cases for
+   equality elimination, dark shadow and splinters, plus property tests
+   against brute-force enumeration on boxed systems. *)
+
+open Omega
+module Linexpr = Omega.Linexpr
+
+let x = Linexpr.var "x"
+let y = Linexpr.var "y"
+let z = Linexpr.var "z"
+let c n = Linexpr.const n
+
+let check_result name expected cs =
+  Alcotest.(check string) name
+    (Fmt.str "%a" pp_result expected)
+    (Fmt.str "%a" pp_result (feasible cs))
+
+(* -- Basic ----------------------------------------------------------------- *)
+
+let test_trivial_sat () = check_result "empty system" Sat []
+
+let test_const_unsat () = check_result "0 >= 1" Unsat [ Geq (c (-1)) ]
+
+let test_simple_bounds () =
+  check_result "0 <= x <= 10" Sat [ ge x (c 0); le x (c 10) ];
+  check_result "x <= 0 and x >= 1" Unsat [ le x (c 0); ge x (c 1) ]
+
+let test_strict_lt () =
+  check_result "x < 1 and x > -1 has x=0" Sat [ lt x (c 1); gt x (c (-1)) ];
+  check_result "0 < x < 1 empty over Z" Unsat [ gt x (c 0); lt x (c 1) ]
+
+let test_two_vars () =
+  check_result "x + y = 5, x,y >= 0" Sat
+    [ eq (Linexpr.add x y) (c 5); ge x (c 0); ge y (c 0) ];
+  check_result "x + y = 5, x,y >= 3" Unsat
+    [ eq (Linexpr.add x y) (c 5); ge x (c 3); ge y (c 3) ]
+
+(* -- Equality elimination --------------------------------------------------- *)
+
+let test_diophantine_sat () =
+  (* 3x + 5y = 1 has integer solutions *)
+  check_result "3x + 5y = 1" Sat
+    [ eq (Linexpr.add (Linexpr.scale 3 x) (Linexpr.scale 5 y)) (c 1) ]
+
+let test_diophantine_unsat () =
+  (* 3x + 6y = 1: gcd 3 does not divide 1 *)
+  check_result "3x + 6y = 1" Unsat
+    [ eq (Linexpr.add (Linexpr.scale 3 x) (Linexpr.scale 6 y)) (c 1) ]
+
+let test_pugh_large_coeff_equality () =
+  (* needs the symmetric-modulus substitution: no unit coefficient *)
+  check_result "7x + 12y = 17, 0<=x,y<=20" Sat
+    [ eq (Linexpr.add (Linexpr.scale 7 x) (Linexpr.scale 12 y)) (c 17);
+      ge x (c (-20)); le x (c 20); ge y (c (-20)); le y (c 20) ]
+
+let test_three_equalities () =
+  check_result "x=2, y=3, z=x+y" Sat
+    [ eq x (c 2); eq y (c 3); eq z (Linexpr.add x y); ge z (c 5); le z (c 5) ];
+  check_result "x=2, y=3, z=x+y, z=6" Unsat
+    [ eq x (c 2); eq y (c 3); eq z (Linexpr.add x y); eq z (c 6) ]
+
+(* -- Dark shadow / splinters ------------------------------------------------- *)
+
+let test_dark_shadow_gap () =
+  (* 2x >= 1 and 2x <= 1: real shadow is nonempty (x = 0.5) but no integer *)
+  check_result "1 <= 2x <= 1" Unsat
+    [ ge (Linexpr.scale 2 x) (c 1); le (Linexpr.scale 2 x) (c 1) ]
+
+let test_dark_shadow_wide () =
+  check_result "1 <= 2x <= 4" Sat
+    [ ge (Linexpr.scale 2 x) (c 1); le (Linexpr.scale 2 x) (c 4) ]
+
+let test_splinter_case () =
+  (* classic omega-test example: 3 | y via 3x = y with narrow bounds on y *)
+  check_result "3x = y, 4 <= y <= 5" Unsat
+    [ eq (Linexpr.scale 3 x) y; ge y (c 4); le y (c 5) ];
+  check_result "3x = y, 4 <= y <= 6" Sat
+    [ eq (Linexpr.scale 3 x) y; ge y (c 4); le y (c 6) ]
+
+let test_coupled_inexact () =
+  (* 2x = 3y forces x divisible by 3; in [5,7] only x=6 (y=4) works *)
+  check_result "2x=3y, 5<=x<=7, y>=5" Unsat
+    [ eq (Linexpr.scale 2 x) (Linexpr.scale 3 y); ge x (c 5); le x (c 7); ge y (c 5) ];
+  check_result "2x=3y, 5<=x<=7" Sat
+    [ eq (Linexpr.scale 2 x) (Linexpr.scale 3 y); ge x (c 5); le x (c 7) ]
+
+(* -- Array-bounds shaped queries (what SafeFlow phase 2 issues) -------------- *)
+
+let test_loop_bounds_safe () =
+  (* for (i = 0; i < n; i++) access a[i], array size n = 16:
+     infeasible to have 0 <= i < 16 and (i < 0 or i >= 16) *)
+  let i = Linexpr.var "i" in
+  check_result "in-bounds loop, negative index" Unsat
+    [ ge i (c 0); lt i (c 16); lt i (c 0) ];
+  check_result "in-bounds loop, overflow index" Unsat
+    [ ge i (c 0); lt i (c 16); ge i (c 16) ]
+
+let test_loop_bounds_violation () =
+  (* for (i = 0; i <= n; i++) with size n: i = n is out of bounds *)
+  let i = Linexpr.var "i" in
+  check_result "off-by-one is reachable" Sat [ ge i (c 0); le i (c 16); ge i (c 16) ]
+
+let test_affine_transform_bounds () =
+  (* access a[2*i + 1] for 0 <= i < 8, array size 16: max index 15, safe *)
+  let i = Linexpr.var "i" in
+  let idx = Linexpr.add (Linexpr.scale 2 i) (c 1) in
+  check_result "2i+1 under 16 safe" Unsat
+    [ ge i (c 0); lt i (c 8); ge idx (c 16) ];
+  (* size 15 would overflow at i = 7 *)
+  check_result "2i+1 under 15 unsafe" Sat
+    [ ge i (c 0); lt i (c 8); ge idx (c 15) ]
+
+let test_symbolic_size () =
+  (* 0 <= i < n and n <= 64 and i >= n is infeasible *)
+  let i = Linexpr.var "i" and n = Linexpr.var "n" in
+  check_result "symbolic bound" Unsat [ ge i (c 0); lt i n; le n (c 64); ge i n ]
+
+(* -- entails_not helper ------------------------------------------------------- *)
+
+let test_entails () =
+  Alcotest.(check bool) "x>=5 entails not(x<=3)" true
+    (entails_not [ ge x (c 5) ] (le x (c 3)));
+  Alcotest.(check bool) "x>=5 does not entail not(x<=7)" false
+    (entails_not [ ge x (c 5) ] (le x (c 7)))
+
+(* -- Overflow and budget ------------------------------------------------------ *)
+
+let test_overflow_unknown () =
+  (* coprime huge coefficients survive normalization; the shadow products
+     overflow inside the solver, which must answer without crashing *)
+  let a = 1 lsl 40 in
+  let cs =
+    [ Geq (Linexpr.sub (Linexpr.var ~coeff:a "x") (Linexpr.var ~coeff:(a + 1) "y"));
+      Geq (Linexpr.sub (Linexpr.var ~coeff:(a + 1) "z") (Linexpr.var ~coeff:a "x")) ]
+  in
+  match feasible ~fuel:5000 cs with Sat | Unsat | Unknown -> ()
+
+let test_budget_exhaustion () =
+  (* dense random-ish system with tiny fuel must not loop forever *)
+  let cs =
+    List.init 12 (fun i ->
+        ge
+          (Linexpr.add (Linexpr.scale ((i mod 5) + 2) x)
+             (Linexpr.scale ((i mod 7) + 2) y))
+          (c (i - 6)))
+  in
+  match feasible ~fuel:10 cs with
+  | Sat | Unsat | Unknown -> ()
+
+(* -- Properties ---------------------------------------------------------------- *)
+
+let box_lo = -6
+let box_hi = 6
+
+(* brute-force over the box *)
+let brute_force_sat cs =
+  let vals = List.init (box_hi - box_lo + 1) (fun i -> box_lo + i) in
+  List.exists
+    (fun vx ->
+      List.exists
+        (fun vy ->
+          List.exists
+            (fun vz ->
+              let assign v =
+                match v with
+                | "x" -> vx
+                | "y" -> vy
+                | "z" -> vz
+                | _ -> 0
+              in
+              List.for_all
+                (fun cstr ->
+                  match cstr with
+                  | Eq e -> Linexpr.eval e assign = 0
+                  | Geq e -> Linexpr.eval e assign >= 0)
+                cs)
+            vals)
+        vals)
+    vals
+
+let gen_linexpr =
+  let open QCheck.Gen in
+  let* cx = int_range (-4) 4
+  and* cy = int_range (-4) 4
+  and* cz = int_range (-4) 4
+  and* k = int_range (-10) 10 in
+  return
+    (Linexpr.add
+       (Linexpr.add (Linexpr.var ~coeff:cx "x") (Linexpr.var ~coeff:cy "y"))
+       (Linexpr.add (Linexpr.var ~coeff:cz "z") (Linexpr.const k)))
+
+let gen_boxed_system =
+  let open QCheck.Gen in
+  let* n = int_range 1 4 in
+  let* exprs = list_size (return n) gen_linexpr in
+  let* kinds = list_size (return n) (oneofl [ `Eq; `Geq ]) in
+  let cs =
+    List.map2 (fun e k -> match k with `Eq -> Eq e | `Geq -> Geq e) exprs kinds
+  in
+  (* box constraints confine all solutions to the brute-force range *)
+  let box =
+    List.concat_map
+      (fun v ->
+        [ ge (Linexpr.var v) (Linexpr.const box_lo);
+          le (Linexpr.var v) (Linexpr.const box_hi) ])
+      [ "x"; "y"; "z" ]
+  in
+  return (cs @ box)
+
+let arb_system =
+  QCheck.make
+    ~print:(fun cs -> Fmt.str "%a" Fmt.(list ~sep:(any " && ") pp_cstr) cs)
+    gen_boxed_system
+
+let prop_matches_brute_force =
+  QCheck.Test.make ~name:"omega matches brute force on boxed systems" ~count:300
+    arb_system (fun cs ->
+      match feasible cs with
+      | Unknown -> true
+      | Sat -> brute_force_sat cs
+      | Unsat -> not (brute_force_sat cs))
+
+let prop_monotone_unsat =
+  (* adding constraints can never turn Unsat into Sat *)
+  QCheck.Test.make ~name:"adding constraints preserves unsat" ~count:150
+    (QCheck.pair arb_system arb_system) (fun (cs1, cs2) ->
+      match (feasible cs1, feasible (cs1 @ cs2)) with
+      | Unsat, Sat -> false
+      | _ -> true)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "omega"
+    [ ( "basic",
+        [ Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
+          Alcotest.test_case "const unsat" `Quick test_const_unsat;
+          Alcotest.test_case "simple bounds" `Quick test_simple_bounds;
+          Alcotest.test_case "strict lt" `Quick test_strict_lt;
+          Alcotest.test_case "two vars" `Quick test_two_vars ] );
+      ( "equalities",
+        [ Alcotest.test_case "diophantine sat" `Quick test_diophantine_sat;
+          Alcotest.test_case "diophantine unsat" `Quick test_diophantine_unsat;
+          Alcotest.test_case "pugh substitution" `Quick test_pugh_large_coeff_equality;
+          Alcotest.test_case "three equalities" `Quick test_three_equalities ] );
+      ( "shadows",
+        [ Alcotest.test_case "dark shadow gap" `Quick test_dark_shadow_gap;
+          Alcotest.test_case "dark shadow wide" `Quick test_dark_shadow_wide;
+          Alcotest.test_case "splinters" `Quick test_splinter_case;
+          Alcotest.test_case "coupled inexact" `Quick test_coupled_inexact ] );
+      ( "array-bounds",
+        [ Alcotest.test_case "loop bounds safe" `Quick test_loop_bounds_safe;
+          Alcotest.test_case "off-by-one" `Quick test_loop_bounds_violation;
+          Alcotest.test_case "affine transform" `Quick test_affine_transform_bounds;
+          Alcotest.test_case "symbolic size" `Quick test_symbolic_size;
+          Alcotest.test_case "entails" `Quick test_entails ] );
+      ( "robustness",
+        [ Alcotest.test_case "overflow unknown" `Quick test_overflow_unknown;
+          Alcotest.test_case "budget" `Quick test_budget_exhaustion ] );
+      ("properties", [ qt prop_matches_brute_force; qt prop_monotone_unsat ]) ]

@@ -1,0 +1,259 @@
+(* Tests for the Simplex runtime substrate: monitor soundness, shared
+   memory semantics, and the fault-injection scenarios that mirror the
+   paper's five discovered errors. *)
+
+open Simplex
+
+let ip () = Plant.inverted_pendulum ()
+
+(* -- Monitor ------------------------------------------------------------- *)
+
+let test_monitor_accepts_safe_output () =
+  let plant = ip () in
+  let safety = Controller.safety plant in
+  let m = Monitor.make plant safety in
+  let x = [| 0.1; 0.0; 0.03; 0.0 |] in
+  let u = Controller.output safety x in
+  Alcotest.(check bool) "safety output accepted" true (Monitor.check m x ~u)
+
+let test_monitor_rejects_nan () =
+  let plant = ip () in
+  let m = Monitor.make plant (Controller.safety plant) in
+  Alcotest.(check bool) "nan rejected" false
+    (Monitor.check m [| 0.0; 0.0; 0.0; 0.0 |] ~u:Float.nan)
+
+let test_monitor_rejects_out_of_range () =
+  let plant = ip () in
+  let m = Monitor.make plant (Controller.safety plant) in
+  Alcotest.(check bool) "12V rejected" false
+    (Monitor.check m [| 0.0; 0.0; 0.0; 0.0 |] ~u:12.0)
+
+let test_monitor_rejects_destabilizing_near_boundary () =
+  let plant = ip () in
+  let safety = Controller.safety plant in
+  let m = Monitor.make plant safety in
+  (* at the envelope boundary (the reference state), propose a push that
+     accelerates the fall *)
+  let x = [| 0.3; 0.0; 0.12; 0.0 |] in
+  Alcotest.(check bool) "boundary state inside" true (Monitor.inside m x);
+  let u_out = -.plant.Plant.u_max in
+  Alcotest.(check bool) "outward push rejected" false (Monitor.check m x ~u:u_out)
+
+(* Property: the envelope is invariant under the safety controller — from
+   any state inside, one safety step stays inside (linear model, no
+   saturation active). *)
+let prop_envelope_invariant =
+  let gen =
+    QCheck.Gen.(
+      let* a = float_range (-0.1) 0.1 in
+      let* pos = float_range (-0.25) 0.25 in
+      let* vel = float_range (-0.2) 0.2 in
+      let* av = float_range (-0.2) 0.2 in
+      return [| pos; vel; a; av |])
+  in
+  let arb = QCheck.make ~print:(fun x -> Fmt.str "%a" Fmt.(array ~sep:comma float) x) gen in
+  QCheck.Test.make ~name:"safety step keeps Lyapunov value non-increasing" ~count:300 arb
+    (fun x ->
+      let plant = ip () in
+      let safety = Controller.safety plant in
+      let m = Monitor.make plant safety in
+      if not (Monitor.inside m x) then true (* only states inside the envelope *)
+      else begin
+        let u = Controller.output safety x in
+        if Float.abs u > plant.Plant.u_max then true (* saturation: out of scope *)
+        else
+          let x' = Plant.step plant x ~u ~w:(Array.make 4 0.0) in
+          Monitor.value m x' <= Monitor.value m x +. 1e-9
+      end)
+
+(* -- Shared memory -------------------------------------------------------- *)
+
+let test_shm_basic () =
+  let shm = Shm_rt.create () in
+  Shm_rt.add_region shm "r" ~noncore:true;
+  Shm_rt.add_cell shm ~region:"r" "a" (Shm_rt.F 1.5);
+  Alcotest.(check (float 0.0)) "read back" 1.5 (Shm_rt.get_f shm "a");
+  Shm_rt.set shm "a" (Shm_rt.F 2.5);
+  Alcotest.(check (float 0.0)) "after write" 2.5 (Shm_rt.get_f shm "a")
+
+let test_shm_noncore_write_allowed () =
+  let shm = Shm_rt.create () in
+  Shm_rt.add_region shm "r" ~noncore:true;
+  Shm_rt.add_cell shm ~region:"r" "a" (Shm_rt.F 0.0);
+  Shm_rt.noncore_set shm "a" (Shm_rt.F 9.0);
+  Alcotest.(check int) "no violation" 0 shm.Shm_rt.lock_violations;
+  Alcotest.(check (float 0.0)) "value changed" 9.0 (Shm_rt.get_f shm "a")
+
+let test_shm_lock_violation_recorded () =
+  let shm = Shm_rt.create () in
+  Shm_rt.add_region shm "r" ~noncore:true;
+  Shm_rt.add_cell shm ~region:"r" "a" (Shm_rt.F 0.0);
+  Shm_rt.lock shm;
+  Shm_rt.noncore_set shm "a" (Shm_rt.F 9.0);
+  Alcotest.(check int) "violation recorded" 1 shm.Shm_rt.lock_violations;
+  (* the write still happened: non-core encapsulation cannot be assumed *)
+  Alcotest.(check (float 0.0)) "write happened anyway" 9.0 (Shm_rt.get_f shm "a")
+
+let test_shm_core_region_protected () =
+  let shm = Shm_rt.create () in
+  Shm_rt.add_region shm "core" ~noncore:false;
+  Shm_rt.add_cell shm ~region:"core" "c" (Shm_rt.I 7);
+  Shm_rt.noncore_set shm "c" (Shm_rt.I 1);
+  Alcotest.(check int) "violation recorded" 1 shm.Shm_rt.lock_violations
+
+(* -- Scenarios -------------------------------------------------------------- *)
+
+let run_scenario ?(variant = Sim.Fixed) ?(steps = 2000) scenario =
+  let cfg = { (Sim.default_config (ip ())) with scenario; variant; steps } in
+  Sim.run cfg
+
+let test_nominal_survives () =
+  let r = run_scenario Sim.Nominal in
+  Alcotest.(check bool) "no crash" false r.Sim.crashed;
+  Alcotest.(check bool) "angle stays small" true (r.Sim.max_angle < 0.1)
+
+let test_destabilizing_controller_contained () =
+  let r = run_scenario (Sim.Complex_fault Controller.Destabilizing) in
+  Alcotest.(check bool) "no crash" false r.Sim.crashed;
+  Alcotest.(check bool) "monitor engaged" true (r.Sim.monitor_rejections > 0)
+
+let test_nan_controller_contained () =
+  let r = run_scenario (Sim.Complex_fault Controller.Nan_output) in
+  Alcotest.(check bool) "no crash" false r.Sim.crashed;
+  Alcotest.(check bool) "all rejected" true (r.Sim.monitor_rejections >= r.Sim.steps_run - 1)
+
+let test_stuck_controller_contained () =
+  let r = run_scenario (Sim.Complex_fault (Controller.Stuck 4.5)) in
+  Alcotest.(check bool) "no crash" false r.Sim.crashed
+
+let test_rigged_feedback_defeats_vulnerable_core () =
+  let fixed = run_scenario ~variant:Sim.Fixed (Sim.Rigged_feedback 300) in
+  let vulnerable = run_scenario ~variant:Sim.Vulnerable (Sim.Rigged_feedback 300) in
+  Alcotest.(check bool) "fixed core survives" false fixed.Sim.crashed;
+  Alcotest.(check bool) "vulnerable core crashes" true vulnerable.Sim.crashed;
+  Alcotest.(check bool) "crash happens after the rigging begins" true
+    (vulnerable.Sim.steps_run >= 300)
+
+let test_kill_pid_attack () =
+  let r = run_scenario (Sim.Kill_pid 100) in
+  Alcotest.(check bool) "core killed itself" true r.Sim.core_killed;
+  Alcotest.(check bool) "stopped early" true (r.Sim.steps_run < 2000)
+
+let test_double_pendulum_scenarios () =
+  let plant = Plant.double_inverted_pendulum () in
+  let cfg = Sim.default_config plant in
+  let nominal = Sim.run cfg in
+  Alcotest.(check bool) "dip nominal survives" false nominal.Sim.crashed;
+  let faulty = Sim.run { cfg with scenario = Sim.Complex_fault Controller.Destabilizing } in
+  Alcotest.(check bool) "dip faulty contained" false faulty.Sim.crashed
+
+let test_determinism () =
+  let r1 = run_scenario ~steps:500 Sim.Nominal in
+  let r2 = run_scenario ~steps:500 Sim.Nominal in
+  Alcotest.(check (float 0.0)) "same cost" r1.Sim.cost r2.Sim.cost;
+  Alcotest.(check int) "same rejections" r1.Sim.monitor_rejections r2.Sim.monitor_rejections
+
+let test_seed_changes_trajectory () =
+  let cfg = { (Sim.default_config (ip ())) with steps = 500 } in
+  let r1 = Sim.run cfg in
+  let r2 = Sim.run { cfg with seed = 2 } in
+  Alcotest.(check bool) "different disturbance, different cost" true
+    (r1.Sim.cost <> r2.Sim.cost)
+
+let test_generic_lti_plant () =
+  let plant = Plant.generic_lti ~dim:3 () in
+  let r = Sim.run { (Sim.default_config plant) with steps = 1000 } in
+  Alcotest.(check bool) "generic plant survives" false r.Sim.crashed
+
+(* -- Car-following collision monitor (the paper's autonomous-car example) -- *)
+
+let test_collision_monitor_accepts_safe () =
+  let plant = Plant.car_following () in
+  (* big gap, matched speeds: mild acceleration is fine *)
+  let x = [| 40.0; 0.0; 20.0 |] in
+  Alcotest.(check bool) "accepted" true (Monitor.collision_check plant x ~u:1.0)
+
+let test_collision_monitor_rejects_closing () =
+  let plant = Plant.car_following () in
+  (* closing at 4 m/s with a 20 m gap: accelerating is unrecoverable,
+     braking is fine *)
+  let x = [| 20.0; 4.0; 20.0 |] in
+  Alcotest.(check bool) "accelerating rejected" false
+    (Monitor.collision_check plant x ~u:1.0);
+  Alcotest.(check bool) "braking accepted" true
+    (Monitor.collision_check plant x ~u:(-6.0))
+
+let test_collision_monitor_rejects_nan_and_range () =
+  let plant = Plant.car_following () in
+  let x = [| 40.0; 0.0; 20.0 |] in
+  Alcotest.(check bool) "nan" false (Monitor.collision_check plant x ~u:Float.nan);
+  Alcotest.(check bool) "out of range" false (Monitor.collision_check plant x ~u:5.0)
+
+(* closed loop: an aggressive planner pushes; the monitor-gated core
+   never collides even when the lead vehicle brakes hard; the ungated
+   variant collides *)
+let run_cruise ~gated ~steps =
+  let plant = Plant.car_following () in
+  let x = ref [| 30.0; 0.0; 25.0 |] in
+  let collided = ref false in
+  (for k = 0 to steps - 1 do
+     if not !collided then begin
+       let planner_u = 1.5 (* always wants to close the gap *) in
+       let safe_u =
+         (* headway policy *)
+         let desired = 8.0 +. (1.6 *. !x.(2)) in
+         Float.max (-6.0) (Float.min 2.0 ((0.25 *. (!x.(0) -. desired)) -. (0.9 *. !x.(1))))
+       in
+       let u =
+         if (not gated) || Monitor.collision_check plant !x ~u:planner_u then planner_u
+         else safe_u
+       in
+       (* the lead vehicle brakes hard between steps 100 and 250 *)
+       let lead_acc = if k >= 100 && k < 250 then -5.0 else 0.0 in
+       let w = [| 0.0; -.lead_acc *. plant.Plant.dt; 0.0 |] in
+       x := Plant.step plant !x ~u ~w;
+       if Plant.collided !x then collided := true
+     end
+   done);
+  !collided
+
+let test_cruise_monitor_prevents_collision () =
+  Alcotest.(check bool) "gated core never collides" false
+    (run_cruise ~gated:true ~steps:600);
+  Alcotest.(check bool) "ungated core collides" true
+    (run_cruise ~gated:false ~steps:600)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "simplex"
+    [ ( "monitor",
+        [ Alcotest.test_case "accepts safe" `Quick test_monitor_accepts_safe_output;
+          Alcotest.test_case "rejects nan" `Quick test_monitor_rejects_nan;
+          Alcotest.test_case "rejects range" `Quick test_monitor_rejects_out_of_range;
+          Alcotest.test_case "rejects boundary push" `Quick
+            test_monitor_rejects_destabilizing_near_boundary;
+          qt prop_envelope_invariant ] );
+      ( "shm",
+        [ Alcotest.test_case "basic" `Quick test_shm_basic;
+          Alcotest.test_case "noncore write" `Quick test_shm_noncore_write_allowed;
+          Alcotest.test_case "lock violation" `Quick test_shm_lock_violation_recorded;
+          Alcotest.test_case "core region" `Quick test_shm_core_region_protected ] );
+      ( "collision-monitor",
+        [ Alcotest.test_case "accepts safe" `Quick test_collision_monitor_accepts_safe;
+          Alcotest.test_case "rejects closing" `Quick test_collision_monitor_rejects_closing;
+          Alcotest.test_case "rejects nan/range" `Quick
+            test_collision_monitor_rejects_nan_and_range;
+          Alcotest.test_case "prevents collision" `Quick
+            test_cruise_monitor_prevents_collision ] );
+      ( "scenarios",
+        [ Alcotest.test_case "nominal" `Quick test_nominal_survives;
+          Alcotest.test_case "destabilizing" `Quick test_destabilizing_controller_contained;
+          Alcotest.test_case "nan output" `Quick test_nan_controller_contained;
+          Alcotest.test_case "stuck output" `Quick test_stuck_controller_contained;
+          Alcotest.test_case "rigged feedback" `Quick
+            test_rigged_feedback_defeats_vulnerable_core;
+          Alcotest.test_case "kill pid" `Quick test_kill_pid_attack;
+          Alcotest.test_case "double pendulum" `Quick test_double_pendulum_scenarios;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_trajectory;
+          Alcotest.test_case "generic plant" `Quick test_generic_lti_plant ] ) ]
