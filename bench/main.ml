@@ -1,12 +1,21 @@
 (* SafeFlow benchmark harness.
 
+   Usage: main.exe [SUBCOMMAND] [--json FILE] [--iters N] [--system NAME]
+
    Subcommands (default: all):
      table1    - regenerate the paper's Table 1 (paper vs measured)
      phases    - per-phase analysis timing on the three systems (B1)
      scale     - analysis time vs synthetic core-component size (B2)
+     engines   - legacy dense engine vs sparse worklist engine (B1 + B2)
      ablation  - field/context/control-dependence toggles (B3)
+     summary   - exact vs ESP-style summary engine (B4)
      sim       - closed-loop Simplex scenario outcomes (Figure 1 / §4 narrative)
-     micro     - bechamel microbenchmarks of the substrates *)
+     micro     - bechamel microbenchmarks of the substrates
+
+   Options:
+     --json FILE    also write the subcommand's results as JSON
+     --iters N      samples per measurement (median is reported; default 5)
+     --system NAME  restrict table rows to the named system (e.g. IP) *)
 
 let find path =
   let candidates = [ path; "../" ^ path; "../../" ^ path; "../../../" ^ path ] in
@@ -25,6 +34,101 @@ let time_ms f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+
+let median l = List.nth (List.sort compare l) (List.length l / 2)
+
+(* -- options ---------------------------------------------------------------- *)
+
+type opts = { json : string option; iters : int; system : string option }
+
+let default_opts = { json = None; iters = 5; system = None }
+
+let parse_args () : string * opts =
+  let rec go cmd o = function
+    | [] -> (Option.value ~default:"all" cmd, o)
+    | "--json" :: v :: rest -> go cmd { o with json = Some v } rest
+    | "--iters" :: v :: rest -> go cmd { o with iters = int_of_string v } rest
+    | "--system" :: v :: rest -> go cmd { o with system = Some v } rest
+    | a :: rest when cmd = None && String.length a > 0 && a.[0] <> '-' ->
+      go (Some a) o rest
+    | a :: _ -> failwith ("unknown argument " ^ a)
+  in
+  go None default_opts (List.tl (Array.to_list Sys.argv))
+
+(* -- minimal JSON emitter (no external dependency) --------------------------- *)
+
+type json =
+  | Jobj of (string * json) list
+  | Jarr of json list
+  | Jstr of string
+  | Jint of int
+  | Jfloat of float
+  | Jbool of bool
+
+let rec json_to_buf b = function
+  | Jobj fields ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "%S:" k);
+        json_to_buf b v)
+      fields;
+    Buffer.add_char b '}'
+  | Jarr items ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char b ',';
+        json_to_buf b v)
+      items;
+    Buffer.add_char b ']'
+  | Jstr s -> Buffer.add_string b (Printf.sprintf "%S" s)
+  | Jint n -> Buffer.add_string b (string_of_int n)
+  | Jfloat f -> Buffer.add_string b (Printf.sprintf "%.3f" f)
+  | Jbool v -> Buffer.add_string b (string_of_bool v)
+
+let write_json (o : opts) (j : json) : unit =
+  match o.json with
+  | None -> ()
+  | Some path ->
+    let b = Buffer.create 4096 in
+    json_to_buf b j;
+    Buffer.add_char b '\n';
+    let oc = open_out path in
+    output_string oc (Buffer.contents b);
+    close_out oc;
+    if path <> "/dev/null" then Fmt.pr "results written to %s@." path
+
+(* -- parallel map over independent work items (one domain per core) ---------- *)
+
+let par_map (f : 'a -> 'b) (items : 'a list) : 'b list =
+  let n = List.length items in
+  if n <= 1 then List.map f items
+  else begin
+    let input = Array.of_list items in
+    let results : ('b, exn) result option array = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (try Ok (f input.(i)) with e -> Error e);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let extra = min (Domain.recommended_domain_count () - 1) (n - 1) in
+    let domains = List.init (max 0 extra) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok r) -> r
+         | Some (Error e) -> raise e
+         | None -> assert false)
+  end
 
 (* ==================================================== Table 1 ============ *)
 
@@ -59,6 +163,18 @@ let paper_rows =
       p_loc_total = ">7188"; p_loc_core = 929; p_changes = "diff 88, 1 func";
       p_annot = 23; p_errors = 2; p_warnings = 8; p_fps = 2 } ]
 
+let selected_rows (o : opts) =
+  match o.system with
+  | None -> paper_rows
+  | Some name -> (
+    match
+      List.filter
+        (fun r -> String.lowercase_ascii r.p_name = String.lowercase_ascii name)
+        paper_rows
+    with
+    | [] -> failwith ("unknown system " ^ name)
+    | rows -> rows)
+
 (* changed-line count between original and split source via LCS *)
 let diff_size a b =
   let la = Array.of_list (String.split_on_char '\n' a) in
@@ -74,103 +190,240 @@ let diff_size a b =
   done;
   n + m - (2 * dp.(0).(0))
 
-let table1 () =
+let table1 (o : opts) =
   Fmt.pr "@.== Table 1: Applying SafeFlow to Control Systems ==@.";
   Fmt.pr "   (paper value / measured value)@.@.";
   Fmt.pr "%-16s %-15s %-13s %-14s %-9s %-8s %-10s %-7s@." "System" "LOC(total)"
     "LOC(core)" "SrcChanges" "Annot" "Errors" "Warnings" "FalseP";
-  List.iter
-    (fun row ->
-      let a = Safeflow.Driver.analyze_file (find ("systems/" ^ row.p_core_file)) in
-      let r = a.Safeflow.Driver.report in
-      let core_loc = List.assoc "loc" r.Safeflow.Report.stats in
-      let total_loc =
-        List.fold_left
-          (fun acc f -> acc + Safeflow.Driver.count_loc (read_file (find ("systems/" ^ f))))
-          core_loc row.p_noncore_files
-      in
-      let changes =
-        match row.p_orig_file with
-        | None -> "0"
-        | Some orig ->
-          let d =
-            diff_size
-              (read_file (find ("systems/" ^ orig)))
-              (read_file (find ("systems/" ^ row.p_core_file)))
-          in
-          Fmt.str "diff %d, 1 func" d
-      in
-      Fmt.pr "%-16s %-15s %-13s %-14s %-9s %-8s %-10s %-7s@." row.p_name
-        (Fmt.str "%s/%d" row.p_loc_total total_loc)
-        (Fmt.str "%d/%d" row.p_loc_core core_loc)
-        (Fmt.str "%s/%s" row.p_changes changes)
-        (Fmt.str "%d/%d" row.p_annot r.Safeflow.Report.annotation_lines)
-        (Fmt.str "%d/%d" row.p_errors (List.length (Safeflow.Report.errors r)))
-        (Fmt.str "%d/%d" row.p_warnings (List.length r.Safeflow.Report.warnings))
-        (Fmt.str "%d/%d" row.p_fps (List.length (Safeflow.Report.control_deps r))))
-    paper_rows;
+  let rows = selected_rows o in
+  let analyses =
+    Safeflow.Driver.analyze_files_par
+      (List.map (fun row -> find ("systems/" ^ row.p_core_file)) rows)
+  in
+  let cells =
+    List.map2
+      (fun row a ->
+        let r = a.Safeflow.Driver.report in
+        let core_loc = List.assoc "loc" r.Safeflow.Report.stats in
+        let total_loc =
+          List.fold_left
+            (fun acc f -> acc + Safeflow.Driver.count_loc (read_file (find ("systems/" ^ f))))
+            core_loc row.p_noncore_files
+        in
+        let changes =
+          match row.p_orig_file with
+          | None -> "0"
+          | Some orig ->
+            let d =
+              diff_size
+                (read_file (find ("systems/" ^ orig)))
+                (read_file (find ("systems/" ^ row.p_core_file)))
+            in
+            Fmt.str "diff %d, 1 func" d
+        in
+        Fmt.pr "%-16s %-15s %-13s %-14s %-9s %-8s %-10s %-7s@." row.p_name
+          (Fmt.str "%s/%d" row.p_loc_total total_loc)
+          (Fmt.str "%d/%d" row.p_loc_core core_loc)
+          (Fmt.str "%s/%s" row.p_changes changes)
+          (Fmt.str "%d/%d" row.p_annot r.Safeflow.Report.annotation_lines)
+          (Fmt.str "%d/%d" row.p_errors (List.length (Safeflow.Report.errors r)))
+          (Fmt.str "%d/%d" row.p_warnings (List.length r.Safeflow.Report.warnings))
+          (Fmt.str "%d/%d" row.p_fps (List.length (Safeflow.Report.control_deps r)));
+        Jobj
+          [ ("system", Jstr row.p_name);
+            ("loc_core", Jint core_loc);
+            ("annotations", Jint r.Safeflow.Report.annotation_lines);
+            ("errors", Jint (List.length (Safeflow.Report.errors r)));
+            ("warnings", Jint (List.length r.Safeflow.Report.warnings));
+            ("false_positives", Jint (List.length (Safeflow.Report.control_deps r))) ])
+      rows analyses
+  in
   Fmt.pr "@.Notes: LOC(total) differs because the authors' lab codebases bundle@.";
   Fmt.pr "years of non-core GUI code we do not have; the analyzed core components@.";
-  Fmt.pr "are recreated at the paper's scale.  All seven analysis columns match.@."
+  Fmt.pr "are recreated at the paper's scale.  All seven analysis columns match.@.";
+  write_json o (Jobj [ ("table1", Jarr cells) ])
 
 (* ==================================================== phases (B1) ======== *)
 
-let phases () =
-  Fmt.pr "@.== B1: per-phase analysis time (ms, median of 5) ==@.@.";
+let phases (o : opts) =
+  Fmt.pr "@.== B1: per-phase analysis time (ms, median of %d) ==@.@." o.iters;
   Fmt.pr "%-18s %9s %9s %9s %9s %9s %9s@." "System" "frontend" "shm+ph1" "phase2"
     "pointsto" "phase3" "total";
-  let median l = List.nth (List.sort compare l) (List.length l / 2) in
-  List.iter
-    (fun row ->
-      let path = find ("systems/" ^ row.p_core_file) in
-      let src = read_file path in
-      let samples =
-        List.init 5 (fun _ ->
-            let p, t_front =
-              time_ms (fun () -> Safeflow.Driver.prepare_source ~file:path src)
-            in
-            let (shm, p1), t_p1 =
-              time_ms (fun () ->
-                  let shm = Safeflow.Driver.stage_shm p in
-                  (shm, Safeflow.Driver.stage_phase1 p shm))
-            in
-            let _, t_p2 = time_ms (fun () -> Safeflow.Driver.stage_phase2 p p1) in
-            let pts, t_pts = time_ms (fun () -> Safeflow.Driver.stage_pointsto p) in
-            let _, t_p3 =
-              time_ms (fun () -> Safeflow.Driver.stage_phase3 p shm p1 pts)
-            in
-            (t_front, t_p1, t_p2, t_pts, t_p3))
-      in
-      let sel f = median (List.map f samples) in
-      let f, p1, p2, pts, p3 =
-        (sel (fun (a,_,_,_,_) -> a), sel (fun (_,a,_,_,_) -> a), sel (fun (_,_,a,_,_) -> a),
-         sel (fun (_,_,_,a,_) -> a), sel (fun (_,_,_,_,a) -> a))
-      in
-      Fmt.pr "%-18s %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f@." row.p_name f p1 p2 pts p3
-        (f +. p1 +. p2 +. pts +. p3))
-    paper_rows
+  let measure row =
+    let path = find ("systems/" ^ row.p_core_file) in
+    let src = read_file path in
+    let samples =
+      List.init (max 1 o.iters) (fun _ ->
+          let p, t_front =
+            time_ms (fun () -> Safeflow.Driver.prepare_source ~file:path src)
+          in
+          let (shm, p1), t_p1 =
+            time_ms (fun () ->
+                let shm = Safeflow.Driver.stage_shm p in
+                (shm, Safeflow.Driver.stage_phase1 p shm))
+          in
+          let _, t_p2 = time_ms (fun () -> Safeflow.Driver.stage_phase2 p p1) in
+          let pts, t_pts = time_ms (fun () -> Safeflow.Driver.stage_pointsto p) in
+          let _, t_p3 =
+            time_ms (fun () -> Safeflow.Driver.stage_phase3 p shm p1 pts)
+          in
+          (t_front, t_p1, t_p2, t_pts, t_p3))
+    in
+    let sel f = median (List.map f samples) in
+    let f, p1, p2, pts, p3 =
+      (sel (fun (a,_,_,_,_) -> a), sel (fun (_,a,_,_,_) -> a), sel (fun (_,_,a,_,_) -> a),
+       sel (fun (_,_,_,a,_) -> a), sel (fun (_,_,_,_,a) -> a))
+    in
+    ( Fmt.str "%-18s %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f" row.p_name f p1 p2 pts p3
+        (f +. p1 +. p2 +. pts +. p3),
+      Jobj
+        [ ("system", Jstr row.p_name);
+          ("frontend_ms", Jfloat f);
+          ("shm_phase1_ms", Jfloat p1);
+          ("phase2_ms", Jfloat p2);
+          ("pointsto_ms", Jfloat pts);
+          ("phase3_ms", Jfloat p3);
+          ("total_ms", Jfloat (f +. p1 +. p2 +. pts +. p3)) ] )
+  in
+  (* the three systems are measured concurrently; rows print in order *)
+  let results = par_map measure (selected_rows o) in
+  List.iter (fun (line, _) -> Fmt.pr "%s@." line) results;
+  write_json o
+    (Jobj [ ("iters", Jint o.iters); ("phases", Jarr (List.map snd results)) ])
 
 (* ==================================================== scale (B2) ========= *)
 
-let scale () =
+let scale_sizes = [ 4; 8; 16; 32; 64; 96; 128; 192; 256; 384 ]
+
+let scale (o : opts) =
   Fmt.pr "@.== B2: analysis time vs synthetic core size ==@.@.";
   Fmt.pr "%8s %8s %10s %10s %10s %10s@." "workers" "LOC" "time(ms)" "warnings"
     "contexts" "passes";
-  List.iter
-    (fun n ->
-      let src = Safeflow.Synth.of_size n in
-      let loc = Safeflow.Driver.count_loc src in
-      let a, t = time_ms (fun () -> Safeflow.Driver.analyze src) in
-      let r = a.Safeflow.Driver.report in
-      Fmt.pr "%8d %8d %10.2f %10d %10d %10d@." n loc t
-        (List.length r.Safeflow.Report.warnings)
-        (List.assoc "phase3_contexts" r.Safeflow.Report.stats)
-        (List.assoc "phase3_passes" r.Safeflow.Report.stats))
-    [ 4; 8; 16; 32; 64; 96; 128 ]
+  let cells =
+    List.map
+      (fun n ->
+        let src = Safeflow.Synth.of_size n in
+        let loc = Safeflow.Driver.count_loc src in
+        let a, t = time_ms (fun () -> Safeflow.Driver.analyze src) in
+        let r = a.Safeflow.Driver.report in
+        Fmt.pr "%8d %8d %10.2f %10d %10d %10d@." n loc t
+          (List.length r.Safeflow.Report.warnings)
+          (List.assoc "phase3_contexts" r.Safeflow.Report.stats)
+          (List.assoc "phase3_passes" r.Safeflow.Report.stats);
+        Jobj
+          [ ("workers", Jint n);
+            ("loc", Jint loc);
+            ("time_ms", Jfloat t);
+            ("warnings", Jint (List.length r.Safeflow.Report.warnings));
+            ("contexts", Jint (List.assoc "phase3_contexts" r.Safeflow.Report.stats)) ])
+      scale_sizes
+  in
+  write_json o (Jobj [ ("scale", Jarr cells) ])
+
+(* ==================================================== engines ============ *)
+
+(* Legacy dense fixpoint vs sparse worklist engine: same systems (B1) and
+   synthetic programs (B2), asserting report equivalence and recording the
+   speedup.  This is the experiment behind BENCH_phase3.json. *)
+let engines (o : opts) =
+  let iters = max 1 o.iters in
+  let legacy_cfg = { Safeflow.Config.default with engine = Safeflow.Config.Legacy } in
+  let worklist_cfg = { Safeflow.Config.default with engine = Safeflow.Config.Worklist } in
+  let counts (r : Safeflow.Report.t) =
+    ( List.length (Safeflow.Report.errors r),
+      List.length r.Safeflow.Report.warnings,
+      List.length (Safeflow.Report.control_deps r) )
+  in
+  (* median phase-3 stage time under each engine, from shared prepared state *)
+  let measure_stage (p : Safeflow.Driver.prepared) =
+    let shm = Safeflow.Driver.stage_shm p in
+    let p1 = Safeflow.Driver.stage_phase1 p shm in
+    let pts = Safeflow.Driver.stage_pointsto p in
+    let sample config =
+      median
+        (List.init iters (fun _ ->
+             snd (time_ms (fun () -> Safeflow.Driver.stage_phase3 ~config p shm p1 pts))))
+    in
+    let t_legacy = sample legacy_cfg in
+    let t_worklist = sample worklist_cfg in
+    let r3 = Safeflow.Driver.stage_phase3 ~config:worklist_cfg p shm p1 pts in
+    (t_legacy, t_worklist, r3.Safeflow.Phase3.engine_stats)
+  in
+  Fmt.pr "@.== Engines: legacy dense fixpoint vs sparse worklist (median of %d) ==@.@."
+    iters;
+  Fmt.pr "%-18s %12s %12s %9s %8s %6s %6s %7s@." "input" "legacy(ms)" "worklist(ms)"
+    "speedup" "err/warn/fp" "" "" "agree";
+  let b1 =
+    List.map
+      (fun row ->
+        let path = find ("systems/" ^ row.p_core_file) in
+        let src = read_file path in
+        let rl = (Safeflow.Driver.analyze ~config:legacy_cfg ~file:path src).report in
+        let rw = (Safeflow.Driver.analyze ~config:worklist_cfg ~file:path src).report in
+        let el, wl, fl = counts rl and ew, ww, fw = counts rw in
+        let agree = el = ew && wl = ww && fl = fw in
+        if not agree then
+          Fmt.failwith "engine mismatch on %s: legacy %d/%d/%d vs worklist %d/%d/%d"
+            row.p_name el wl fl ew ww fw;
+        let t_legacy, t_worklist, _ =
+          measure_stage (Safeflow.Driver.prepare_source ~file:path src)
+        in
+        Fmt.pr "%-18s %12.2f %12.2f %8.2fx %8s %6s %6s %7b@." row.p_name t_legacy
+          t_worklist
+          (t_legacy /. Float.max 0.001 t_worklist)
+          (Fmt.str "%d/%d/%d" el wl fl) "" "" agree;
+        Jobj
+          [ ("system", Jstr row.p_name);
+            ("legacy_ms", Jfloat t_legacy);
+            ("worklist_ms", Jfloat t_worklist);
+            ("speedup", Jfloat (t_legacy /. Float.max 0.001 t_worklist));
+            ("errors", Jint el);
+            ("warnings", Jint wl);
+            ("false_positives", Jint fl);
+            ("identical_reports", Jbool agree) ])
+      (selected_rows o)
+  in
+  let b2_sizes = [ 32; 64; 128; 192; 256; 384 ] in
+  Fmt.pr "@.%8s %12s %12s %9s %10s %10s@." "workers" "legacy(ms)" "worklist(ms)"
+    "speedup" "passes" "vf_edges";
+  let b2 =
+    List.map
+      (fun n ->
+        let src = Safeflow.Synth.of_size n in
+        let rl = (Safeflow.Driver.analyze ~config:legacy_cfg src).report in
+        let rw = (Safeflow.Driver.analyze ~config:worklist_cfg src).report in
+        let el, wl, fl = counts rl and ew, ww, fw = counts rw in
+        if not (el = ew && wl = ww && fl = fw) then
+          Fmt.failwith "engine mismatch on synth %d: legacy %d/%d/%d vs worklist %d/%d/%d"
+            n el wl fl ew ww fw;
+        let passes = List.assoc "phase3_passes" rl.Safeflow.Report.stats in
+        let p = Safeflow.Driver.prepare_source src in
+        let t_legacy, t_worklist, stats = measure_stage p in
+        let vf_edges = try List.assoc "vf_edges" stats with Not_found -> 0 in
+        Fmt.pr "%8d %12.2f %12.2f %8.2fx %10d %10d@." n t_legacy t_worklist
+          (t_legacy /. Float.max 0.001 t_worklist)
+          passes vf_edges;
+        Jobj
+          [ ("workers", Jint n);
+            ("legacy_ms", Jfloat t_legacy);
+            ("legacy_passes", Jint passes);
+            ("worklist_ms", Jfloat t_worklist);
+            ("vf_edges", Jint vf_edges);
+            ("speedup", Jfloat (t_legacy /. Float.max 0.001 t_worklist));
+            ("identical_reports", Jbool true) ])
+      b2_sizes
+  in
+  Fmt.pr "@.(reports are asserted identical under both engines on every input)@.";
+  write_json o
+    (Jobj
+       [ ("benchmark", Jstr "phase3 engines: legacy dense fixpoint vs sparse worklist");
+         ("iters", Jint iters);
+         ("b1_systems", Jarr b1);
+         ("b2_synthetic", Jarr b2) ])
 
 (* ==================================================== ablation (B3) ====== *)
 
-let ablation () =
+let ablation (_o : opts) =
   Fmt.pr "@.== B3: ablations (errors/warnings/false-positives) ==@.@.";
   let configs =
     [ ("full analysis", Safeflow.Config.default);
@@ -268,11 +521,11 @@ int main() { initShm(); sendControl(monitorA(reg)); return 0; }
   Fmt.pr "unmonitored call sites (the ctx probe gains a spurious error);@.";
   Fmt.pr "dropping field sensitivity voids partial-range monitor annotations@.";
   Fmt.pr "(the field probe's covered read starts warning); dropping control-@.";
-  Fmt.pr "dependence tracking silences the paper's false-positive class.@." 
+  Fmt.pr "dependence tracking silences the paper's false-positive class.@."
 
 (* ==================================================== summary (B4) ======= *)
 
-let summary () =
+let summary (_o : opts) =
   Fmt.pr "@.== B4: exact vs summary engine (paper §3.3's ESP optimization) ==@.@.";
   Fmt.pr "The exact engine re-analyzes each function per monitoring context@.";
   Fmt.pr "(exponential worst case); the summary engine inlines per-function@.";
@@ -311,7 +564,7 @@ let summary () =
 
 (* ==================================================== sim (F1/E1) ======== *)
 
-let sim () =
+let sim (_o : opts) =
   Fmt.pr "@.== F1/E1: Simplex architecture closed-loop outcomes ==@.@.";
   let open Simplex in
   let run_table plant_label plant =
@@ -343,7 +596,7 @@ let sim () =
 
 (* ==================================================== micro ============== *)
 
-let micro () =
+let micro (_o : opts) =
   Fmt.pr "@.== Microbenchmarks (bechamel, monotonic clock) ==@.@.";
   let open Bechamel in
   let open Toolkit in
@@ -391,12 +644,12 @@ let micro () =
 (* ==================================================== driver ============= *)
 
 let () =
-  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let which, opts = parse_args () in
   let all = [ ("table1", table1); ("phases", phases); ("scale", scale);
-              ("ablation", ablation); ("summary", summary); ("sim", sim);
-              ("micro", micro) ] in
+              ("engines", engines); ("ablation", ablation); ("summary", summary);
+              ("sim", sim); ("micro", micro) ] in
   match List.assoc_opt which all with
-  | Some f -> f ()
+  | Some f -> f opts
   | None ->
     if which <> "all" then Fmt.epr "unknown benchmark %S, running all@." which;
-    List.iter (fun (_, f) -> f ()) all
+    List.iter (fun (_, f) -> f opts) all

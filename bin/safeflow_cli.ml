@@ -1,68 +1,91 @@
 (* SafeFlow command-line interface.
 
    Usage:
-     safeflow analyze file.c [--no-control-deps] [--ctx-insensitive]
+     safeflow analyze file.c [file2.c ...]
+                             [--no-control-deps] [--ctx-insensitive]
                              [--field-insensitive] [--vfg out.dot]
+                             [--engine legacy|worklist]
      safeflow initcheck file.c
      safeflow dump-ir file.c
      safeflow synth N *)
 
 open Cmdliner
 
-let config_of ~control_deps ~context_sensitive ~field_sensitive =
+let config_of ~control_deps ~context_sensitive ~field_sensitive ~engine =
   {
     Safeflow.Config.default with
     control_deps;
     context_sensitive;
     field_sensitive;
+    engine;
   }
 
+let engine_conv =
+  Arg.enum [ ("legacy", Safeflow.Config.Legacy); ("worklist", Safeflow.Config.Worklist) ]
+
 let analyze_cmd =
-  let file =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniC source file")
+  let files =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"MiniC source files (several are analyzed in parallel)")
   in
   let no_control = Arg.(value & flag & info [ "no-control-deps" ] ~doc:"disable control-dependence reporting") in
   let ctx_insensitive = Arg.(value & flag & info [ "ctx-insensitive" ] ~doc:"merge monitoring contexts (ablation)") in
   let field_insensitive = Arg.(value & flag & info [ "field-insensitive" ] ~doc:"ignore byte offsets in regions (ablation)") in
-  let vfg = Arg.(value & opt (some string) None & info [ "vfg" ] ~docv:"OUT.dot" ~doc:"write the value-flow graph as DOT") in
+  let vfg = Arg.(value & opt (some string) None & info [ "vfg" ] ~docv:"OUT.dot" ~doc:"write the value-flow graph as DOT (single file only)") in
   let use_summary = Arg.(value & flag & info [ "summary" ] ~doc:"use the ESP-style summary engine (single bottom-up pass; data dependencies only)") in
-  let run file no_control ctx_insensitive field_insensitive vfg use_summary =
+  let engine =
+    Arg.(
+      value
+      & opt engine_conv Safeflow.Config.default.Safeflow.Config.engine
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"phase-3 engine: $(b,legacy) (dense fixpoint) or $(b,worklist) (sparse value-flow graph); reports are identical")
+  in
+  let run files no_control ctx_insensitive field_insensitive vfg use_summary engine =
     try
       let config =
         config_of ~control_deps:(not no_control)
           ~context_sensitive:(not ctx_insensitive)
           ~field_sensitive:(not field_insensitive)
+          ~engine
       in
-      let report =
-        if use_summary then begin
-          let ic = open_in_bin file in
-          let n = in_channel_length ic in
-          let src = really_input_string ic n in
-          close_in ic;
-          let r, _ = Safeflow.Driver.analyze_summary ~config ~file src in
-          Fmt.pr "%a@." Safeflow.Report.pp r;
-          r
-        end
+      let reports =
+        if use_summary then
+          List.map
+            (fun file ->
+              let ic = open_in_bin file in
+              let n = in_channel_length ic in
+              let src = really_input_string ic n in
+              close_in ic;
+              let r, _ = Safeflow.Driver.analyze_summary ~config ~file src in
+              Fmt.pr "%a@." Safeflow.Report.pp r;
+              r)
+            files
         else begin
-          let a = Safeflow.Driver.analyze_file ~config file in
-          Fmt.pr "%a@." Safeflow.Report.pp a.Safeflow.Driver.report;
-          Option.iter
-            (fun path ->
-              Safeflow.Vfg.write_dot path a.Safeflow.Driver.phase3;
-              Fmt.pr "value-flow graph written to %s@." path)
-            vfg;
-          a.Safeflow.Driver.report
+          let analyses = Safeflow.Driver.analyze_files_par ~config files in
+          List.iter2
+            (fun file (a : Safeflow.Driver.analysis) ->
+              if List.length files > 1 then Fmt.pr "== %s ==@." file;
+              Fmt.pr "%a@." Safeflow.Report.pp a.Safeflow.Driver.report)
+            files analyses;
+          (match (vfg, analyses) with
+          | Some path, [ a ] ->
+            Safeflow.Vfg.write_dot path a.Safeflow.Driver.phase3;
+            Fmt.pr "value-flow graph written to %s@." path
+          | Some _, _ -> Fmt.epr "--vfg ignored: more than one input file@."
+          | None, _ -> ());
+          List.map (fun (a : Safeflow.Driver.analysis) -> a.Safeflow.Driver.report) analyses
         end
       in
-      if Safeflow.Report.errors report <> [] then exit 1
+      if List.exists (fun r -> Safeflow.Report.errors r <> []) reports then exit 1
     with Minic.Loc.Error (loc, msg) ->
       Fmt.epr "%a: %s@." Minic.Loc.pp loc msg;
       exit 2
   in
   Cmd.v
-    (Cmd.info "analyze" ~doc:"run the full SafeFlow analysis on a core component")
-    Term.(const run $ file $ no_control $ ctx_insensitive $ field_insensitive $ vfg
-          $ use_summary)
+    (Cmd.info "analyze" ~doc:"run the full SafeFlow analysis on core components")
+    Term.(const run $ files $ no_control $ ctx_insensitive $ field_insensitive $ vfg
+          $ use_summary $ engine)
 
 let initcheck_cmd =
   let file =

@@ -3,6 +3,21 @@
     The defaults correspond to the paper's tool; the toggles exist for the
     ablation benchmarks (B3) and for debugging. *)
 
+(** Phase-3 engine selection.  Both engines produce the same warnings,
+    violations and dependency classifications; they differ in cost model:
+    [Legacy] re-scans every discovered (function, context) pair until no
+    taint changes (simple, quadratic-ish in taint growth), [Worklist]
+    builds an explicit value-flow graph per pair once and propagates
+    taint sparsely along its edges (see {!Vfgraph}). *)
+type engine = Legacy | Worklist
+
+let engine_name = function Legacy -> "legacy" | Worklist -> "worklist"
+
+let engine_of_string = function
+  | "legacy" -> Some Legacy
+  | "worklist" -> Some Worklist
+  | _ -> None
+
 type t = {
   field_sensitive : bool;
       (** track byte offsets into shared-memory regions; off = treat every
@@ -22,10 +37,14 @@ type t = {
   recv_functions : string list;
       (** message-passing extension (§3.4.3): extern receive calls whose
           buffer argument is tainted when the socket is non-core *)
+  engine : engine;
+      (** phase-3 propagation engine; [Legacy] is the paper-shaped dense
+          fixpoint, [Worklist] the sparse value-flow-graph engine *)
 }
 
 let default =
   {
+    engine = Legacy;
     field_sensitive = true;
     context_sensitive = true;
     control_deps = true;

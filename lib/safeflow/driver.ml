@@ -16,7 +16,6 @@ type prepared = {
     line count" — each clause occupies one line in our systems). *)
 let count_annotations (prog : Ast.program) : int =
   let stmt_clauses stmts =
-    Ast.fold_expr_stmts (fun acc _ -> acc) 0 stmts |> ignore;
     (* walk statements directly for Sannot *)
     let rec go acc (s : Ast.stmt) =
       match s.sdesc with
@@ -77,9 +76,11 @@ let stage_pointsto (p : prepared) : Pointsto.t = Pointsto.analyze p.ir
 let stage_phase2 ?config (p : prepared) (p1 : Phase1.t) : Report.violation list =
   Phase2.run ?config p.ir p1
 
-let stage_phase3 ?config (p : prepared) (shm : Shm.t) (p1 : Phase1.t) (pts : Pointsto.t) :
-    Phase3.result =
-  Phase3.run ?config p.ir shm p1 pts
+let stage_phase3 ?(config = Config.default) (p : prepared) (shm : Shm.t) (p1 : Phase1.t)
+    (pts : Pointsto.t) : Phase3.result =
+  match config.Config.engine with
+  | Config.Legacy -> Phase3.run ~config p.ir shm p1 pts
+  | Config.Worklist -> Vfgraph.run ~config p.ir shm p1 pts
 
 (* -- One-shot analysis ------------------------------------------------------------ *)
 
@@ -112,7 +113,8 @@ let analyze ?(config = Config.default) ?file (src : string) : analysis =
         [ ("loc", p.loc_total);
           ("functions", List.length p.ir.Ssair.Ir.funcs);
           ("phase3_passes", ph3.Phase3.passes);
-          ("phase3_contexts", ph3.Phase3.pair_count) ];
+          ("phase3_contexts", ph3.Phase3.pair_count) ]
+        @ ph3.Phase3.engine_stats;
     }
   in
   { report; phase3 = ph3; prepared = p; shm }
@@ -123,6 +125,39 @@ let analyze_file ?config path : analysis =
   let src = really_input_string ic n in
   close_in ic;
   analyze ?config ~file:path src
+
+(** Analyze several systems concurrently, one domain per hardware thread
+    (bounded by [Domain.recommended_domain_count]).  Analysis state is
+    per-run, so the systems are embarrassingly parallel; results come
+    back in input order and exceptions are re-raised in input order. *)
+let analyze_files_par ?config (paths : string list) : analysis list =
+  let n = List.length paths in
+  if n <= 1 then List.map (analyze_file ?config) paths
+  else begin
+    let files = Array.of_list paths in
+    let results : (analysis, exn) result option array = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <-
+            Some (try Ok (analyze_file ?config files.(i)) with e -> Error e);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let extra = min (Domain.recommended_domain_count () - 1) (n - 1) in
+    let domains = List.init (max 0 extra) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok a) -> a
+         | Some (Error e) -> raise e
+         | None -> assert false)
+  end
 
 (** Summary-engine variant of phase 3 (paper §3.3's ESP-style
     optimization): single bottom-up pass with per-function value-flow

@@ -46,6 +46,11 @@ val analyze : ?config:Config.t -> ?file:string -> string -> analysis
 
 val analyze_file : ?config:Config.t -> string -> analysis
 
+val analyze_files_par : ?config:Config.t -> string list -> analysis list
+(** analyze several systems concurrently (one [Domain] per hardware
+    thread, bounded by [Domain.recommended_domain_count]); results are
+    returned in input order *)
+
 (** {1 Summary engine (paper §3.3's ESP-style optimization)} *)
 
 val stage_summary :

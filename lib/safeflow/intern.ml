@@ -1,0 +1,64 @@
+(** Interning (hash-consing) support for the sparse phase-3 engine: see
+    the interface for the rationale.  The reverse array grows by
+    doubling; ids are dense and start at 0, so clients can mirror any
+    per-entity attribute in a plain array. *)
+
+type 'a t = {
+  tbl : ('a, int) Hashtbl.t;
+  mutable rev : 'a array;
+  mutable len : int;
+}
+
+let create n = { tbl = Hashtbl.create n; rev = [||]; len = 0 }
+
+let intern t x =
+  match Hashtbl.find_opt t.tbl x with
+  | Some i -> i
+  | None ->
+    let i = t.len in
+    if i = Array.length t.rev then begin
+      let cap = max 64 (2 * Array.length t.rev) in
+      let arr = Array.make cap x in
+      Array.blit t.rev 0 arr 0 t.len;
+      t.rev <- arr
+    end;
+    t.rev.(i) <- x;
+    t.len <- i + 1;
+    Hashtbl.replace t.tbl x i;
+    i
+
+let get t i = t.rev.(i)
+
+let length t = t.len
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f i t.rev.(i)
+  done
+
+module Ctx = struct
+  type store = {
+    ids : Assume.assumption list t;
+    union_memo : (int * int, int) Hashtbl.t;
+  }
+
+  let create () = { ids = create 64; union_memo = Hashtbl.create 64 }
+
+  let intern s l = intern s.ids (List.sort_uniq compare l)
+
+  let get s i = get s.ids i
+
+  let union s a b =
+    if a = b then a
+    else
+      (* union is symmetric: normalize the memo key *)
+      let key = if a < b then (a, b) else (b, a) in
+      match Hashtbl.find_opt s.union_memo key with
+      | Some u -> u
+      | None ->
+        let u = intern s (get s a @ get s b) in
+        Hashtbl.replace s.union_memo key u;
+        u
+
+  let length s = length s.ids
+end

@@ -543,12 +543,19 @@ type result = {
   warnings : Report.warning list;
   dependencies : Report.dependency list;
   passes : int;
+      (** legacy engine: dense fixpoint passes; worklist engine: 1 *)
   pair_count : int;
+  engine_stats : (string * int) list;
+      (** engine-specific counters surfaced in {!Report.t.stats}: empty
+          for the legacy engine, edge/pop counts for {!Vfgraph} *)
   taint_state : state;  (** exposed for the value-flow-graph export *)
 }
 
-let run ?(config = Config.default) (prog : Ssair.Ir.program) (shm : Shm.t) (p1 : Phase1.t)
-    (pts : Pointsto.t) : result =
+(** Fresh analysis state; shared with the sparse engine ({!Vfgraph}),
+    which fills the same tables through a different propagation
+    strategy. *)
+let make_state ~(config : Config.t) (prog : Ssair.Ir.program) (shm : Shm.t) (p1 : Phase1.t)
+    (pts : Pointsto.t) : state =
   let st =
     {
       prog;
@@ -562,16 +569,21 @@ let run ?(config = Config.default) (prog : Ssair.Ir.program) (shm : Shm.t) (p1 :
       warnings = Hashtbl.create 32;
       cdgs = Hashtbl.create 16;
       noncore_sockets = Hashtbl.create 4;
-      changed = true;
+      changed = false;
       passes = 0;
     }
   in
   collect_noncore_sockets st;
-  (* roots: main with its own assumptions, plus every non-exempt function
-     that is never called (library entry points) *)
+  st
+
+(** Root (function, context) pairs: main with its own assumptions, plus
+    every non-exempt function that is never called (library entry
+    points).  Also shared with {!Vfgraph}. *)
+let root_pairs st : (Ssair.Ir.func * Ctx.t) list =
+  let prog = st.prog in
+  let roots = ref [] in
   let add_root (f : Ssair.Ir.func) =
-    let ctx = Ctx.make (own_assumptions st f) in
-    Hashtbl.replace st.pairs (f.Ssair.Ir.fname, ctx) ()
+    roots := (f, Ctx.make (own_assumptions st f)) :: !roots
   in
   (match Ssair.Ir.find_func prog "main" with
   | Some m -> add_root m
@@ -591,9 +603,18 @@ let run ?(config = Config.default) (prog : Ssair.Ir.program) (shm : Shm.t) (p1 :
       if
         (not (Hashtbl.mem called f.Ssair.Ir.fname))
         && (not (String.equal f.Ssair.Ir.fname "main"))
-        && not (Phase1.is_exempt p1 f.Ssair.Ir.fname)
+        && not (Phase1.is_exempt st.p1 f.Ssair.Ir.fname)
       then add_root f)
     prog.Ssair.Ir.funcs;
+  List.rev !roots
+
+let run ?(config = Config.default) (prog : Ssair.Ir.program) (shm : Shm.t) (p1 : Phase1.t)
+    (pts : Pointsto.t) : result =
+  let st = make_state ~config prog shm p1 pts in
+  st.changed <- true;
+  List.iter
+    (fun ((f : Ssair.Ir.func), ctx) -> Hashtbl.replace st.pairs (f.Ssair.Ir.fname, ctx) ())
+    (root_pairs st);
   (* fixpoint *)
   while st.changed do
     st.changed <- false;
@@ -612,5 +633,6 @@ let run ?(config = Config.default) (prog : Ssair.Ir.program) (shm : Shm.t) (p1 :
     dependencies;
     passes = st.passes;
     pair_count = Hashtbl.length st.pairs;
+    engine_stats = [];
     taint_state = st;
   }

@@ -17,6 +17,8 @@ module Shm = Shm
 module Phase1 = Phase1
 module Phase2 = Phase2
 module Phase3 = Phase3
+module Intern = Intern
+module Vfgraph = Vfgraph
 module Vfg = Vfg
 module Driver = Driver
 module Synth = Synth

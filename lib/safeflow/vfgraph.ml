@@ -1,0 +1,589 @@
+(** Sparse worklist phase-3 engine (see the interface for the contract).
+
+    Structure: entities are interned to dense ids; per-entity taint bits,
+    origins and successor-edge lists live in parallel growable arrays.
+    Each newly discovered (function, context) pair is translated once
+    into edges by {!build_pair} — a transcription of
+    {!Phase3.analyze_pair} where every dynamic taint test becomes a
+    static edge — and {!drain} runs the worklist to closure.  The final
+    interned taint state is poured back into a {!Phase3.state} so that
+    {!Phase3.collect_dependencies} (and the DOT export) are shared with
+    the legacy engine verbatim. *)
+
+open Minic
+module Offset = Pointsto.Offset
+
+(* Edge modes: how taint crosses the edge and which origin is recorded.
+   [Mdata]/[Mctrl] mirror the legacy data→data / ctrl→ctrl flows with the
+   source as trace parent; [Mboth] fuses an [Mdata] and an [Mctrl] edge
+   sharing destination and reason (the overwhelmingly common pairing);
+   [Many_ctrl] mirrors the control-dependence rules, which fire on either
+   taint kind and record no parent. *)
+type mode = Mdata | Mctrl | Mboth | Many_ctrl
+
+type edge = { e_dst : int; e_mode : mode; e_why : string }
+
+(* Entity keys: (tag, a, b, c) over interned small ids — see {!ent_key}.
+   Hashing this flat int tuple is what replaces structural hashing of
+   [(string * assumption list * vid)] in the legacy taint tables. *)
+type key = int * int * int * int
+
+(* Per-function facts that do not depend on the monitoring context. *)
+type finfo = {
+  fi_func : Ssair.Ir.func;
+  fi_blocks : (Ssair.Ir.bid, Ssair.Ir.block) Hashtbl.t;
+  fi_def : (Ssair.Ir.vid, Ssair.Ir.def_site) Hashtbl.t Lazy.t;
+      (** only consulted to resolve recv sockets, so built on demand *)
+  fi_branches : (Ssair.Ir.bid * Ssair.Ir.vid) list;
+      (** blocks ending in [Cbr]/[Switch] on a register, with the cond *)
+  fi_closure : (Ssair.Ir.bid, Ssair.Ir.bid list) Hashtbl.t;
+      (** branch block B ↦ blocks transitively control-dependent on B *)
+}
+
+type t = {
+  st : Phase3.state;  (** receptacle for pairs/warnings/taints *)
+  ctxs : Intern.Ctx.store;
+  strs : string Intern.t;
+  nodes : Pointsto.Node.t Intern.t;
+  keys : key Intern.t;
+  finfos : (string, finfo) Hashtbl.t;
+  pairs_seen : (int * int, unit) Hashtbl.t;  (** (fname id, ctx id) *)
+  pending : (Ssair.Ir.func * int) Queue.t;   (** discovered, to build *)
+  why_memo : (string * int, string) Hashtbl.t;
+      (** formatted "why" strings per (callee, arg index); edge building
+          runs per pair, so formatting on every visit would dominate *)
+  funcs_by_name : (string, Ssair.Ir.func) Hashtbl.t;
+      (** [Ssair.Ir.find_func] is a linear scan; call sites resolve
+          callees once per visit, so index the program up front *)
+  own_ctxs : (string, int) Hashtbl.t;
+      (** interned own-assumption context per function — needed at every
+          call site, cheaper than materializing the callee's {!finfo} *)
+  wl : int Queue.t;  (** worklist codes: entity id * 2 + (ctrl ? 1 : 0) *)
+  (* parallel per-entity arrays, grown together by {!ensure_cap} *)
+  mutable rev : Phase3.entity array;
+  mutable edges : edge list array;
+  mutable data : Bytes.t;
+  mutable ctrl : Bytes.t;
+  mutable d_parent : int array;  (** -1 = no parent *)
+  mutable c_parent : int array;
+  mutable d_why : string array;
+  mutable c_why : string array;
+  mutable n_edges : int;
+  mutable n_pops : int;
+}
+
+let create st =
+  let funcs_by_name = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Ssair.Ir.func) -> Hashtbl.replace funcs_by_name f.Ssair.Ir.fname f)
+    st.Phase3.prog.Ssair.Ir.funcs;
+  {
+    st;
+    funcs_by_name;
+    own_ctxs = Hashtbl.create 64;
+    ctxs = Intern.Ctx.create ();
+    strs = Intern.create 64;
+    nodes = Intern.create 64;
+    keys = Intern.create 1024;
+    finfos = Hashtbl.create 16;
+    pairs_seen = Hashtbl.create 64;
+    pending = Queue.create ();
+    why_memo = Hashtbl.create 64;
+    wl = Queue.create ();
+    rev = [||];
+    edges = [||];
+    data = Bytes.empty;
+    ctrl = Bytes.empty;
+    d_parent = [||];
+    c_parent = [||];
+    d_why = [||];
+    c_why = [||];
+    n_edges = 0;
+    n_pops = 0;
+  }
+
+let ensure_cap g n =
+  let cap = Array.length g.edges in
+  if n > cap then begin
+    let cap' = max 256 (max n (2 * cap)) in
+    let grow_arr dummy a =
+      let a' = Array.make cap' dummy in
+      Array.blit a 0 a' 0 cap;
+      a'
+    in
+    g.rev <- grow_arr (Phase3.Eregion "") g.rev;
+    g.edges <- grow_arr [] g.edges;
+    g.d_parent <- grow_arr (-1) g.d_parent;
+    g.c_parent <- grow_arr (-1) g.c_parent;
+    g.d_why <- grow_arr "" g.d_why;
+    g.c_why <- grow_arr "" g.c_why;
+    let grow_bytes b =
+      let b' = Bytes.make cap' '\000' in
+      Bytes.blit b 0 b' 0 cap;
+      b'
+    in
+    g.data <- grow_bytes g.data;
+    g.ctrl <- grow_bytes g.ctrl
+  end
+
+(* -- Entity interning --------------------------------------------------------- *)
+
+let ent g key entity =
+  let n = Intern.length g.keys in
+  let id = Intern.intern g.keys key in
+  if id = n then begin
+    ensure_cap g (n + 1);
+    g.rev.(id) <- entity
+  end;
+  id
+
+let param_ent g fname cid pname =
+  ent g (1, Intern.intern g.strs fname, cid, Intern.intern g.strs pname)
+    (Phase3.Eparam (fname, Intern.Ctx.get g.ctxs cid, pname))
+
+let ret_ent g fname cid =
+  ent g (2, Intern.intern g.strs fname, cid, 0)
+    (Phase3.Eret (fname, Intern.Ctx.get g.ctxs cid))
+
+let node_ent g node = ent g (3, Intern.intern g.nodes node, 0, 0) (Phase3.Enode node)
+
+let region_ent g r = ent g (4, Intern.intern g.strs r, 0, 0) (Phase3.Eregion r)
+
+(* -- Taint setting and propagation -------------------------------------------- *)
+
+let data_tainted g eid = Bytes.get g.data eid = '\001'
+let ctrl_tainted g eid = Bytes.get g.ctrl eid = '\001'
+
+let set_data g eid ~parent ~why =
+  if not (data_tainted g eid) then begin
+    Bytes.set g.data eid '\001';
+    g.d_parent.(eid) <- parent;
+    g.d_why.(eid) <- why;
+    Queue.push (eid * 2) g.wl
+  end
+
+let set_ctrl g eid ~parent ~why =
+  if not (ctrl_tainted g eid) then begin
+    Bytes.set g.ctrl eid '\001';
+    g.c_parent.(eid) <- parent;
+    g.c_why.(eid) <- why;
+    Queue.push ((eid * 2) + 1) g.wl
+  end
+
+(** Add an edge and replay the source's current taint across it, so
+    edges built after their source was tainted still fire. *)
+let add_edge g src e =
+  g.edges.(src) <- e :: g.edges.(src);
+  g.n_edges <- g.n_edges + 1;
+  match e.e_mode with
+  | Mdata -> if data_tainted g src then set_data g e.e_dst ~parent:src ~why:e.e_why
+  | Mctrl -> if ctrl_tainted g src then set_ctrl g e.e_dst ~parent:src ~why:e.e_why
+  | Mboth ->
+    if data_tainted g src then set_data g e.e_dst ~parent:src ~why:e.e_why;
+    if ctrl_tainted g src then set_ctrl g e.e_dst ~parent:src ~why:e.e_why
+  | Many_ctrl ->
+    if data_tainted g src || ctrl_tainted g src then
+      set_ctrl g e.e_dst ~parent:(-1) ~why:e.e_why
+
+let drain g =
+  let rec go () =
+    match Queue.take_opt g.wl with
+    | None -> ()
+    | Some code ->
+      g.n_pops <- g.n_pops + 1;
+      let eid = code lsr 1 in
+      let is_ctrl = code land 1 = 1 in
+      List.iter
+        (fun e ->
+          match (is_ctrl, e.e_mode) with
+          | false, (Mdata | Mboth) -> set_data g e.e_dst ~parent:eid ~why:e.e_why
+          | true, (Mctrl | Mboth) -> set_ctrl g e.e_dst ~parent:eid ~why:e.e_why
+          | (false | true), Many_ctrl -> set_ctrl g e.e_dst ~parent:(-1) ~why:e.e_why
+          | false, Mctrl | true, Mdata -> ())
+        g.edges.(eid);
+      go ()
+  in
+  go ()
+
+(* Memoized legacy-matching "why" strings; [k >= 0] = argument position,
+   [-1] = return value, [-2] = extern call passthrough. *)
+let why_of g callee k =
+  match Hashtbl.find_opt g.why_memo (callee, k) with
+  | Some s -> s
+  | None ->
+    let s =
+      if k >= 0 then Printf.sprintf "argument %d of call to %s" k callee
+      else if k = -1 then Printf.sprintf "return value of %s" callee
+      else Printf.sprintf "through external call %s" callee
+    in
+    Hashtbl.replace g.why_memo (callee, k) s;
+    s
+
+(* -- Static per-function facts ------------------------------------------------- *)
+
+let own_ctx g (f : Ssair.Ir.func) : int =
+  match Hashtbl.find_opt g.own_ctxs f.Ssair.Ir.fname with
+  | Some cid -> cid
+  | None ->
+    let cid = Intern.Ctx.intern g.ctxs (Phase3.own_assumptions g.st f) in
+    Hashtbl.replace g.own_ctxs f.Ssair.Ir.fname cid;
+    cid
+
+let finfo g (f : Ssair.Ir.func) : finfo =
+  match Hashtbl.find_opt g.finfos f.Ssair.Ir.fname with
+  | Some fi -> fi
+  | None ->
+    let cdg = Phase3.cdg_of g.st f in
+    let fi_branches =
+      List.filter_map
+        (fun (b : Ssair.Ir.block) ->
+          match b.Ssair.Ir.termin with
+          | Ssair.Ir.Cbr (Ssair.Ir.Vreg id, _, _) | Ssair.Ir.Switch (Ssair.Ir.Vreg id, _, _)
+            ->
+            Some (b.Ssair.Ir.bbid, id)
+          | _ -> None)
+        f.Ssair.Ir.blocks
+    in
+    let fi_closure = Hashtbl.create 8 in
+    List.iter
+      (fun (bB, _) ->
+        if not (Hashtbl.mem fi_closure bB) then begin
+          (* transitive closure of the CDG "controls" relation from bB,
+             excluding bB itself — mirrors Phase3.block_control_taint *)
+          let seen = Hashtbl.create 8 in
+          let rec go bid =
+            List.iter
+              (fun d ->
+                if not (Hashtbl.mem seen d) then begin
+                  Hashtbl.replace seen d ();
+                  go d
+                end)
+              (Option.value ~default:[] (Hashtbl.find_opt cdg.Ssair.Cdg.controls bid))
+          in
+          go bB;
+          Hashtbl.replace fi_closure bB (Hashtbl.fold (fun k () acc -> k :: acc) seen [])
+        end)
+      fi_branches;
+    let fi_blocks = Hashtbl.create 16 in
+    List.iter (fun (b : Ssair.Ir.block) -> Hashtbl.replace fi_blocks b.Ssair.Ir.bbid b)
+      f.Ssair.Ir.blocks;
+    let fi =
+      {
+        fi_func = f;
+        fi_blocks;
+        fi_def = lazy (Ssair.Ir.def_table f);
+        fi_branches;
+        fi_closure;
+      }
+    in
+    Hashtbl.replace g.finfos f.Ssair.Ir.fname fi;
+    fi
+
+(* -- Pair discovery ------------------------------------------------------------ *)
+
+let discover_pair g (f : Ssair.Ir.func) cid =
+  let fid = Intern.intern g.strs f.Ssair.Ir.fname in
+  if not (Hashtbl.mem g.pairs_seen (fid, cid)) then begin
+    Hashtbl.replace g.pairs_seen (fid, cid) ();
+    Hashtbl.replace g.st.Phase3.pairs (f.Ssair.Ir.fname, Intern.Ctx.get g.ctxs cid) ();
+    if not (Phase1.is_exempt g.st.Phase3.p1 f.Ssair.Ir.fname) then
+      Queue.push (f, cid) g.pending
+  end
+
+(* -- Building one (function, context) pair ------------------------------------- *)
+
+(** Transcribe [f] under context [cid] into value-flow edges; the static
+    taint sources of the pair (unmonitored non-core reads, non-core recv
+    buffers) are tainted immediately.  Edge-for-rule correspondence with
+    {!Phase3.analyze_pair} is documented inline. *)
+let build_pair g (f : Ssair.Ir.func) (cid : int) =
+  let st = g.st in
+  let config = st.Phase3.config in
+  let env = st.Phase3.prog.Ssair.Ir.env in
+  let fname = f.Ssair.Ir.fname in
+  let ctx = Intern.Ctx.get g.ctxs cid in
+  let fi = finfo g f in
+  (* specialized entity constructors with the function id hoisted out of
+     the per-instruction path *)
+  let fid = Intern.intern g.strs fname in
+  let eval vid = ent g (0, fid, cid, vid) (Phase3.Eval (fname, ctx, vid)) in
+  let value_ent (v : Ssair.Ir.value) =
+    match v with
+    | Ssair.Ir.Vreg id -> Some (eval id)
+    | Ssair.Ir.Vparam p ->
+      Some (ent g (1, fid, cid, Intern.intern g.strs p) (Phase3.Eparam (fname, ctx, p)))
+    | _ -> None
+  in
+  (* control-dependence targets per block: entity that gains ctrl-taint
+     (with the given reason) when the block executes under a tainted
+     branch; wired to branch conditions after the walk *)
+  let ctrl_targets : (Ssair.Ir.bid, (int * string) list ref) Hashtbl.t = Hashtbl.create 16 in
+  let add_ct bid eid why =
+    match Hashtbl.find_opt ctrl_targets bid with
+    | Some l -> l := (eid, why) :: !l
+    | None -> Hashtbl.replace ctrl_targets bid (ref [ (eid, why) ])
+  in
+  let flow_operands self vs why =
+    List.iter
+      (fun v ->
+        match value_ent v with
+        | Some ve -> add_edge g ve { e_dst = self; e_mode = Mboth; e_why = why }
+        | None -> ())
+      vs
+  in
+  List.iter
+    (fun (b : Ssair.Ir.block) ->
+      let bid = b.Ssair.Ir.bbid in
+      (* phis: data/ctrl from incomings; implicit flow from the branches
+         controlling the merge *)
+      List.iter
+        (fun (p : Ssair.Ir.phi) ->
+          let self = eval p.Ssair.Ir.pid in
+          List.iter
+            (fun (_, v) ->
+              match value_ent v with
+              | Some ve -> add_edge g ve { e_dst = self; e_mode = Mboth; e_why = "phi merge" }
+              | None -> ())
+            p.Ssair.Ir.incoming;
+          if config.Config.control_deps then begin
+            let why = "phi merges paths controlled by an unsafe condition" in
+            add_ct bid self why;
+            List.iter
+              (fun (pred, _) ->
+                add_ct pred self why;
+                match Hashtbl.find_opt fi.fi_blocks pred with
+                | Some pblk -> (
+                  match pblk.Ssair.Ir.termin with
+                  | Ssair.Ir.Cbr (Ssair.Ir.Vreg cvid, _, _)
+                  | Ssair.Ir.Switch (Ssair.Ir.Vreg cvid, _, _) ->
+                    add_edge g (eval cvid)
+                      { e_dst = self; e_mode = Many_ctrl; e_why = why }
+                  | _ -> ())
+                | None -> ())
+              p.Ssair.Ir.incoming
+          end)
+        b.Ssair.Ir.phis;
+      List.iter
+        (fun (i : Ssair.Ir.instr) ->
+          let self = eval i.Ssair.Ir.iid in
+          match i.Ssair.Ir.idesc with
+          | Ssair.Ir.Alloca _ | Ssair.Ir.Annotation _ -> ()
+          | Ssair.Ir.Load { ptr; lty } ->
+            (* 1. shared-memory reads: static source (warning) when the
+               context leaves a non-core target uncovered; edge from the
+               region node for covered core regions *)
+            let shm_targets = Phase1.shm_targets st.Phase3.p1 f ptr in
+            Phase1.Rset.iter
+              (fun tgt ->
+                let rname = tgt.Phase1.Rtgt.region in
+                match Shm.region st.Phase3.shm rname with
+                | None -> ()
+                | Some r ->
+                  if r.Shm.r_noncore then begin
+                    let covered =
+                      match tgt.Phase1.Rtgt.off with
+                      | Offset.Byte byte ->
+                        Phase3.Ctx.covers_region ctx rname ~lo:byte
+                          ~hi:(byte + Ty.sizeof env lty)
+                      | Offset.Top -> Phase3.Ctx.covers_region ctx rname ~lo:0 ~hi:r.Shm.r_size
+                    in
+                    if not covered then begin
+                      Phase3.warn st f ctx i.Ssair.Ir.iloc rname;
+                      set_data g self ~parent:(region_ent g rname)
+                        ~why:
+                          (Fmt.str "unmonitored read of non-core region %s at %a" rname
+                             Loc.pp i.Ssair.Ir.iloc)
+                    end
+                  end
+                  else begin
+                    let node = Pointsto.Node.Nshm rname in
+                    if not (Phase3.Ctx.covers_node ctx node) then
+                      add_edge g (node_ent g node)
+                        { e_dst = self;
+                          e_mode = Mdata;
+                          e_why = "read of core region holding an unsafe value" }
+                  end)
+              shm_targets;
+            (* 2. ordinary memory (cf. the shm/ordinary split in the
+               legacy engine) *)
+            if Phase1.Rset.is_empty shm_targets then
+              Pointsto.Tset.iter
+                (fun tgt ->
+                  let node = tgt.Pointsto.Target.node in
+                  if not (Phase3.Ctx.covers_node ctx node) then begin
+                    let ne = node_ent g node in
+                    add_edge g ne
+                      { e_dst = self; e_mode = Mdata; e_why = "load from unsafe memory object" };
+                    add_edge g ne
+                      { e_dst = self;
+                        e_mode = Mctrl;
+                        e_why = "load from control-unsafe memory object" }
+                  end)
+                (Pointsto.points_to st.Phase3.pts f ptr);
+            (* 3. tainted address *)
+            flow_operands self [ ptr ] "load through unsafe pointer"
+          | Ssair.Ir.Store { ptr; sval; _ } ->
+            let target_nodes =
+              let shm = Phase1.shm_targets st.Phase3.p1 f ptr in
+              if Phase1.Rset.is_empty shm then
+                Pointsto.Tset.fold
+                  (fun tgt acc -> node_ent g tgt.Pointsto.Target.node :: acc)
+                  (Pointsto.points_to st.Phase3.pts f ptr)
+                  []
+              else
+                Phase1.Rset.fold
+                  (fun tgt acc ->
+                    node_ent g (Pointsto.Node.Nshm tgt.Phase1.Rtgt.region) :: acc)
+                  shm []
+            in
+            (match value_ent sval with
+            | Some ve ->
+              List.iter
+                (fun ne ->
+                  add_edge g ve { e_dst = ne; e_mode = Mdata; e_why = "unsafe value stored" };
+                  add_edge g ve
+                    { e_dst = ne; e_mode = Mctrl; e_why = "control-unsafe value stored" })
+                target_nodes
+            | None -> ());
+            if config.Config.control_deps then
+              List.iter
+                (fun ne -> add_ct bid ne "store controlled by an unsafe condition")
+                target_nodes
+          | Ssair.Ir.Binop { lhs; rhs; _ } -> flow_operands self [ lhs; rhs ] "arithmetic"
+          | Ssair.Ir.Unop { operand; _ } -> flow_operands self [ operand ] "arithmetic"
+          | Ssair.Ir.Cast { cval; _ } -> flow_operands self [ cval ] "cast"
+          | Ssair.Ir.Gep { base; idx; _ } ->
+            flow_operands self [ base; idx ] "address arithmetic"
+          | Ssair.Ir.Call { callee; args; _ } -> (
+            match Hashtbl.find_opt g.funcs_by_name callee with
+            | Some gfn ->
+              let gcid =
+                let own = own_ctx g gfn in
+                if config.Config.context_sensitive then Intern.Ctx.union g.ctxs cid own
+                else own
+              in
+              discover_pair g gfn gcid;
+              List.iteri
+                (fun k arg ->
+                  match List.nth_opt gfn.Ssair.Ir.fparams k with
+                  | Some (pname, _) ->
+                    let pe = param_ent g gfn.Ssair.Ir.fname gcid pname in
+                    (match value_ent arg with
+                    | Some ve ->
+                      let why = why_of g callee k in
+                      add_edge g ve { e_dst = pe; e_mode = Mboth; e_why = why }
+                    | None -> ());
+                    if config.Config.control_deps then
+                      add_ct bid pe "call controlled by an unsafe condition"
+                  | None -> ())
+                args;
+              let re = ret_ent g gfn.Ssair.Ir.fname gcid in
+              let why = why_of g callee (-1) in
+              add_edge g re { e_dst = self; e_mode = Mboth; e_why = why }
+            | None ->
+              (* extern; message-passing: recv through a non-core socket
+                 is a static taint source for the buffer *)
+              if List.mem callee config.Config.recv_functions then begin
+                let socket_is_noncore =
+                  match args with
+                  | sock :: _ -> (
+                    match sock with
+                    | Ssair.Ir.Vparam p -> Hashtbl.mem st.Phase3.noncore_sockets p
+                    | Ssair.Ir.Vreg id -> (
+                      match Hashtbl.find_opt (Lazy.force fi.fi_def) id with
+                      | Some
+                          (Ssair.Ir.Def_instr
+                             ( { idesc = Ssair.Ir.Load { ptr = Ssair.Ir.Vglobal gl; _ }; _ },
+                               _ )) ->
+                        Hashtbl.mem st.Phase3.noncore_sockets gl
+                      | _ -> false)
+                    | _ -> false)
+                  | [] -> false
+                in
+                if socket_is_noncore then
+                  match args with
+                  | _ :: buf :: _ ->
+                    Pointsto.Tset.iter
+                      (fun tgt ->
+                        set_data g (node_ent g tgt.Pointsto.Target.node)
+                          ~parent:(region_ent g (Fmt.str "socket via %s" callee))
+                          ~why:"data received from a non-core component")
+                      (Pointsto.points_to st.Phase3.pts f buf)
+                  | _ -> ()
+              end;
+              flow_operands self args (why_of g callee (-2))))
+        b.Ssair.Ir.instrs;
+      match b.Ssair.Ir.termin with
+      | Ssair.Ir.Ret (Some v) ->
+        let re = ret_ent g fname cid in
+        (match value_ent v with
+        | Some ve -> add_edge g ve { e_dst = re; e_mode = Mboth; e_why = "returned" }
+        | None -> ());
+        if config.Config.control_deps then
+          add_ct bid re "returned value selected by an unsafe condition"
+      | _ -> ())
+    f.Ssair.Ir.blocks;
+  (* wire branch conditions to the control-dependence targets of every
+     block in their controls-closure (Phase3.block_control_taint made
+     sparse: the closure is static, only the cond's taint is dynamic) *)
+  List.iter
+    (fun (bB, cvid) ->
+      let c = eval cvid in
+      List.iter
+        (fun d ->
+          match Hashtbl.find_opt ctrl_targets d with
+          | Some l ->
+            List.iter
+              (fun (teid, why) ->
+                add_edge g c { e_dst = teid; e_mode = Many_ctrl; e_why = why })
+              !l
+          | None -> ())
+        (Hashtbl.find fi.fi_closure bB))
+    fi.fi_branches
+
+(* -- Entry point --------------------------------------------------------------- *)
+
+let run ?(config = Config.default) (prog : Ssair.Ir.program) (shm : Shm.t) (p1 : Phase1.t)
+    (pts : Pointsto.t) : Phase3.result =
+  let st = Phase3.make_state ~config prog shm p1 pts in
+  let g = create st in
+  List.iter
+    (fun (f, ctx) -> discover_pair g f (Intern.Ctx.intern g.ctxs ctx))
+    (Phase3.root_pairs st);
+  (* pair discovery is taint-independent, so building all pairs first and
+     draining once reaches the same closure as interleaving would *)
+  let rec build () =
+    match Queue.take_opt g.pending with
+    | Some (f, cid) ->
+      build_pair g f cid;
+      build ()
+    | None -> ()
+  in
+  build ();
+  drain g;
+  (* pour the interned taints back into the shared state shape *)
+  let entity_origin parents whys i =
+    let p = parents.(i) in
+    { Phase3.parent = (if p < 0 then None else Some g.rev.(p)); why = whys.(i) }
+  in
+  for i = 0 to Intern.length g.keys - 1 do
+    if data_tainted g i then
+      Hashtbl.replace st.Phase3.data g.rev.(i) (entity_origin g.d_parent g.d_why i);
+    if ctrl_tainted g i then
+      Hashtbl.replace st.Phase3.ctrl g.rev.(i) (entity_origin g.c_parent g.c_why i)
+  done;
+  st.Phase3.passes <- 1;
+  st.Phase3.changed <- false;
+  let dependencies = Phase3.collect_dependencies st in
+  {
+    Phase3.warnings = Hashtbl.fold (fun _ w acc -> w :: acc) st.Phase3.warnings [];
+    dependencies;
+    passes = 1;
+    pair_count = Hashtbl.length st.Phase3.pairs;
+    engine_stats =
+      [ ("vf_entities", Intern.length g.keys);
+        ("vf_contexts", Intern.Ctx.length g.ctxs);
+        ("vf_edges", g.n_edges);
+        ("vf_pops", g.n_pops) ];
+    taint_state = st;
+  }

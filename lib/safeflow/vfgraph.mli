@@ -1,0 +1,35 @@
+(** Sparse worklist phase-3 engine over an explicit value-flow graph.
+
+    The legacy engine ({!Phase3.run}) is a dense fixpoint: every pass
+    re-scans every instruction of every discovered (function, context)
+    pair until no taint changes.  This engine visits each pair {e once}:
+    on first discovery it builds the pair's value-flow successor edges
+    (SSA def-use, load/store edges resolved by {!Pointsto}, call/return
+    edges, control-dependence edges from the cached CDGs) and thereafter
+    propagates newly-tainted entities along out-edges from a worklist.
+    Entities and monitoring contexts are interned to dense integer ids
+    ({!Intern}), so taint membership is an array lookup.
+
+    Select it with [{ Config.default with engine = Config.Worklist }]
+    (the {!Driver} dispatches on that flag).
+
+    Equivalence with the legacy engine: warnings, violations, discovered
+    pairs and dependency classifications are identical (asserted by
+    [test/test_engine_equiv.ml]).  Two deliberate, report-invisible
+    deviations: propagation-trace parents may differ (both engines pick
+    an arbitrary witness path), and control-taint is propagated
+    monotonically where the legacy engine's data-taint branch shadows
+    its control branch — the extra control marks land only on entities
+    that are also data-tainted, and data shadows control everywhere the
+    report classifies, so classifications agree. *)
+
+val run :
+  ?config:Config.t ->
+  Ssair.Ir.program ->
+  Shm.t ->
+  Phase1.t ->
+  Pointsto.t ->
+  Phase3.result
+(** drop-in replacement for {!Phase3.run}; [result.passes] is 1 and
+    [result.engine_stats] reports interned-entity, edge and worklist-pop
+    counters *)
