@@ -7,6 +7,7 @@
      phases    - per-phase analysis timing on the three systems (B1)
      scale     - analysis time vs synthetic core-component size (B2)
      engines   - legacy dense engine vs sparse worklist engine (B1 + B2)
+     cache     - content-addressed cache: cold vs warm vs one-function edit
      ablation  - field/context/control-dependence toggles (B3)
      summary   - exact vs ESP-style summary engine (B4)
      sim       - closed-loop Simplex scenario outcomes (Figure 1 / §4 narrative)
@@ -36,6 +37,23 @@ let time_ms f =
   (r, (Unix.gettimeofday () -. t0) *. 1000.0)
 
 let median l = List.nth (List.sort compare l) (List.length l / 2)
+
+(* one timed sample; the heap is compacted first so a major collection
+   triggered by the previous sample's garbage does not land inside this
+   one (the dominant source of run-to-run variance) *)
+let timed f =
+  Gc.compact ();
+  time_ms f
+
+type stats = { st_median : float; st_min : float; st_mean : float }
+
+let stats_of (samples : float list) : stats =
+  let n = max 1 (List.length samples) in
+  {
+    st_median = median samples;
+    st_min = List.fold_left Float.min Float.infinity samples;
+    st_mean = List.fold_left ( +. ) 0.0 samples /. float_of_int n;
+  }
 
 (* -- options ---------------------------------------------------------------- *)
 
@@ -99,6 +117,13 @@ let write_json (o : opts) (j : json) : unit =
     output_string oc (Buffer.contents b);
     close_out oc;
     if path <> "/dev/null" then Fmt.pr "results written to %s@." path
+
+(* JSON fields for one measurement: median under the historical "_ms" name
+   plus the min/mean spread *)
+let jstats prefix (st : stats) =
+  [ (prefix ^ "_ms", Jfloat st.st_median);
+    (prefix ^ "_min_ms", Jfloat st.st_min);
+    (prefix ^ "_mean_ms", Jfloat st.st_mean) ]
 
 (* -- parallel map over independent work items (one domain per core) ---------- *)
 
@@ -246,44 +271,44 @@ let table1 (o : opts) =
 (* ==================================================== phases (B1) ======== *)
 
 let phases (o : opts) =
-  Fmt.pr "@.== B1: per-phase analysis time (ms, median of %d) ==@.@." o.iters;
-  Fmt.pr "%-18s %9s %9s %9s %9s %9s %9s@." "System" "frontend" "shm+ph1" "phase2"
-    "pointsto" "phase3" "total";
+  Fmt.pr "@.== B1: per-phase analysis time (ms, median of %d; total med/min/mean) ==@.@."
+    o.iters;
+  Fmt.pr "%-18s %9s %9s %9s %9s %9s %9s %9s %9s@." "System" "frontend" "shm+ph1"
+    "phase2" "pointsto" "phase3" "tot-med" "tot-min" "tot-mean";
   let measure row =
     let path = find ("systems/" ^ row.p_core_file) in
     let src = read_file path in
     let samples =
       List.init (max 1 o.iters) (fun _ ->
           let p, t_front =
-            time_ms (fun () -> Safeflow.Driver.prepare_source ~file:path src)
+            timed (fun () -> Safeflow.Driver.prepare_source ~file:path src)
           in
           let (shm, p1), t_p1 =
-            time_ms (fun () ->
+            timed (fun () ->
                 let shm = Safeflow.Driver.stage_shm p in
                 (shm, Safeflow.Driver.stage_phase1 p shm))
           in
-          let _, t_p2 = time_ms (fun () -> Safeflow.Driver.stage_phase2 p p1) in
-          let pts, t_pts = time_ms (fun () -> Safeflow.Driver.stage_pointsto p) in
+          let _, t_p2 = timed (fun () -> Safeflow.Driver.stage_phase2 p p1) in
+          let pts, t_pts = timed (fun () -> Safeflow.Driver.stage_pointsto p) in
           let _, t_p3 =
-            time_ms (fun () -> Safeflow.Driver.stage_phase3 p shm p1 pts)
+            timed (fun () -> Safeflow.Driver.stage_phase3 p shm p1 pts)
           in
           (t_front, t_p1, t_p2, t_pts, t_p3))
     in
-    let sel f = median (List.map f samples) in
-    let f, p1, p2, pts, p3 =
-      (sel (fun (a,_,_,_,_) -> a), sel (fun (_,a,_,_,_) -> a), sel (fun (_,_,a,_,_) -> a),
-       sel (fun (_,_,_,a,_) -> a), sel (fun (_,_,_,_,a) -> a))
+    let sel f = stats_of (List.map f samples) in
+    let f = sel (fun (a,_,_,_,_) -> a) and p1 = sel (fun (_,a,_,_,_) -> a)
+    and p2 = sel (fun (_,_,a,_,_) -> a) and pts = sel (fun (_,_,_,a,_) -> a)
+    and p3 = sel (fun (_,_,_,_,a) -> a) in
+    let total =
+      sel (fun (a, b, c, d, e) -> a +. b +. c +. d +. e)
     in
-    ( Fmt.str "%-18s %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f" row.p_name f p1 p2 pts p3
-        (f +. p1 +. p2 +. pts +. p3),
+    ( Fmt.str "%-18s %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f" row.p_name
+        f.st_median p1.st_median p2.st_median pts.st_median p3.st_median
+        total.st_median total.st_min total.st_mean,
       Jobj
-        [ ("system", Jstr row.p_name);
-          ("frontend_ms", Jfloat f);
-          ("shm_phase1_ms", Jfloat p1);
-          ("phase2_ms", Jfloat p2);
-          ("pointsto_ms", Jfloat pts);
-          ("phase3_ms", Jfloat p3);
-          ("total_ms", Jfloat (f +. p1 +. p2 +. pts +. p3)) ] )
+        (("system", Jstr row.p_name)
+        :: (jstats "frontend" f @ jstats "shm_phase1" p1 @ jstats "phase2" p2
+           @ jstats "pointsto" pts @ jstats "phase3" p3 @ jstats "total" total)) )
   in
   (* the three systems are measured concurrently; rows print in order *)
   let results = par_map measure (selected_rows o) in
@@ -340,19 +365,20 @@ let engines (o : opts) =
     let p1 = Safeflow.Driver.stage_phase1 p shm in
     let pts = Safeflow.Driver.stage_pointsto p in
     let sample config =
-      median
+      stats_of
         (List.init iters (fun _ ->
-             snd (time_ms (fun () -> Safeflow.Driver.stage_phase3 ~config p shm p1 pts))))
+             snd (timed (fun () -> Safeflow.Driver.stage_phase3 ~config p shm p1 pts))))
     in
     let t_legacy = sample legacy_cfg in
     let t_worklist = sample worklist_cfg in
     let r3 = Safeflow.Driver.stage_phase3 ~config:worklist_cfg p shm p1 pts in
     (t_legacy, t_worklist, r3.Safeflow.Phase3.engine_stats)
   in
-  Fmt.pr "@.== Engines: legacy dense fixpoint vs sparse worklist (median of %d) ==@.@."
+  let cell (st : stats) = Fmt.str "%.2f/%.2f/%.2f" st.st_median st.st_min st.st_mean in
+  Fmt.pr "@.== Engines: legacy dense fixpoint vs sparse worklist (med/min/mean of %d) ==@.@."
     iters;
-  Fmt.pr "%-18s %12s %12s %9s %8s %6s %6s %7s@." "input" "legacy(ms)" "worklist(ms)"
-    "speedup" "err/warn/fp" "" "" "agree";
+  Fmt.pr "%-18s %22s %22s %9s %12s %7s@." "input" "legacy(ms)" "worklist(ms)"
+    "speedup" "err/warn/fp" "agree";
   let b1 =
     List.map
       (fun row ->
@@ -368,23 +394,23 @@ let engines (o : opts) =
         let t_legacy, t_worklist, _ =
           measure_stage (Safeflow.Driver.prepare_source ~file:path src)
         in
-        Fmt.pr "%-18s %12.2f %12.2f %8.2fx %8s %6s %6s %7b@." row.p_name t_legacy
-          t_worklist
-          (t_legacy /. Float.max 0.001 t_worklist)
-          (Fmt.str "%d/%d/%d" el wl fl) "" "" agree;
+        let speedup = t_legacy.st_median /. Float.max 0.001 t_worklist.st_median in
+        Fmt.pr "%-18s %22s %22s %8.2fx %12s %7b@." row.p_name (cell t_legacy)
+          (cell t_worklist) speedup
+          (Fmt.str "%d/%d/%d" el wl fl) agree;
         Jobj
-          [ ("system", Jstr row.p_name);
-            ("legacy_ms", Jfloat t_legacy);
-            ("worklist_ms", Jfloat t_worklist);
-            ("speedup", Jfloat (t_legacy /. Float.max 0.001 t_worklist));
-            ("errors", Jint el);
-            ("warnings", Jint wl);
-            ("false_positives", Jint fl);
-            ("identical_reports", Jbool agree) ])
+          (("system", Jstr row.p_name)
+          :: jstats "legacy" t_legacy
+          @ jstats "worklist" t_worklist
+          @ [ ("speedup", Jfloat speedup);
+              ("errors", Jint el);
+              ("warnings", Jint wl);
+              ("false_positives", Jint fl);
+              ("identical_reports", Jbool agree) ]))
       (selected_rows o)
   in
   let b2_sizes = [ 32; 64; 128; 192; 256; 384 ] in
-  Fmt.pr "@.%8s %12s %12s %9s %10s %10s@." "workers" "legacy(ms)" "worklist(ms)"
+  Fmt.pr "@.%8s %22s %22s %9s %10s %10s@." "workers" "legacy(ms)" "worklist(ms)"
     "speedup" "passes" "vf_edges";
   let b2 =
     List.map
@@ -400,17 +426,17 @@ let engines (o : opts) =
         let p = Safeflow.Driver.prepare_source src in
         let t_legacy, t_worklist, stats = measure_stage p in
         let vf_edges = try List.assoc "vf_edges" stats with Not_found -> 0 in
-        Fmt.pr "%8d %12.2f %12.2f %8.2fx %10d %10d@." n t_legacy t_worklist
-          (t_legacy /. Float.max 0.001 t_worklist)
-          passes vf_edges;
+        let speedup = t_legacy.st_median /. Float.max 0.001 t_worklist.st_median in
+        Fmt.pr "%8d %22s %22s %8.2fx %10d %10d@." n (cell t_legacy) (cell t_worklist)
+          speedup passes vf_edges;
         Jobj
-          [ ("workers", Jint n);
-            ("legacy_ms", Jfloat t_legacy);
-            ("legacy_passes", Jint passes);
-            ("worklist_ms", Jfloat t_worklist);
-            ("vf_edges", Jint vf_edges);
-            ("speedup", Jfloat (t_legacy /. Float.max 0.001 t_worklist));
-            ("identical_reports", Jbool true) ])
+          (("workers", Jint n)
+          :: jstats "legacy" t_legacy
+          @ jstats "worklist" t_worklist
+          @ [ ("legacy_passes", Jint passes);
+              ("vf_edges", Jint vf_edges);
+              ("speedup", Jfloat speedup);
+              ("identical_reports", Jbool true) ]))
       b2_sizes
   in
   Fmt.pr "@.(reports are asserted identical under both engines on every input)@.";
@@ -420,6 +446,117 @@ let engines (o : opts) =
          ("iters", Jint iters);
          ("b1_systems", Jarr b1);
          ("b2_synthetic", Jarr b2) ])
+
+(* ==================================================== cache ============== *)
+
+(* Content-addressed incremental cache: cold run (fresh cache) vs warm rerun
+   (every digest hits) vs one-function edit (everything except the edited
+   function's dependent entries hits).  Each report is compared structurally
+   against a cache-less analysis of the same source; this is the experiment
+   behind BENCH_cache.json. *)
+let cache_bench (o : opts) =
+  let iters = max 1 o.iters in
+  let probe = "\ndouble __cache_probe(double x) { return x * 2.0; }\n" in
+  let systems =
+    [ "car_follow.c"; "double_ip.c"; "figure2.c"; "generic_simplex.c";
+      "ip_controller.c" ]
+  in
+  let inputs =
+    List.map
+      (fun f -> (Filename.remove_extension f, read_file (find ("systems/" ^ f))))
+      systems
+    @ List.map
+        (fun n -> (Fmt.str "synth-%d" n, Safeflow.Synth.of_size n))
+        [ 32; 64; 128; 192; 256; 384 ]
+  in
+  let engines =
+    [ ("legacy", { Safeflow.Config.default with engine = Safeflow.Config.Legacy });
+      ("worklist", { Safeflow.Config.default with engine = Safeflow.Config.Worklist }) ]
+  in
+  Fmt.pr "@.== Cache: cold vs warm vs one-function edit (med/min/mean of %d) ==@.@."
+    iters;
+  Fmt.pr "%-18s %-9s %20s %20s %20s %9s %10s@." "input" "engine" "cold(ms)" "warm(ms)"
+    "dirty(ms)" "speedup" "identical";
+  let cell (st : stats) = Fmt.str "%.1f/%.1f/%.1f" st.st_median st.st_min st.st_mean in
+  let rows =
+    List.concat_map
+      (fun (name, src) ->
+        List.map
+          (fun (ename, config) ->
+            let report src cache =
+              (Safeflow.Driver.analyze ~config ?cache src).Safeflow.Driver.report
+            in
+            let baseline = report src None in
+            let dirty_src = src ^ probe in
+            let dirty_baseline = report dirty_src None in
+            (* cold: every sample starts from an empty cache *)
+            let cold_ok = ref true in
+            let cold =
+              stats_of
+                (List.init iters (fun _ ->
+                     let c = Safeflow.Cache.create () in
+                     let r, t = timed (fun () -> report src (Some c)) in
+                     if r <> baseline then cold_ok := false;
+                     t))
+            in
+            (* warm: one untimed priming run, then timed reruns against the
+               populated cache *)
+            let warm_ok = ref true in
+            let c = Safeflow.Cache.create () in
+            ignore (report src (Some c));
+            let warm =
+              stats_of
+                (List.init iters (fun _ ->
+                     let r, t = timed (fun () -> report src (Some c)) in
+                     if r <> baseline then warm_ok := false;
+                     t))
+            in
+            (* dirty: prime a fresh cache with the unedited source (untimed),
+               then analyze the edited source against it *)
+            let dirty_ok = ref true in
+            let dirty =
+              stats_of
+                (List.init iters (fun _ ->
+                     let c = Safeflow.Cache.create () in
+                     ignore (report src (Some c));
+                     let r, t = timed (fun () -> report dirty_src (Some c)) in
+                     if r <> dirty_baseline then dirty_ok := false;
+                     t))
+            in
+            let speedup = cold.st_median /. Float.max 0.001 warm.st_median in
+            let identical = !cold_ok && !warm_ok && !dirty_ok in
+            Fmt.pr "%-18s %-9s %20s %20s %20s %8.1fx %10b@." name ename (cell cold)
+              (cell warm) (cell dirty) speedup identical;
+            ( (name, ename, speedup, identical),
+              Jobj
+                (("input", Jstr name) :: ("engine", Jstr ename)
+                :: jstats "cold" cold
+                @ jstats "warm" warm
+                @ jstats "dirty" dirty
+                @ [ ("warm_speedup", Jfloat speedup);
+                    ("identical_cold", Jbool !cold_ok);
+                    ("identical_warm", Jbool !warm_ok);
+                    ("identical_dirty", Jbool !dirty_ok);
+                    ("identical_reports", Jbool identical) ]) ))
+          engines)
+      inputs
+  in
+  let all_identical = List.for_all (fun ((_, _, _, ok), _) -> ok) rows in
+  let headline =
+    List.filter_map
+      (fun ((name, ename, speedup, _), _) ->
+        if name = "synth-384" then Some (ename ^ "_warm_speedup", Jfloat speedup)
+        else None)
+      rows
+  in
+  Fmt.pr "@.(every report above is structurally identical to a cache-less analysis)@.";
+  write_json o
+    (Jobj
+       [ ("benchmark", Jstr "content-addressed cache: cold vs warm vs one-function edit");
+         ("iters", Jint iters);
+         ("identical_reports", Jbool all_identical);
+         ("headline", Jobj (("input", Jstr "synth-384") :: headline));
+         ("rows", Jarr (List.map snd rows)) ])
 
 (* ==================================================== ablation (B3) ====== *)
 
@@ -646,8 +783,8 @@ let micro (_o : opts) =
 let () =
   let which, opts = parse_args () in
   let all = [ ("table1", table1); ("phases", phases); ("scale", scale);
-              ("engines", engines); ("ablation", ablation); ("summary", summary);
-              ("sim", sim); ("micro", micro) ] in
+              ("engines", engines); ("cache", cache_bench); ("ablation", ablation);
+              ("summary", summary); ("sim", sim); ("micro", micro) ] in
   match List.assoc_opt which all with
   | Some f -> f opts
   | None ->

@@ -11,13 +11,14 @@
 
 open Cmdliner
 
-let config_of ~control_deps ~context_sensitive ~field_sensitive ~engine =
+let config_of ~control_deps ~context_sensitive ~field_sensitive ~engine ~pair_domains =
   {
     Safeflow.Config.default with
     control_deps;
     context_sensitive;
     field_sensitive;
     engine;
+    pair_domains;
   }
 
 let engine_conv =
@@ -41,14 +42,36 @@ let analyze_cmd =
       & info [ "engine" ] ~docv:"ENGINE"
           ~doc:"phase-3 engine: $(b,legacy) (dense fixpoint) or $(b,worklist) (sparse value-flow graph); reports are identical")
   in
-  let run files no_control ctx_insensitive field_insensitive vfg use_summary engine =
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "content-addressed analysis cache directory (created if missing); reruns of \
+             unchanged sources skip phases 1-3, edits recompute only the affected \
+             functions.  Stale or corrupt entries are discarded silently; reports are \
+             identical with and without the cache")
+  in
+  let pair_domains =
+    Arg.(
+      value
+      & opt int Safeflow.Config.default.Safeflow.Config.pair_domains
+      & info [ "pair-domains" ] ~docv:"N"
+          ~doc:
+            "worklist engine: build value-flow edge blocks on $(docv) domains (1 = \
+             sequential, 0 = one per hardware thread); reports are identical")
+  in
+  let run files no_control ctx_insensitive field_insensitive vfg use_summary engine
+      cache_dir pair_domains =
     try
       let config =
         config_of ~control_deps:(not no_control)
           ~context_sensitive:(not ctx_insensitive)
           ~field_sensitive:(not field_insensitive)
-          ~engine
+          ~engine ~pair_domains
       in
+      let cache = Option.map (fun dir -> Safeflow.Cache.create ~dir ()) cache_dir in
       let reports =
         if use_summary then
           List.map
@@ -62,7 +85,7 @@ let analyze_cmd =
               r)
             files
         else begin
-          let analyses = Safeflow.Driver.analyze_files_par ~config files in
+          let analyses = Safeflow.Driver.analyze_files_par ~config ?cache files in
           List.iter2
             (fun file (a : Safeflow.Driver.analysis) ->
               if List.length files > 1 then Fmt.pr "== %s ==@." file;
@@ -85,7 +108,7 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc:"run the full SafeFlow analysis on core components")
     Term.(const run $ files $ no_control $ ctx_insensitive $ field_insensitive $ vfg
-          $ use_summary $ engine)
+          $ use_summary $ engine $ cache_dir $ pair_domains)
 
 let initcheck_cmd =
   let file =

@@ -1,0 +1,130 @@
+(** Content-addressed analysis cache (see the interface). *)
+
+let format_version = 1
+
+let magic = "SAFEFLOW-CACHE"
+
+type t = {
+  dir : string option;
+  tbl : (string, Obj.t) Hashtbl.t;  (** "ns:key" ↦ value *)
+  counters : (string, int ref * int ref) Hashtbl.t;  (** ns ↦ hits, misses *)
+  lock : Mutex.t;
+}
+
+let create ?dir () =
+  let dir =
+    match dir with
+    | None -> None
+    | Some d ->
+      (try
+         if not (Sys.file_exists d) then Sys.mkdir d 0o755;
+         if Sys.is_directory d then Some d else None
+       with Sys_error _ -> None)
+  in
+  { dir; tbl = Hashtbl.create 256; counters = Hashtbl.create 8; lock = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let count t ns hit =
+  let h, m =
+    match Hashtbl.find_opt t.counters ns with
+    | Some c -> c
+    | None ->
+      let c = (ref 0, ref 0) in
+      Hashtbl.replace t.counters ns c;
+      c
+  in
+  incr (if hit then h else m)
+
+(* Keys are hex digests and namespaces are short alphanumeric tags, so
+   "ns-key.bin" is a safe file name on every platform. *)
+let path_of dir ns key = Filename.concat dir (ns ^ "-" ^ key ^ ".bin")
+
+type header = {
+  h_magic : string;
+  h_version : int;
+  h_ocaml : string;
+  h_ns : string;
+  h_key : string;
+}
+
+let read_disk t ns key : Obj.t option =
+  match t.dir with
+  | None -> None
+  | Some dir ->
+    let path = path_of dir ns key in
+    let result =
+      try
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let (h : header), (v : Obj.t) = Marshal.from_channel ic in
+            if
+              String.equal h.h_magic magic
+              && h.h_version = format_version
+              && String.equal h.h_ocaml Sys.ocaml_version
+              && String.equal h.h_ns ns && String.equal h.h_key key
+            then Some v
+            else None)
+      with _ -> None
+    in
+    (* corrupt or stale: drop the file so it is rewritten on store *)
+    (if result = None && Sys.file_exists path then try Sys.remove path with Sys_error _ -> ());
+    result
+
+let write_disk t ns key (v : Obj.t) =
+  match t.dir with
+  | None -> ()
+  | Some dir ->
+    let path = path_of dir ns key in
+    let tmp = path ^ ".tmp" in
+    (try
+       let oc = open_out_bin tmp in
+       Fun.protect
+         ~finally:(fun () -> close_out_noerr oc)
+         (fun () ->
+           let h =
+             {
+               h_magic = magic;
+               h_version = format_version;
+               h_ocaml = Sys.ocaml_version;
+               h_ns = ns;
+               h_key = key;
+             }
+           in
+           Marshal.to_channel oc (h, v) []);
+       Sys.rename tmp path
+     with _ -> (try Sys.remove tmp with Sys_error _ -> ()))
+
+let find t ~ns ~key : 'a option =
+  locked t (fun () ->
+      let k = ns ^ ":" ^ key in
+      match Hashtbl.find_opt t.tbl k with
+      | Some v ->
+        count t ns true;
+        Some (Obj.obj v)
+      | None -> (
+        match read_disk t ns key with
+        | Some v ->
+          Hashtbl.replace t.tbl k v;
+          count t ns true;
+          Some (Obj.obj v)
+        | None ->
+          count t ns false;
+          None))
+
+let store t ~ns ~key v =
+  locked t (fun () ->
+      let v = Obj.repr v in
+      Hashtbl.replace t.tbl (ns ^ ":" ^ key) v;
+      write_disk t ns key v)
+
+let stats t =
+  locked t (fun () ->
+      List.sort compare
+        (Hashtbl.fold (fun ns (h, m) acc -> (ns, (!h, !m)) :: acc) t.counters []))
+
+let reset_stats t = locked t (fun () -> Hashtbl.reset t.counters)

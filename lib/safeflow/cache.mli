@@ -1,0 +1,43 @@
+(** Content-addressed analysis cache: an in-memory store with an
+    optional on-disk tier.
+
+    Entries are keyed by [(namespace, digest)] where the digest is
+    computed by {!Digest_ir} over everything the cached computation
+    reads; a stale input therefore changes the key and the entry is
+    simply never found again — there is no explicit invalidation.
+
+    The store is type-unsafe by construction (one table holds values of
+    many types); safety is by the namespace discipline: a namespace is
+    only ever read and written with one type.  All operations are
+    mutex-guarded, so one cache may be shared by the domains of
+    {!Driver.analyze_files_par} and the pair-build pool of {!Vfgraph}.
+
+    On-disk entries (one file per entry under the cache directory) are
+    marshalled with a versioned header recording the cache format
+    version, the OCaml version and the entry key; a file that is absent,
+    truncated, corrupt, or written by a different format/compiler
+    version is silently discarded and the result recomputed. *)
+
+type t
+
+val create : ?dir:string -> unit -> t
+(** [create ()] is memory-only; [create ~dir ()] adds a disk tier rooted
+    at [dir] (created if missing; creation failure degrades silently to
+    memory-only) *)
+
+val find : t -> ns:string -> key:string -> 'a option
+(** memory first, then disk (populating memory on a disk hit).  The
+    caller must request the type that [store] put in [ns]. *)
+
+val store : t -> ns:string -> key:string -> 'a -> unit
+(** the value must be pure data (no closures); disk writes are atomic
+    (temp file + rename) and write errors are ignored *)
+
+val stats : t -> (string * (int * int)) list
+(** per-namespace (hits, misses) counters, sorted by namespace — kept
+    here rather than in {!Report.t.stats} so warm and cold reports stay
+    bit-identical *)
+
+val reset_stats : t -> unit
+
+val format_version : int

@@ -40,11 +40,16 @@ type t = {
   engine : engine;
       (** phase-3 propagation engine; [Legacy] is the paper-shaped dense
           fixpoint, [Worklist] the sparse value-flow-graph engine *)
+  pair_domains : int;
+      (** worklist engine: domains used to build (function, context)
+          value-flow edge blocks in parallel; 1 = sequential, 0 = one per
+          hardware thread.  Reports are identical for any value. *)
 }
 
 let default =
   {
     engine = Legacy;
+    pair_domains = 1;
     field_sensitive = true;
     context_sensitive = true;
     control_deps = true;

@@ -73,14 +73,86 @@ let stage_phase1 ?config (p : prepared) (shm : Shm.t) : Phase1.t =
 
 let stage_pointsto (p : prepared) : Pointsto.t = Pointsto.analyze p.ir
 
-let stage_phase2 ?config (p : prepared) (p1 : Phase1.t) : Report.violation list =
-  Phase2.run ?config p.ir p1
+let stage_phase2 ?config ?cache ?digests (p : prepared) (p1 : Phase1.t) :
+    Report.violation list =
+  Phase2.run ?config ?cache ?digests p.ir p1
 
-let stage_phase3 ?(config = Config.default) (p : prepared) (shm : Shm.t) (p1 : Phase1.t)
-    (pts : Pointsto.t) : Phase3.result =
+(* Whole-result phase-3 tier, keyed at program granularity: the
+   report-visible lists verbatim (order preserved) plus the taint tables
+   as association lists, from which a fresh state is rebuilt for the VFG
+   export.  A warm rerun of an unchanged program under either engine
+   restores from here and skips propagation entirely.  The legacy engine
+   has no finer-grained build step to cache; the worklist engine
+   additionally caches per-pair edge blocks inside {!Vfgraph.run}, so an
+   edit that misses this tier still rebuilds only the edited functions'
+   dependent pairs. *)
+type phase3_cached = {
+  lc_warnings : Report.warning list;
+  lc_dependencies : Report.dependency list;
+  lc_passes : int;
+  lc_stats : (string * int) list;
+  lc_data : (Phase3.entity * Phase3.origin) list;
+  lc_ctrl : (Phase3.entity * Phase3.origin) list;
+  lc_pairs : (string * Phase3.Ctx.t) list;
+  lc_warn_tbl : ((Minic.Loc.t * string) * Report.warning) list;
+}
+
+let phase3_whole ~config ~tag ?cache ?digests (p : prepared) (shm : Shm.t) (p1 : Phase1.t)
+    (pts : Pointsto.t) (runner : unit -> Phase3.result) : Phase3.result =
+  let key =
+    match digests with
+    | Some (d : Digest_ir.t) ->
+      Some
+        (Digest_ir.combine [ d.Digest_ir.program; Digest_ir.semantic_config config; tag ])
+    | None -> None
+  in
+  let restore (lc : phase3_cached) : Phase3.result =
+    let st = Phase3.make_state ~config p.ir shm p1 pts in
+    List.iter (fun (e, o) -> Hashtbl.replace st.Phase3.data e o) lc.lc_data;
+    List.iter (fun (e, o) -> Hashtbl.replace st.Phase3.ctrl e o) lc.lc_ctrl;
+    List.iter (fun pr -> Hashtbl.replace st.Phase3.pairs pr ()) lc.lc_pairs;
+    List.iter (fun (k, w) -> Hashtbl.replace st.Phase3.warnings k w) lc.lc_warn_tbl;
+    st.Phase3.passes <- lc.lc_passes;
+    {
+      Phase3.warnings = lc.lc_warnings;
+      dependencies = lc.lc_dependencies;
+      passes = lc.lc_passes;
+      pair_count = List.length lc.lc_pairs;
+      engine_stats = lc.lc_stats;
+      taint_state = st;
+    }
+  in
+  match (cache, key) with
+  | Some c, Some key -> (
+    match (Cache.find c ~ns:"phase3" ~key : phase3_cached option) with
+    | Some lc -> restore lc
+    | None ->
+      let r = runner () in
+      let st = r.Phase3.taint_state in
+      let assoc tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+      Cache.store c ~ns:"phase3" ~key
+        {
+          lc_warnings = r.Phase3.warnings;
+          lc_dependencies = r.Phase3.dependencies;
+          lc_passes = r.Phase3.passes;
+          lc_stats = r.Phase3.engine_stats;
+          lc_data = assoc st.Phase3.data;
+          lc_ctrl = assoc st.Phase3.ctrl;
+          lc_pairs = Hashtbl.fold (fun k () acc -> k :: acc) st.Phase3.pairs [];
+          lc_warn_tbl = assoc st.Phase3.warnings;
+        };
+      r)
+  | _ -> runner ()
+
+let stage_phase3 ?(config = Config.default) ?cache ?digests (p : prepared) (shm : Shm.t)
+    (p1 : Phase1.t) (pts : Pointsto.t) : Phase3.result =
   match config.Config.engine with
-  | Config.Legacy -> Phase3.run ~config p.ir shm p1 pts
-  | Config.Worklist -> Vfgraph.run ~config p.ir shm p1 pts
+  | Config.Legacy ->
+    phase3_whole ~config ~tag:"legacy" ?cache ?digests p shm p1 pts (fun () ->
+        Phase3.run ~config p.ir shm p1 pts)
+  | Config.Worklist ->
+    phase3_whole ~config ~tag:"worklist" ?cache ?digests p shm p1 pts (fun () ->
+        Vfgraph.run ~config ?cache ?digests p.ir shm p1 pts)
 
 (* -- One-shot analysis ------------------------------------------------------------ *)
 
@@ -91,13 +163,43 @@ type analysis = {
   shm : Shm.t;
 }
 
-let analyze ?(config = Config.default) ?file (src : string) : analysis =
-  let p = prepare_source ?file src in
+let cached (c : Cache.t) ~ns ~key (f : unit -> 'a) : 'a =
+  match Cache.find c ~ns ~key with
+  | Some v -> v
+  | None ->
+    let v = f () in
+    Cache.store c ~ns ~key v;
+    v
+
+let analyze ?(config = Config.default) ?cache ?file (src : string) : analysis =
+  let p =
+    match cache with
+    | Some c ->
+      cached c ~ns:"prepared" ~key:(Digest_ir.source_key ?file src) (fun () ->
+          prepare_source ?file src)
+    | None -> prepare_source ?file src
+  in
+  (* program digests drive every later cache key; skip them entirely when
+     no cache is attached *)
+  let digests = Option.map (fun _ -> Digest_ir.of_program p.ir) cache in
   let shm = stage_shm p in
-  let p1 = stage_phase1 ~config p shm in
-  let violations = stage_phase2 ~config p p1 in
-  let pts = stage_pointsto p in
-  let ph3 = stage_phase3 ~config p shm p1 pts in
+  let p1 =
+    match (cache, digests) with
+    | Some c, Some (d : Digest_ir.t) ->
+      cached c ~ns:"phase1"
+        ~key:(Digest_ir.combine [ d.Digest_ir.program; Digest_ir.semantic_config config ])
+        (fun () -> stage_phase1 ~config p shm)
+    | _ -> stage_phase1 ~config p shm
+  in
+  let violations = stage_phase2 ~config ?cache ?digests p p1 in
+  let pts =
+    match (cache, digests) with
+    | Some c, Some (d : Digest_ir.t) ->
+      (* config-independent, so keyed on the program alone *)
+      cached c ~ns:"pointsto" ~key:d.Digest_ir.program (fun () -> stage_pointsto p)
+    | _ -> stage_pointsto p
+  in
+  let ph3 = stage_phase3 ~config ?cache ?digests p shm p1 pts in
   let report =
     {
       Report.violations;
@@ -119,20 +221,20 @@ let analyze ?(config = Config.default) ?file (src : string) : analysis =
   in
   { report; phase3 = ph3; prepared = p; shm }
 
-let analyze_file ?config path : analysis =
+let analyze_file ?config ?cache path : analysis =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
   let src = really_input_string ic n in
   close_in ic;
-  analyze ?config ~file:path src
+  analyze ?config ?cache ~file:path src
 
 (** Analyze several systems concurrently, one domain per hardware thread
     (bounded by [Domain.recommended_domain_count]).  Analysis state is
     per-run, so the systems are embarrassingly parallel; results come
     back in input order and exceptions are re-raised in input order. *)
-let analyze_files_par ?config (paths : string list) : analysis list =
+let analyze_files_par ?config ?cache (paths : string list) : analysis list =
   let n = List.length paths in
-  if n <= 1 then List.map (analyze_file ?config) paths
+  if n <= 1 then List.map (analyze_file ?config ?cache) paths
   else begin
     let files = Array.of_list paths in
     let results : (analysis, exn) result option array = Array.make n None in
@@ -142,7 +244,7 @@ let analyze_files_par ?config (paths : string list) : analysis list =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
           results.(i) <-
-            Some (try Ok (analyze_file ?config files.(i)) with e -> Error e);
+            Some (try Ok (analyze_file ?config ?cache files.(i)) with e -> Error e);
           loop ()
         end
       in

@@ -28,10 +28,23 @@ val stage_phase1 : ?config:Config.t -> prepared -> Shm.t -> Phase1.t
 
 val stage_pointsto : prepared -> Pointsto.t
 
-val stage_phase2 : ?config:Config.t -> prepared -> Phase1.t -> Report.violation list
+val stage_phase2 :
+  ?config:Config.t ->
+  ?cache:Cache.t ->
+  ?digests:Digest_ir.t ->
+  prepared ->
+  Phase1.t ->
+  Report.violation list
 
 val stage_phase3 :
-  ?config:Config.t -> prepared -> Shm.t -> Phase1.t -> Pointsto.t -> Phase3.result
+  ?config:Config.t ->
+  ?cache:Cache.t ->
+  ?digests:Digest_ir.t ->
+  prepared ->
+  Shm.t ->
+  Phase1.t ->
+  Pointsto.t ->
+  Phase3.result
 
 (** {1 One-shot analysis} *)
 
@@ -42,14 +55,21 @@ type analysis = {
   shm : Shm.t;
 }
 
-val analyze : ?config:Config.t -> ?file:string -> string -> analysis
+val analyze : ?config:Config.t -> ?cache:Cache.t -> ?file:string -> string -> analysis
+(** With [~cache], every stage consults the content-addressed cache: the
+    prepared IR is keyed on the source text, phase 1 / phase 2 /
+    points-to / phase 3 on program and per-function digests
+    ({!Digest_ir}).  Reports are bit-identical with and without the
+    cache; a warm rerun of an unchanged system skips phases 1–3 and goes
+    straight to taint propagation. *)
 
-val analyze_file : ?config:Config.t -> string -> analysis
+val analyze_file : ?config:Config.t -> ?cache:Cache.t -> string -> analysis
 
-val analyze_files_par : ?config:Config.t -> string list -> analysis list
+val analyze_files_par : ?config:Config.t -> ?cache:Cache.t -> string list -> analysis list
 (** analyze several systems concurrently (one [Domain] per hardware
     thread, bounded by [Domain.recommended_domain_count]); results are
-    returned in input order *)
+    returned in input order.  A shared [~cache] is safe: all cache
+    operations are mutex-guarded. *)
 
 (** {1 Summary engine (paper §3.3's ESP-style optimization)} *)
 

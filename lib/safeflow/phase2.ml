@@ -482,21 +482,82 @@ let check_arrays st (f : Ssair.Ir.func) =
         b.Ssair.Ir.instrs)
     f.Ssair.Ir.blocks
 
+(** Verdicts for one function: a fresh accumulator per function, so the
+    result can be cached and reused independently.  Concatenating the
+    per-function lists in program order reproduces exactly the order the
+    original single-accumulator pass emitted. *)
+let check_function ~config ~prog ~p1 accessors (f : Ssair.Ir.func) : Report.violation list =
+  let st = { prog; p1; config; violations = [] } in
+  check_p1 st f accessors;
+  check_p2_p3 st f;
+  check_arrays st f;
+  List.rev st.violations
+
 (** Run phase 2.  Returns restriction violations (empty when the program
-    adheres to the MiniC shared-memory discipline). *)
-let run ?(config = Config.default) (prog : Ssair.Ir.program) (p1 : Phase1.t) :
-    Report.violation list =
+    adheres to the MiniC shared-memory discipline).
+
+    With [~cache] and [~digests], verdicts are cached at two
+    granularities: the whole program (so an unchanged system skips even
+    the accessor-closure computation) and per function — keyed on the
+    function body, its phase-1 facts, the shm-accessor closure, the
+    region model, the type environment and the semantic config — so a
+    one-function edit recomputes only that function. *)
+let run ?(config = Config.default) ?cache ?digests (prog : Ssair.Ir.program) (p1 : Phase1.t)
+    : Report.violation list =
   if not config.Config.check_restrictions then []
   else begin
-    let st = { prog; p1; config; violations = [] } in
-    let accessors = shm_accessors prog p1 in
-    List.iter
-      (fun (f : Ssair.Ir.func) ->
-        if not (Phase1.is_exempt p1 f.Ssair.Ir.fname) then begin
-          check_p1 st f accessors;
-          check_p2_p3 st f;
-          check_arrays st f
-        end)
-      prog.Ssair.Ir.funcs;
-    List.rev st.violations
+    let sem_fp = lazy (Digest_ir.semantic_config config) in
+    let whole_key =
+      match digests with
+      | Some (d : Digest_ir.t) ->
+        Some (Digest_ir.combine [ d.Digest_ir.program; Lazy.force sem_fp ])
+      | None -> None
+    in
+    let cached_whole =
+      match (cache, whole_key) with
+      | Some c, Some key -> (Cache.find c ~ns:"phase2" ~key : Report.violation list option)
+      | _ -> None
+    in
+    match cached_whole with
+    | Some vs -> vs
+    | None ->
+      let accessors = shm_accessors prog p1 in
+      let func_key =
+        match (cache, digests) with
+        | Some _, Some (d : Digest_ir.t) ->
+          let p1_by = Digest_ir.phase1_by_func p1 in
+          let global =
+            Digest_ir.combine
+              [ Digest_ir.of_value
+                  (List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) accessors []));
+                Digest_ir.shm p1.Phase1.shm;
+                d.Digest_ir.env;
+                Lazy.force sem_fp ]
+          in
+          fun fname ->
+            Some
+              (Digest_ir.combine
+                 [ Digest_ir.func d fname; Digest_ir.facts_digest p1_by fname; global ])
+        | _ -> fun _ -> None
+      in
+      let violations =
+        List.concat_map
+          (fun (f : Ssair.Ir.func) ->
+            if Phase1.is_exempt p1 f.Ssair.Ir.fname then []
+            else
+              match (cache, func_key f.Ssair.Ir.fname) with
+              | Some c, Some key -> (
+                match (Cache.find c ~ns:"phase2fn" ~key : Report.violation list option) with
+                | Some vs -> vs
+                | None ->
+                  let vs = check_function ~config ~prog ~p1 accessors f in
+                  Cache.store c ~ns:"phase2fn" ~key vs;
+                  vs)
+              | _ -> check_function ~config ~prog ~p1 accessors f)
+          prog.Ssair.Ir.funcs
+      in
+      (match (cache, whole_key) with
+      | Some c, Some key -> Cache.store c ~ns:"phase2" ~key violations
+      | _ -> ());
+      violations
   end

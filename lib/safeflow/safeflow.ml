@@ -18,6 +18,8 @@ module Phase1 = Phase1
 module Phase2 = Phase2
 module Phase3 = Phase3
 module Intern = Intern
+module Digest_ir = Digest_ir
+module Cache = Cache
 module Vfgraph = Vfgraph
 module Vfg = Vfg
 module Driver = Driver

@@ -3,12 +3,20 @@
     Structure: entities are interned to dense ids; per-entity taint bits,
     origins and successor-edge lists live in parallel growable arrays.
     Each newly discovered (function, context) pair is translated once
-    into edges by {!build_pair} — a transcription of
-    {!Phase3.analyze_pair} where every dynamic taint test becomes a
-    static edge — and {!drain} runs the worklist to closure.  The final
-    interned taint state is poured back into a {!Phase3.state} so that
-    {!Phase3.collect_dependencies} (and the DOT export) are shared with
-    the legacy engine verbatim. *)
+    into a symbolic {e edge block} by {!build_pair_block} — a
+    transcription of {!Phase3.analyze_pair} where every dynamic taint
+    test becomes a static edge — then {!replay} applies the block's
+    operations in recorded order and {!drain} runs the worklist to
+    closure.  The final interned taint state is poured back into a
+    {!Phase3.state} so that {!Phase3.collect_dependencies} (and the DOT
+    export) are shared with the legacy engine verbatim.
+
+    Why symbolic blocks instead of building edges directly (as PR 1
+    did): a block is pure data keyed only by what the builder reads, so
+    it can be (a) cached content-addressed across runs and (b) built on
+    another domain.  Cold, warm and parallel runs all replay the same
+    operation sequence in the same order, which is what makes their
+    reports bit-identical. *)
 
 open Minic
 module Offset = Pointsto.Offset
@@ -23,6 +31,18 @@ type mode = Mdata | Mctrl | Mboth | Many_ctrl
 
 type edge = { e_dst : int; e_mode : mode; e_why : string }
 
+(* Symbolic pair-build operations.  Entity operands are indices into the
+   block's [b_ents] array; {!replay} interns them into the live graph.
+   The op sequence mirrors the legacy engine's visit order exactly, so
+   first-win taint origins (and hence traces) are reproduced. *)
+type op =
+  | Oedge of int * int * mode * string  (** src, dst, mode, why *)
+  | Oseed of int * int * string  (** static source: dst, trace parent, why *)
+  | Owarn of Report.warning  (** unmonitored non-core read *)
+  | Odiscover of string * Phase3.Ctx.t  (** callee pair to discover *)
+
+type block = { b_ents : Phase3.entity array; b_ops : op array }
+
 (* Entity keys: (tag, a, b, c) over interned small ids — see {!ent_key}.
    Hashing this flat int tuple is what replaces structural hashing of
    [(string * assumption list * vid)] in the legacy taint tables. *)
@@ -32,8 +52,6 @@ type key = int * int * int * int
 type finfo = {
   fi_func : Ssair.Ir.func;
   fi_blocks : (Ssair.Ir.bid, Ssair.Ir.block) Hashtbl.t;
-  fi_def : (Ssair.Ir.vid, Ssair.Ir.def_site) Hashtbl.t Lazy.t;
-      (** only consulted to resolve recv sockets, so built on demand *)
   fi_branches : (Ssair.Ir.bid * Ssair.Ir.vid) list;
       (** blocks ending in [Cbr]/[Switch] on a register, with the cond *)
   fi_closure : (Ssair.Ir.bid, Ssair.Ir.bid list) Hashtbl.t;
@@ -49,15 +67,12 @@ type t = {
   finfos : (string, finfo) Hashtbl.t;
   pairs_seen : (int * int, unit) Hashtbl.t;  (** (fname id, ctx id) *)
   pending : (Ssair.Ir.func * int) Queue.t;   (** discovered, to build *)
-  why_memo : (string * int, string) Hashtbl.t;
-      (** formatted "why" strings per (callee, arg index); edge building
-          runs per pair, so formatting on every visit would dominate *)
   funcs_by_name : (string, Ssair.Ir.func) Hashtbl.t;
       (** [Ssair.Ir.find_func] is a linear scan; call sites resolve
           callees once per visit, so index the program up front *)
-  own_ctxs : (string, int) Hashtbl.t;
-      (** interned own-assumption context per function — needed at every
-          call site, cheaper than materializing the callee's {!finfo} *)
+  own_lists : (string, Phase3.Ctx.t) Hashtbl.t;
+      (** canonical own-assumption context per function — needed at every
+          call site; prewarmed on the main domain before parallel builds *)
   wl : int Queue.t;  (** worklist codes: entity id * 2 + (ctrl ? 1 : 0) *)
   (* parallel per-entity arrays, grown together by {!ensure_cap} *)
   mutable rev : Phase3.entity array;
@@ -80,7 +95,7 @@ let create st =
   {
     st;
     funcs_by_name;
-    own_ctxs = Hashtbl.create 64;
+    own_lists = Hashtbl.create 64;
     ctxs = Intern.Ctx.create ();
     strs = Intern.create 64;
     nodes = Intern.create 64;
@@ -88,7 +103,6 @@ let create st =
     finfos = Hashtbl.create 16;
     pairs_seen = Hashtbl.create 64;
     pending = Queue.create ();
-    why_memo = Hashtbl.create 64;
     wl = Queue.create ();
     rev = [||];
     edges = [||];
@@ -137,17 +151,18 @@ let ent g key entity =
   end;
   id
 
-let param_ent g fname cid pname =
-  ent g (1, Intern.intern g.strs fname, cid, Intern.intern g.strs pname)
-    (Phase3.Eparam (fname, Intern.Ctx.get g.ctxs cid, pname))
-
-let ret_ent g fname cid =
-  ent g (2, Intern.intern g.strs fname, cid, 0)
-    (Phase3.Eret (fname, Intern.Ctx.get g.ctxs cid))
-
-let node_ent g node = ent g (3, Intern.intern g.nodes node, 0, 0) (Phase3.Enode node)
-
-let region_ent g r = ent g (4, Intern.intern g.strs r, 0, 0) (Phase3.Eregion r)
+let intern_entity g (e : Phase3.entity) : int =
+  match e with
+  | Phase3.Eval (fname, ctx, vid) ->
+    ent g (0, Intern.intern g.strs fname, Intern.Ctx.intern g.ctxs ctx, vid) e
+  | Phase3.Eparam (fname, ctx, pname) ->
+    ent g
+      (1, Intern.intern g.strs fname, Intern.Ctx.intern g.ctxs ctx, Intern.intern g.strs pname)
+      e
+  | Phase3.Eret (fname, ctx) ->
+    ent g (2, Intern.intern g.strs fname, Intern.Ctx.intern g.ctxs ctx, 0) e
+  | Phase3.Enode node -> ent g (3, Intern.intern g.nodes node, 0, 0) e
+  | Phase3.Eregion r -> ent g (4, Intern.intern g.strs r, 0, 0) e
 
 (* -- Taint setting and propagation -------------------------------------------- *)
 
@@ -205,29 +220,19 @@ let drain g =
   in
   go ()
 
-(* Memoized legacy-matching "why" strings; [k >= 0] = argument position,
-   [-1] = return value, [-2] = extern call passthrough. *)
-let why_of g callee k =
-  match Hashtbl.find_opt g.why_memo (callee, k) with
-  | Some s -> s
-  | None ->
-    let s =
-      if k >= 0 then Printf.sprintf "argument %d of call to %s" k callee
-      else if k = -1 then Printf.sprintf "return value of %s" callee
-      else Printf.sprintf "through external call %s" callee
-    in
-    Hashtbl.replace g.why_memo (callee, k) s;
-    s
-
 (* -- Static per-function facts ------------------------------------------------- *)
 
-let own_ctx g (f : Ssair.Ir.func) : int =
-  match Hashtbl.find_opt g.own_ctxs f.Ssair.Ir.fname with
-  | Some cid -> cid
+(* [own_list]/[finfo] memoize into [g] and must only run on the main
+   domain; {!prewarm_wave} populates both tables for a wave before any
+   worker touches them read-only. *)
+
+let own_list g (f : Ssair.Ir.func) : Phase3.Ctx.t =
+  match Hashtbl.find_opt g.own_lists f.Ssair.Ir.fname with
+  | Some l -> l
   | None ->
-    let cid = Intern.Ctx.intern g.ctxs (Phase3.own_assumptions g.st f) in
-    Hashtbl.replace g.own_ctxs f.Ssair.Ir.fname cid;
-    cid
+    let l = Phase3.Ctx.make (Phase3.own_assumptions g.st f) in
+    Hashtbl.replace g.own_lists f.Ssair.Ir.fname l;
+    l
 
 let finfo g (f : Ssair.Ir.func) : finfo =
   match Hashtbl.find_opt g.finfos f.Ssair.Ir.fname with
@@ -267,15 +272,7 @@ let finfo g (f : Ssair.Ir.func) : finfo =
     let fi_blocks = Hashtbl.create 16 in
     List.iter (fun (b : Ssair.Ir.block) -> Hashtbl.replace fi_blocks b.Ssair.Ir.bbid b)
       f.Ssair.Ir.blocks;
-    let fi =
-      {
-        fi_func = f;
-        fi_blocks;
-        fi_def = lazy (Ssair.Ir.def_table f);
-        fi_branches;
-        fi_closure;
-      }
-    in
+    let fi = { fi_func = f; fi_blocks; fi_branches; fi_closure } in
     Hashtbl.replace g.finfos f.Ssair.Ir.fname fi;
     fi
 
@@ -292,26 +289,60 @@ let discover_pair g (f : Ssair.Ir.func) cid =
 
 (* -- Building one (function, context) pair ------------------------------------- *)
 
-(** Transcribe [f] under context [cid] into value-flow edges; the static
-    taint sources of the pair (unmonitored non-core reads, non-core recv
-    buffers) are tainted immediately.  Edge-for-rule correspondence with
-    {!Phase3.analyze_pair} is documented inline. *)
-let build_pair g (f : Ssair.Ir.func) (cid : int) =
+(** Transcribe [f] under context [ctx] into a symbolic edge block; the
+    static taint sources of the pair (unmonitored non-core reads,
+    non-core recv buffers) become {!Oseed} ops.  Edge-for-rule
+    correspondence with {!Phase3.analyze_pair} is documented inline.
+
+    Pure with respect to [g]: reads only [st] (immutable analysis
+    inputs), [funcs_by_name], and the prewarmed [finfos]/[own_lists]
+    tables — safe to run on a worker domain. *)
+let build_pair_block g (f : Ssair.Ir.func) (ctx : Phase3.Ctx.t) : block =
   let st = g.st in
   let config = st.Phase3.config in
   let env = st.Phase3.prog.Ssair.Ir.env in
   let fname = f.Ssair.Ir.fname in
-  let ctx = Intern.Ctx.get g.ctxs cid in
-  let fi = finfo g f in
-  (* specialized entity constructors with the function id hoisted out of
-     the per-instruction path *)
-  let fid = Intern.intern g.strs fname in
-  let eval vid = ent g (0, fid, cid, vid) (Phase3.Eval (fname, ctx, vid)) in
+  let fi = Hashtbl.find g.finfos fname in
+  (* block-local entity table: entity ↦ dense index in [b_ents] *)
+  let ent_idx : (Phase3.entity, int) Hashtbl.t = Hashtbl.create 64 in
+  let ents_rev = ref [] in
+  let n_ents = ref 0 in
+  let ent e =
+    match Hashtbl.find_opt ent_idx e with
+    | Some i -> i
+    | None ->
+      let i = !n_ents in
+      incr n_ents;
+      Hashtbl.replace ent_idx e i;
+      ents_rev := e :: !ents_rev;
+      i
+  in
+  let ops = ref [] in
+  let op o = ops := o :: !ops in
+  let edge src dst mode why = op (Oedge (src, dst, mode, why)) in
+  (* defs are only consulted to resolve recv sockets, so built on demand *)
+  let defs = lazy (Ssair.Ir.def_table f) in
+  (* formatted "why" strings per (callee, arg index): edge building runs
+     per pair, formatting on every visit would dominate.  [k >= 0] =
+     argument position, [-1] = return value, [-2] = extern passthrough. *)
+  let why_memo : (string * int, string) Hashtbl.t = Hashtbl.create 16 in
+  let why_of callee k =
+    match Hashtbl.find_opt why_memo (callee, k) with
+    | Some s -> s
+    | None ->
+      let s =
+        if k >= 0 then Printf.sprintf "argument %d of call to %s" k callee
+        else if k = -1 then Printf.sprintf "return value of %s" callee
+        else Printf.sprintf "through external call %s" callee
+      in
+      Hashtbl.replace why_memo (callee, k) s;
+      s
+  in
+  let eval vid = ent (Phase3.Eval (fname, ctx, vid)) in
   let value_ent (v : Ssair.Ir.value) =
     match v with
     | Ssair.Ir.Vreg id -> Some (eval id)
-    | Ssair.Ir.Vparam p ->
-      Some (ent g (1, fid, cid, Intern.intern g.strs p) (Phase3.Eparam (fname, ctx, p)))
+    | Ssair.Ir.Vparam p -> Some (ent (Phase3.Eparam (fname, ctx, p)))
     | _ -> None
   in
   (* control-dependence targets per block: entity that gains ctrl-taint
@@ -325,10 +356,7 @@ let build_pair g (f : Ssair.Ir.func) (cid : int) =
   in
   let flow_operands self vs why =
     List.iter
-      (fun v ->
-        match value_ent v with
-        | Some ve -> add_edge g ve { e_dst = self; e_mode = Mboth; e_why = why }
-        | None -> ())
+      (fun v -> match value_ent v with Some ve -> edge ve self Mboth why | None -> ())
       vs
   in
   List.iter
@@ -342,7 +370,7 @@ let build_pair g (f : Ssair.Ir.func) (cid : int) =
           List.iter
             (fun (_, v) ->
               match value_ent v with
-              | Some ve -> add_edge g ve { e_dst = self; e_mode = Mboth; e_why = "phi merge" }
+              | Some ve -> edge ve self Mboth "phi merge"
               | None -> ())
             p.Ssair.Ir.incoming;
           if config.Config.control_deps then begin
@@ -356,8 +384,7 @@ let build_pair g (f : Ssair.Ir.func) (cid : int) =
                   match pblk.Ssair.Ir.termin with
                   | Ssair.Ir.Cbr (Ssair.Ir.Vreg cvid, _, _)
                   | Ssair.Ir.Switch (Ssair.Ir.Vreg cvid, _, _) ->
-                    add_edge g (eval cvid)
-                      { e_dst = self; e_mode = Many_ctrl; e_why = why }
+                    edge (eval cvid) self Many_ctrl why
                   | _ -> ())
                 | None -> ())
               p.Ssair.Ir.incoming
@@ -388,20 +415,27 @@ let build_pair g (f : Ssair.Ir.func) (cid : int) =
                       | Offset.Top -> Phase3.Ctx.covers_region ctx rname ~lo:0 ~hi:r.Shm.r_size
                     in
                     if not covered then begin
-                      Phase3.warn st f ctx i.Ssair.Ir.iloc rname;
-                      set_data g self ~parent:(region_ent g rname)
-                        ~why:
-                          (Fmt.str "unmonitored read of non-core region %s at %a" rname
-                             Loc.pp i.Ssair.Ir.iloc)
+                      op
+                        (Owarn
+                           {
+                             Report.w_func = fname;
+                             w_region = rname;
+                             w_loc = i.Ssair.Ir.iloc;
+                             w_context = Phase3.Ctx.names ctx;
+                           });
+                      op
+                        (Oseed
+                           ( self,
+                             ent (Phase3.Eregion rname),
+                             Fmt.str "unmonitored read of non-core region %s at %a" rname
+                               Loc.pp i.Ssair.Ir.iloc ))
                     end
                   end
                   else begin
                     let node = Pointsto.Node.Nshm rname in
                     if not (Phase3.Ctx.covers_node ctx node) then
-                      add_edge g (node_ent g node)
-                        { e_dst = self;
-                          e_mode = Mdata;
-                          e_why = "read of core region holding an unsafe value" }
+                      edge (ent (Phase3.Enode node)) self Mdata
+                        "read of core region holding an unsafe value"
                   end)
               shm_targets;
             (* 2. ordinary memory (cf. the shm/ordinary split in the
@@ -411,13 +445,9 @@ let build_pair g (f : Ssair.Ir.func) (cid : int) =
                 (fun tgt ->
                   let node = tgt.Pointsto.Target.node in
                   if not (Phase3.Ctx.covers_node ctx node) then begin
-                    let ne = node_ent g node in
-                    add_edge g ne
-                      { e_dst = self; e_mode = Mdata; e_why = "load from unsafe memory object" };
-                    add_edge g ne
-                      { e_dst = self;
-                        e_mode = Mctrl;
-                        e_why = "load from control-unsafe memory object" }
+                    let ne = ent (Phase3.Enode node) in
+                    edge ne self Mdata "load from unsafe memory object";
+                    edge ne self Mctrl "load from control-unsafe memory object"
                   end)
                 (Pointsto.points_to st.Phase3.pts f ptr);
             (* 3. tainted address *)
@@ -427,22 +457,21 @@ let build_pair g (f : Ssair.Ir.func) (cid : int) =
               let shm = Phase1.shm_targets st.Phase3.p1 f ptr in
               if Phase1.Rset.is_empty shm then
                 Pointsto.Tset.fold
-                  (fun tgt acc -> node_ent g tgt.Pointsto.Target.node :: acc)
+                  (fun tgt acc -> ent (Phase3.Enode tgt.Pointsto.Target.node) :: acc)
                   (Pointsto.points_to st.Phase3.pts f ptr)
                   []
               else
                 Phase1.Rset.fold
                   (fun tgt acc ->
-                    node_ent g (Pointsto.Node.Nshm tgt.Phase1.Rtgt.region) :: acc)
+                    ent (Phase3.Enode (Pointsto.Node.Nshm tgt.Phase1.Rtgt.region)) :: acc)
                   shm []
             in
             (match value_ent sval with
             | Some ve ->
               List.iter
                 (fun ne ->
-                  add_edge g ve { e_dst = ne; e_mode = Mdata; e_why = "unsafe value stored" };
-                  add_edge g ve
-                    { e_dst = ne; e_mode = Mctrl; e_why = "control-unsafe value stored" })
+                  edge ve ne Mdata "unsafe value stored";
+                  edge ve ne Mctrl "control-unsafe value stored")
                 target_nodes
             | None -> ());
             if config.Config.control_deps then
@@ -457,29 +486,25 @@ let build_pair g (f : Ssair.Ir.func) (cid : int) =
           | Ssair.Ir.Call { callee; args; _ } -> (
             match Hashtbl.find_opt g.funcs_by_name callee with
             | Some gfn ->
-              let gcid =
-                let own = own_ctx g gfn in
-                if config.Config.context_sensitive then Intern.Ctx.union g.ctxs cid own
-                else own
+              let gctx =
+                let own = Hashtbl.find g.own_lists gfn.Ssair.Ir.fname in
+                if config.Config.context_sensitive then Phase3.Ctx.union ctx own else own
               in
-              discover_pair g gfn gcid;
+              op (Odiscover (gfn.Ssair.Ir.fname, gctx));
               List.iteri
                 (fun k arg ->
                   match List.nth_opt gfn.Ssair.Ir.fparams k with
                   | Some (pname, _) ->
-                    let pe = param_ent g gfn.Ssair.Ir.fname gcid pname in
+                    let pe = ent (Phase3.Eparam (gfn.Ssair.Ir.fname, gctx, pname)) in
                     (match value_ent arg with
-                    | Some ve ->
-                      let why = why_of g callee k in
-                      add_edge g ve { e_dst = pe; e_mode = Mboth; e_why = why }
+                    | Some ve -> edge ve pe Mboth (why_of callee k)
                     | None -> ());
                     if config.Config.control_deps then
                       add_ct bid pe "call controlled by an unsafe condition"
                   | None -> ())
                 args;
-              let re = ret_ent g gfn.Ssair.Ir.fname gcid in
-              let why = why_of g callee (-1) in
-              add_edge g re { e_dst = self; e_mode = Mboth; e_why = why }
+              let re = ent (Phase3.Eret (gfn.Ssair.Ir.fname, gctx)) in
+              edge re self Mboth (why_of callee (-1))
             | None ->
               (* extern; message-passing: recv through a non-core socket
                  is a static taint source for the buffer *)
@@ -490,7 +515,7 @@ let build_pair g (f : Ssair.Ir.func) (cid : int) =
                     match sock with
                     | Ssair.Ir.Vparam p -> Hashtbl.mem st.Phase3.noncore_sockets p
                     | Ssair.Ir.Vreg id -> (
-                      match Hashtbl.find_opt (Lazy.force fi.fi_def) id with
+                      match Hashtbl.find_opt (Lazy.force defs) id with
                       | Some
                           (Ssair.Ir.Def_instr
                              ( { idesc = Ssair.Ir.Load { ptr = Ssair.Ir.Vglobal gl; _ }; _ },
@@ -505,19 +530,21 @@ let build_pair g (f : Ssair.Ir.func) (cid : int) =
                   | _ :: buf :: _ ->
                     Pointsto.Tset.iter
                       (fun tgt ->
-                        set_data g (node_ent g tgt.Pointsto.Target.node)
-                          ~parent:(region_ent g (Fmt.str "socket via %s" callee))
-                          ~why:"data received from a non-core component")
+                        op
+                          (Oseed
+                             ( ent (Phase3.Enode tgt.Pointsto.Target.node),
+                               ent (Phase3.Eregion (Fmt.str "socket via %s" callee)),
+                               "data received from a non-core component" )))
                       (Pointsto.points_to st.Phase3.pts f buf)
                   | _ -> ()
               end;
-              flow_operands self args (why_of g callee (-2))))
+              flow_operands self args (why_of callee (-2))))
         b.Ssair.Ir.instrs;
       match b.Ssair.Ir.termin with
       | Ssair.Ir.Ret (Some v) ->
-        let re = ret_ent g fname cid in
+        let re = ent (Phase3.Eret (fname, ctx)) in
         (match value_ent v with
-        | Some ve -> add_edge g ve { e_dst = re; e_mode = Mboth; e_why = "returned" }
+        | Some ve -> edge ve re Mboth "returned"
         | None -> ());
         if config.Config.control_deps then
           add_ct bid re "returned value selected by an unsafe condition"
@@ -532,34 +559,233 @@ let build_pair g (f : Ssair.Ir.func) (cid : int) =
       List.iter
         (fun d ->
           match Hashtbl.find_opt ctrl_targets d with
-          | Some l ->
-            List.iter
-              (fun (teid, why) ->
-                add_edge g c { e_dst = teid; e_mode = Many_ctrl; e_why = why })
-              !l
+          | Some l -> List.iter (fun (teid, why) -> edge c teid Many_ctrl why) !l
           | None -> ())
         (Hashtbl.find fi.fi_closure bB))
-    fi.fi_branches
+    fi.fi_branches;
+  {
+    b_ents = Array.of_list (List.rev !ents_rev);
+    b_ops = Array.of_list (List.rev !ops);
+  }
+
+(* -- Replaying a block into the live graph ------------------------------------- *)
+
+(* Warning dedup by (loc, region) — mirrors Phase3.warn, but the record
+   was already formatted at build time. *)
+let record_warning g (w : Report.warning) =
+  let key = (w.Report.w_loc, w.Report.w_region) in
+  if not (Hashtbl.mem g.st.Phase3.warnings key) then
+    Hashtbl.replace g.st.Phase3.warnings key w
+
+let replay g (blk : block) =
+  let ids = Array.map (intern_entity g) blk.b_ents in
+  Array.iter
+    (function
+      | Oedge (src, dst, mode, why) ->
+        add_edge g ids.(src) { e_dst = ids.(dst); e_mode = mode; e_why = why }
+      | Oseed (dst, parent, why) -> set_data g ids.(dst) ~parent:ids.(parent) ~why
+      | Owarn w -> record_warning g w
+      | Odiscover (callee, gctx) -> (
+        match Hashtbl.find_opt g.funcs_by_name callee with
+        | Some gfn -> discover_pair g gfn (Intern.Ctx.intern g.ctxs gctx)
+        | None -> ()))
+    blk.b_ops
+
+(* -- Content-addressed pair keys ----------------------------------------------- *)
+
+(* Everything [build_pair_block] reads about a function, folded into one
+   digest; combined with the context digest this keys the pair cache.
+   Global inputs (region model, heap graph, type env, noncore sockets,
+   semantic config) are digested once per run. *)
+type keyctx = {
+  kc_global : string;
+  kc_p1_by : (string, string) Hashtbl.t;
+  kc_pts_by : (string, string) Hashtbl.t;
+  kc_funcs : (string, string) Hashtbl.t;  (** function digests *)
+  kc_dep : (string, string) Hashtbl.t;  (** memoized per-function dependency digest *)
+  kc_ctx : (int, string) Hashtbl.t;  (** memoized per-context digest, by ctx id *)
+}
+
+let make_keyctx g (digests : Digest_ir.t) ~sem_fp =
+  let st = g.st in
+  let p1_by = Digest_ir.phase1_by_func st.Phase3.p1 in
+  let pts_by, heap_d = Digest_ir.pointsto_by_func st.Phase3.pts in
+  let noncore_d =
+    Digest_ir.of_value
+      (List.sort compare
+         (Hashtbl.fold (fun s () acc -> s :: acc) st.Phase3.noncore_sockets []))
+  in
+  {
+    kc_global =
+      Digest_ir.combine
+        [ Digest_ir.shm st.Phase3.shm; heap_d; digests.Digest_ir.env; noncore_d; sem_fp ];
+    kc_p1_by = p1_by;
+    kc_pts_by = pts_by;
+    kc_funcs = digests.Digest_ir.funcs;
+    kc_dep = Hashtbl.create 64;
+    kc_ctx = Hashtbl.create 64;
+  }
+
+(* Direct defined callees of [f] with the facts the builder reads about
+   them: name, parameter names, own-assumption context. *)
+let callee_sigs g (f : Ssair.Ir.func) =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (i : Ssair.Ir.instr) ->
+      match i.Ssair.Ir.idesc with
+      | Ssair.Ir.Call { callee; _ } when not (Hashtbl.mem seen callee) -> (
+        match Hashtbl.find_opt g.funcs_by_name callee with
+        | Some gfn ->
+          Hashtbl.replace seen callee
+            (List.map fst gfn.Ssair.Ir.fparams, Hashtbl.find g.own_lists callee)
+        | None -> ())
+      | _ -> ())
+    (Ssair.Ir.all_instrs f);
+  List.sort compare (Hashtbl.fold (fun n sg acc -> (n, sg) :: acc) seen [])
+
+let dep_digest g kc (f : Ssair.Ir.func) =
+  let fname = f.Ssair.Ir.fname in
+  match Hashtbl.find_opt kc.kc_dep fname with
+  | Some d -> d
+  | None ->
+    let d =
+      Digest_ir.of_value
+        ( Hashtbl.find kc.kc_funcs fname,
+          Digest_ir.facts_digest kc.kc_p1_by fname,
+          Digest_ir.facts_digest kc.kc_pts_by fname,
+          kc.kc_global,
+          callee_sigs g f )
+    in
+    Hashtbl.replace kc.kc_dep fname d;
+    d
+
+let pair_key g kc (f : Ssair.Ir.func) cid =
+  let ctx_d =
+    match Hashtbl.find_opt kc.kc_ctx cid with
+    | Some d -> d
+    | None ->
+      let d = Digest_ir.of_value (Intern.Ctx.get g.ctxs cid) in
+      Hashtbl.replace kc.kc_ctx cid d;
+      d
+  in
+  Digest_ir.combine [ dep_digest g kc f; ctx_d ]
+
+(* -- Wave-parallel pair building ----------------------------------------------- *)
+
+(* Populate the [finfos] (CDG closures) and [own_lists] entries a wave's
+   builders will read; must run on the main domain before workers start. *)
+let prewarm_wave g (wave : (Ssair.Ir.func * int) array) =
+  Array.iter
+    (fun ((f : Ssair.Ir.func), _) ->
+      ignore (finfo g f);
+      ignore (own_list g f);
+      List.iter
+        (fun (i : Ssair.Ir.instr) ->
+          match i.Ssair.Ir.idesc with
+          | Ssair.Ir.Call { callee; _ } -> (
+            match Hashtbl.find_opt g.funcs_by_name callee with
+            | Some gfn -> ignore (own_list g gfn)
+            | None -> ())
+          | _ -> ())
+        (Ssair.Ir.all_instrs f))
+    wave
+
+(* Build the given pairs, on a bounded domain pool when configured.
+   Workers only read [g] (see {!build_pair_block}); results come back in
+   input order, so the subsequent sequential replay is deterministic. *)
+let build_many g (todo : (Ssair.Ir.func * Phase3.Ctx.t) array) : block array =
+  let n = Array.length todo in
+  let domains =
+    let d = g.st.Phase3.config.Config.pair_domains in
+    if d = 0 then Domain.recommended_domain_count () else d
+  in
+  if n <= 1 || domains <= 1 then
+    Array.map (fun (f, ctx) -> build_pair_block g f ctx) todo
+  else begin
+    let out : (block, exn) result option array = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let f, ctx = todo.(i) in
+          out.(i) <- Some (try Ok (build_pair_block g f ctx) with e -> Error e);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let extra = min (domains - 1) (n - 1) in
+    let spawned = List.init (max 0 extra) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.map (function Some (Ok b) -> b | Some (Error e) -> raise e | None -> assert false) out
+  end
 
 (* -- Entry point --------------------------------------------------------------- *)
 
-let run ?(config = Config.default) (prog : Ssair.Ir.program) (shm : Shm.t) (p1 : Phase1.t)
-    (pts : Pointsto.t) : Phase3.result =
+let run ?(config = Config.default) ?cache ?digests (prog : Ssair.Ir.program) (shm : Shm.t)
+    (p1 : Phase1.t) (pts : Pointsto.t) : Phase3.result =
   let st = Phase3.make_state ~config prog shm p1 pts in
   let g = create st in
+  let kc =
+    match (cache, digests) with
+    | Some _, Some d -> Some (make_keyctx g d ~sem_fp:(Digest_ir.semantic_config config))
+    | _ -> None
+  in
   List.iter
     (fun (f, ctx) -> discover_pair g f (Intern.Ctx.intern g.ctxs ctx))
     (Phase3.root_pairs st);
-  (* pair discovery is taint-independent, so building all pairs first and
-     draining once reaches the same closure as interleaving would *)
-  let rec build () =
-    match Queue.take_opt g.pending with
-    | Some (f, cid) ->
-      build_pair g f cid;
-      build ()
-    | None -> ()
+  (* pair discovery is taint-independent, so building all pairs before
+     draining reaches the same closure as interleaving would.  The
+     pending queue is drained in waves: each wave is prewarmed and built
+     (cache hits skipping the build; misses optionally in parallel),
+     then replayed sequentially in discovery order — the same total
+     order a sequential FIFO drain would produce, which keeps reports
+     bit-identical across {cold, warm, parallel}. *)
+  let rec waves () =
+    if not (Queue.is_empty g.pending) then begin
+      let wave = Array.of_seq (Queue.to_seq g.pending) in
+      Queue.clear g.pending;
+      prewarm_wave g wave;
+      let keys =
+        match (cache, kc) with
+        | Some _, Some kc -> Array.map (fun (f, cid) -> Some (pair_key g kc f cid)) wave
+        | _ -> Array.map (fun _ -> None) wave
+      in
+      let blocks : block option array =
+        Array.map2
+          (fun (_, _) key ->
+            match (cache, key) with
+            | Some c, Some k -> (Cache.find c ~ns:"pair" ~key:k : block option)
+            | _ -> None)
+          wave keys
+      in
+      let miss_idx =
+        Array.to_list (Array.mapi (fun i b -> (i, b)) blocks)
+        |> List.filter_map (fun (i, b) -> if b = None then Some i else None)
+        |> Array.of_list
+      in
+      let built =
+        build_many g
+          (Array.map
+             (fun i ->
+               let f, cid = wave.(i) in
+               (f, Intern.Ctx.get g.ctxs cid))
+             miss_idx)
+      in
+      Array.iteri
+        (fun j i ->
+          blocks.(i) <- Some built.(j);
+          match (cache, keys.(i)) with
+          | Some c, Some k -> Cache.store c ~ns:"pair" ~key:k built.(j)
+          | _ -> ())
+        miss_idx;
+      Array.iter (function Some b -> replay g b | None -> assert false) blocks;
+      waves ()
+    end
   in
-  build ();
+  waves ();
   drain g;
   (* pour the interned taints back into the shared state shape *)
   let entity_origin parents whys i =

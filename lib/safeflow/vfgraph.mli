@@ -25,6 +25,8 @@
 
 val run :
   ?config:Config.t ->
+  ?cache:Cache.t ->
+  ?digests:Digest_ir.t ->
   Ssair.Ir.program ->
   Shm.t ->
   Phase1.t ->
@@ -32,4 +34,17 @@ val run :
   Phase3.result
 (** drop-in replacement for {!Phase3.run}; [result.passes] is 1 and
     [result.engine_stats] reports interned-entity, edge and worklist-pop
-    counters *)
+    counters.
+
+    With [~cache] and [~digests], each (function, context) edge block is
+    keyed on a content digest of everything its builder reads (function
+    body, its phase-1 and points-to facts, the region model, heap graph,
+    type environment, callee signatures and own-assumptions, semantic
+    config, monitoring context) — a warm rerun replays cached blocks
+    without re-scanning any instruction, and a one-function edit rebuilds
+    only the pairs whose dependency digest changed.
+
+    With [config.pair_domains] ≠ 1, cache-miss blocks of each discovery
+    wave are built on a bounded pool of domains; blocks are still
+    replayed sequentially in discovery order, so reports are bit-identical
+    to the sequential run. *)

@@ -1,0 +1,150 @@
+(* End-to-end tests for the content-addressed incremental cache and the
+   parallel builders: reports must be structurally identical across
+   {no cache, cold, warm, one-function edit} × {legacy, worklist}; the
+   on-disk tier must survive a round trip through a fresh process-level
+   cache object and silently recompute corrupt entries; the parallel
+   pair builder and Driver.analyze_files_par must agree with sequential
+   analysis in input order. *)
+
+open Safeflow
+
+let systems =
+  [ "car_follow.c"; "double_ip.c"; "figure2.c"; "generic_simplex.c";
+    "ip_controller.c" ]
+
+let find_system name =
+  let candidates =
+    [ "../../../systems/" ^ name; "../../systems/" ^ name; "systems/" ^ name ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Alcotest.fail ("cannot locate systems/" ^ name)
+
+let read_file p =
+  let ic = open_in_bin p in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let engines = [ ("legacy", Config.Legacy); ("worklist", Config.Worklist) ]
+
+let config_of engine = { Config.default with engine }
+
+let report ?cache config src = (Driver.analyze ~config ?cache src).Driver.report
+
+let check_report label (expected : Report.t) (actual : Report.t) =
+  Alcotest.(check bool) label true (expected = actual)
+
+(* an uncalled one-function edit: every other function keeps its source
+   location, so only the probe's dependent cache entries miss *)
+let probe = "\ndouble __cache_probe(double x) { return x * 2.0; }\n"
+
+let test_warm_identity () =
+  List.iter
+    (fun sys ->
+      let src = read_file (find_system sys) in
+      List.iter
+        (fun (ename, engine) ->
+          let config = config_of engine in
+          let baseline = report config src in
+          let c = Cache.create () in
+          check_report (sys ^ " cold " ^ ename) baseline (report ~cache:c config src);
+          check_report (sys ^ " warm " ^ ename) baseline (report ~cache:c config src))
+        engines)
+    systems
+
+let test_dirty_identity () =
+  List.iter
+    (fun sys ->
+      let src = read_file (find_system sys) in
+      let dirty = src ^ probe in
+      List.iter
+        (fun (ename, engine) ->
+          let config = config_of engine in
+          let fresh = report config dirty in
+          let c = Cache.create () in
+          ignore (report ~cache:c config src);
+          (* primed with the unedited source *)
+          check_report (sys ^ " dirty " ^ ename) fresh (report ~cache:c config dirty))
+        engines)
+    systems
+
+let clear_dir dir =
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir)
+
+let test_disk_roundtrip () =
+  let dir = "tmp_cache_disk" in
+  clear_dir dir;
+  let src = read_file (find_system "ip_controller.c") in
+  let baseline = report Config.default src in
+  ignore (report ~cache:(Cache.create ~dir ()) Config.default src);
+  Alcotest.(check bool) "entries were written to disk" true
+    (Array.length (Sys.readdir dir) > 0);
+  (* a brand-new cache object must read them back *)
+  let c2 = Cache.create ~dir () in
+  check_report "report after disk round trip" baseline
+    (report ~cache:c2 Config.default src);
+  let hits = List.fold_left (fun acc (_, (h, _)) -> acc + h) 0 (Cache.stats c2) in
+  Alcotest.(check bool) "disk entries were hit" true (hits > 0)
+
+let test_disk_corrupt () =
+  let dir = "tmp_cache_corrupt" in
+  clear_dir dir;
+  let src = read_file (find_system "figure2.c") in
+  let baseline = report Config.default src in
+  ignore (report ~cache:(Cache.create ~dir ()) Config.default src);
+  (* vandalize every entry: garbage in half, truncation to zero in half *)
+  Array.iteri
+    (fun i f ->
+      let oc = open_out_bin (Filename.concat dir f) in
+      if i mod 2 = 0 then output_string oc "not a marshalled cache entry";
+      close_out oc)
+    (Sys.readdir dir);
+  check_report "corrupt entries are silently recomputed" baseline
+    (report ~cache:(Cache.create ~dir ()) Config.default src)
+
+let test_parallel_pairs () =
+  List.iter
+    (fun sys ->
+      let src = read_file (find_system sys) in
+      let seq = report (config_of Config.Worklist) src in
+      let par_cfg =
+        { Config.default with engine = Config.Worklist; pair_domains = 0 }
+      in
+      check_report (sys ^ " parallel build") seq (report par_cfg src);
+      let c = Cache.create () in
+      check_report (sys ^ " parallel cold") seq (report ~cache:c par_cfg src);
+      check_report (sys ^ " parallel warm") seq (report ~cache:c par_cfg src))
+    systems
+
+let test_par_driver_deterministic () =
+  let paths = List.map find_system systems in
+  let seq = List.map (fun p -> (Driver.analyze_file p).Driver.report) paths in
+  let par =
+    List.map
+      (fun (a : Driver.analysis) -> a.Driver.report)
+      (Driver.analyze_files_par paths)
+  in
+  Alcotest.(check int) "one result per input" (List.length seq) (List.length par);
+  List.iteri
+    (fun i (s, p) -> check_report (Fmt.str "result %d matches input order" i) s p)
+    (List.combine seq par)
+
+let () =
+  Alcotest.run "incremental"
+    [ ( "cache",
+        [ Alcotest.test_case "cold and warm reports identical" `Quick
+            test_warm_identity;
+          Alcotest.test_case "one-function edit reports identical" `Quick
+            test_dirty_identity ] );
+      ( "disk",
+        [ Alcotest.test_case "round trip through a fresh cache" `Quick
+            test_disk_roundtrip;
+          Alcotest.test_case "corrupt entries recomputed" `Quick test_disk_corrupt ] );
+      ( "parallel",
+        [ Alcotest.test_case "parallel pair build identical" `Quick
+            test_parallel_pairs;
+          Alcotest.test_case "analyze_files_par deterministic" `Quick
+            test_par_driver_deterministic ] ) ]

@@ -1,0 +1,65 @@
+(* Unit tests for the dense interner and hash-consed monitoring contexts
+   backing the sparse phase-3 engine (lib/safeflow/intern.ml): dense ids
+   are contiguous and stable, context interning canonicalizes, and the
+   memoized union agrees with a reference implementation. *)
+
+open Safeflow
+
+let a lo hi = Assume.Aregion ("reg", lo, hi)
+let b lo hi = Assume.Aregion ("buf", lo, hi)
+
+let test_dense_ids () =
+  let t = Intern.create 4 in
+  let values = [ "alpha"; "beta"; "gamma"; "alpha"; "delta"; "beta" ] in
+  let ids = List.map (Intern.intern t) values in
+  Alcotest.(check (list int)) "first-sight ids are dense" [ 0; 1; 2; 0; 3; 1 ] ids;
+  Alcotest.(check int) "length counts distinct values" 4 (Intern.length t);
+  Alcotest.(check (list int)) "stable on re-intern" ids
+    (List.map (Intern.intern t) values);
+  List.iter2
+    (fun v id -> Alcotest.(check string) "get inverts intern" v (Intern.get t id))
+    values ids;
+  let seen = Array.make (Intern.length t) false in
+  Intern.iter (fun id _ -> seen.(id) <- true) t;
+  Alcotest.(check bool) "iter covers 0..length-1" true (Array.for_all Fun.id seen)
+
+let test_ctx_canonical () =
+  let s = Intern.Ctx.create () in
+  let id1 = Intern.Ctx.intern s [ a 0 8; b 0 16; a 8 16 ] in
+  let id2 = Intern.Ctx.intern s [ a 8 16; a 0 8; b 0 16; a 0 8 ] in
+  Alcotest.(check int) "permutations and duplicates share an id" id1 id2;
+  Alcotest.(check int) "idempotent on the stored form" id1
+    (Intern.Ctx.intern s (Intern.Ctx.get s id1));
+  Alcotest.(check bool) "stored form is sorted and deduped" true
+    (Intern.Ctx.get s id1 = List.sort_uniq compare [ a 0 8; a 8 16; b 0 16 ])
+
+(* every pair of subsets of a small assumption universe, unioned through
+   the memo table and against the reference sort_uniq implementation *)
+let test_ctx_union () =
+  let s = Intern.Ctx.create () in
+  let universe = [ a 0 8; a 8 16; a 0 16; b 0 4; b 4 8 ] in
+  let subsets =
+    List.init 32 (fun mask ->
+        List.filteri (fun i _ -> mask land (1 lsl i) <> 0) universe)
+  in
+  List.iter
+    (fun xs ->
+      List.iter
+        (fun ys ->
+          let ix = Intern.Ctx.intern s xs and iy = Intern.Ctx.intern s ys in
+          let u = Intern.Ctx.union s ix iy in
+          Alcotest.(check bool) "union agrees with reference" true
+            (Intern.Ctx.get s u = List.sort_uniq compare (xs @ ys));
+          Alcotest.(check int) "union is commutative" u (Intern.Ctx.union s iy ix);
+          Alcotest.(check int) "union is memoized stably" u (Intern.Ctx.union s ix iy);
+          Alcotest.(check int) "union with self is identity" ix
+            (Intern.Ctx.union s ix ix))
+        subsets)
+    subsets
+
+let () =
+  Alcotest.run "intern"
+    [ ("interner", [ Alcotest.test_case "dense ids" `Quick test_dense_ids ]);
+      ( "contexts",
+        [ Alcotest.test_case "canonicalization" `Quick test_ctx_canonical;
+          Alcotest.test_case "memoized union vs reference" `Quick test_ctx_union ] ) ]
