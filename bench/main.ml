@@ -125,6 +125,32 @@ let jstats prefix (st : stats) =
     (prefix ^ "_min_ms", Jfloat st.st_min);
     (prefix ^ "_mean_ms", Jfloat st.st_mean) ]
 
+(* Self-describing records: the semantic-config fingerprint
+   (Digest_ir.semantic_config — engine-independent by construction) ties
+   each record to the exact analysis semantics that produced it, so two
+   BENCH files can be compared without guessing at flag drift. *)
+let config_fingerprint (c : Safeflow.Config.t) = Safeflow.Digest_ir.semantic_config c
+
+let jmeta ~benchmark ~engines =
+  ( "meta",
+    Jobj
+      [ ("benchmark", Jstr benchmark);
+        ("engines", Jarr (List.map (fun e -> Jstr e) engines));
+        ("config_fingerprint", Jstr (config_fingerprint Safeflow.Config.default));
+        ("cache_format_version", Jint Safeflow.Cache.format_version);
+        ("telemetry_schema", Jstr Safeflow.Telemetry.stats_json_schema) ] )
+
+(* Counter snapshot from one dedicated instrumented run of [f] — never
+   from the timed samples, which run with telemetry off so the recorded
+   times stay comparable with older BENCH files. *)
+let jtelemetry f =
+  Safeflow.Telemetry.set_enabled true;
+  Safeflow.Telemetry.reset ();
+  ignore (f ());
+  let counters = Safeflow.Telemetry.counters () in
+  Safeflow.Telemetry.set_enabled false;
+  ("telemetry", Jobj (List.map (fun (k, v) -> (k, Jint v)) counters))
+
 (* -- parallel map over independent work items (one domain per core) ---------- *)
 
 let par_map (f : 'a -> 'b) (items : 'a list) : 'b list =
@@ -256,6 +282,8 @@ let table1 (o : opts) =
           (Fmt.str "%d/%d" row.p_fps (List.length (Safeflow.Report.control_deps r)));
         Jobj
           [ ("system", Jstr row.p_name);
+            ("engine", Jstr (Safeflow.Config.engine_name Safeflow.Config.default.Safeflow.Config.engine));
+            ("config_fingerprint", Jstr (config_fingerprint Safeflow.Config.default));
             ("loc_core", Jint core_loc);
             ("annotations", Jint r.Safeflow.Report.annotation_lines);
             ("errors", Jint (List.length (Safeflow.Report.errors r)));
@@ -307,6 +335,8 @@ let phases (o : opts) =
         total.st_median total.st_min total.st_mean,
       Jobj
         (("system", Jstr row.p_name)
+        :: ("engine", Jstr (Safeflow.Config.engine_name Safeflow.Config.default.Safeflow.Config.engine))
+        :: ("config_fingerprint", Jstr (config_fingerprint Safeflow.Config.default))
         :: (jstats "frontend" f @ jstats "shm_phase1" p1 @ jstats "phase2" p2
            @ jstats "pointsto" pts @ jstats "phase3" p3 @ jstats "total" total)) )
   in
@@ -337,6 +367,8 @@ let scale (o : opts) =
           (List.assoc "phase3_passes" r.Safeflow.Report.stats);
         Jobj
           [ ("workers", Jint n);
+            ("engine", Jstr (Safeflow.Config.engine_name Safeflow.Config.default.Safeflow.Config.engine));
+            ("config_fingerprint", Jstr (config_fingerprint Safeflow.Config.default));
             ("loc", Jint loc);
             ("time_ms", Jfloat t);
             ("warnings", Jint (List.length r.Safeflow.Report.warnings));
@@ -400,13 +432,17 @@ let engines (o : opts) =
           (Fmt.str "%d/%d/%d" el wl fl) agree;
         Jobj
           (("system", Jstr row.p_name)
+          :: ("config_fingerprint", Jstr (config_fingerprint legacy_cfg))
+          :: ("engines", Jarr [ Jstr "legacy"; Jstr "worklist" ])
           :: jstats "legacy" t_legacy
           @ jstats "worklist" t_worklist
           @ [ ("speedup", Jfloat speedup);
               ("errors", Jint el);
               ("warnings", Jint wl);
               ("false_positives", Jint fl);
-              ("identical_reports", Jbool agree) ]))
+              ("identical_reports", Jbool agree);
+              jtelemetry (fun () ->
+                  Safeflow.Driver.analyze ~config:worklist_cfg ~file:path src) ]))
       (selected_rows o)
   in
   let b2_sizes = [ 32; 64; 128; 192; 256; 384 ] in
@@ -431,6 +467,8 @@ let engines (o : opts) =
           speedup passes vf_edges;
         Jobj
           (("workers", Jint n)
+          :: ("config_fingerprint", Jstr (config_fingerprint legacy_cfg))
+          :: ("engines", Jarr [ Jstr "legacy"; Jstr "worklist" ])
           :: jstats "legacy" t_legacy
           @ jstats "worklist" t_worklist
           @ [ ("legacy_passes", Jint passes);
@@ -443,6 +481,7 @@ let engines (o : opts) =
   write_json o
     (Jobj
        [ ("benchmark", Jstr "phase3 engines: legacy dense fixpoint vs sparse worklist");
+         jmeta ~benchmark:"engines" ~engines:[ "legacy"; "worklist" ];
          ("iters", Jint iters);
          ("b1_systems", Jarr b1);
          ("b2_synthetic", Jarr b2) ])
@@ -530,6 +569,7 @@ let cache_bench (o : opts) =
             ( (name, ename, speedup, identical),
               Jobj
                 (("input", Jstr name) :: ("engine", Jstr ename)
+                :: ("config_fingerprint", Jstr (config_fingerprint config))
                 :: jstats "cold" cold
                 @ jstats "warm" warm
                 @ jstats "dirty" dirty
@@ -537,7 +577,9 @@ let cache_bench (o : opts) =
                     ("identical_cold", Jbool !cold_ok);
                     ("identical_warm", Jbool !warm_ok);
                     ("identical_dirty", Jbool !dirty_ok);
-                    ("identical_reports", Jbool identical) ]) ))
+                    ("identical_reports", Jbool identical);
+                    (* warm-rerun counters: cache.*.hits should dominate *)
+                    jtelemetry (fun () -> report src (Some c)) ]) ))
           engines)
       inputs
   in
@@ -553,6 +595,7 @@ let cache_bench (o : opts) =
   write_json o
     (Jobj
        [ ("benchmark", Jstr "content-addressed cache: cold vs warm vs one-function edit");
+         jmeta ~benchmark:"cache" ~engines:[ "legacy"; "worklist" ];
          ("iters", Jint iters);
          ("identical_reports", Jbool all_identical);
          ("headline", Jobj (("input", Jstr "synth-384") :: headline));

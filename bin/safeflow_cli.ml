@@ -5,6 +5,8 @@
                              [--no-control-deps] [--ctx-insensitive]
                              [--field-insensitive] [--vfg out.dot]
                              [--engine legacy|worklist]
+                             [--stats] [--trace out.json] [--stats-json out.json]
+     safeflow explain file.c
      safeflow initcheck file.c
      safeflow dump-ir file.c
      safeflow synth N *)
@@ -20,6 +22,30 @@ let config_of ~control_deps ~context_sensitive ~field_sensitive ~engine ~pair_do
     engine;
     pair_domains;
   }
+
+(* Shared telemetry plumbing: any observability output requested turns
+   the subsystem on for the run and writes the artifacts afterwards.
+   Telemetry never feeds back into reports, so analysis output is
+   identical with and without these flags. *)
+let telemetry_flags =
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"print the phase-span tree and counter table to stderr after the run")
+  in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"OUT.json" ~doc:"write a Chrome trace-event JSON of all phase spans (open in chrome://tracing or Perfetto)")
+  in
+  let stats_json =
+    Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"OUT.json" ~doc:"write a machine-readable counter/span snapshot")
+  in
+  Term.(const (fun stats trace stats_json -> (stats, trace, stats_json)) $ stats $ trace $ stats_json)
+
+let telemetry_setup (stats, trace, stats_json) =
+  if stats || trace <> None || stats_json <> None then Safeflow.Telemetry.set_enabled true
+
+let telemetry_finish (stats, trace, stats_json) =
+  Option.iter Safeflow.Telemetry.write_chrome_trace trace;
+  Option.iter Safeflow.Telemetry.write_stats_json stats_json;
+  if stats then Fmt.epr "%a@." Safeflow.Telemetry.pp_stats ()
 
 let engine_conv =
   Arg.enum [ ("legacy", Safeflow.Config.Legacy); ("worklist", Safeflow.Config.Worklist) ]
@@ -50,8 +76,9 @@ let analyze_cmd =
           ~doc:
             "content-addressed analysis cache directory (created if missing); reruns of \
              unchanged sources skip phases 1-3, edits recompute only the affected \
-             functions.  Stale or corrupt entries are discarded silently; reports are \
-             identical with and without the cache")
+             functions.  Stale or corrupt entries are discarded and recomputed (counted \
+             in --stats, reported per file with --verbose); reports are identical with \
+             and without the cache")
   in
   let pair_domains =
     Arg.(
@@ -62,16 +89,31 @@ let analyze_cmd =
             "worklist engine: build value-flow edge blocks on $(docv) domains (1 = \
              sequential, 0 = one per hardware thread); reports are identical")
   in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose" ]
+          ~doc:
+            "one-line stderr diagnostics for otherwise-silent recoveries (stale or \
+             corrupt cache entries); never changes reports")
+  in
   let run files no_control ctx_insensitive field_insensitive vfg use_summary engine
-      cache_dir pair_domains =
+      cache_dir pair_domains verbose tele =
     try
+      telemetry_setup tele;
       let config =
-        config_of ~control_deps:(not no_control)
-          ~context_sensitive:(not ctx_insensitive)
-          ~field_sensitive:(not field_insensitive)
-          ~engine ~pair_domains
+        {
+          (config_of ~control_deps:(not no_control)
+             ~context_sensitive:(not ctx_insensitive)
+             ~field_sensitive:(not field_insensitive)
+             ~engine ~pair_domains)
+          with
+          Safeflow.Config.verbose = verbose;
+        }
       in
-      let cache = Option.map (fun dir -> Safeflow.Cache.create ~dir ()) cache_dir in
+      let cache =
+        Option.map (fun dir -> Safeflow.Cache.create ~dir ~verbose ()) cache_dir
+      in
       let reports =
         if use_summary then
           List.map
@@ -100,6 +142,7 @@ let analyze_cmd =
           List.map (fun (a : Safeflow.Driver.analysis) -> a.Safeflow.Driver.report) analyses
         end
       in
+      telemetry_finish tele;
       if List.exists (fun r -> Safeflow.Report.errors r <> []) reports then exit 1
     with Minic.Loc.Error (loc, msg) ->
       Fmt.epr "%a: %s@." Minic.Loc.pp loc msg;
@@ -108,7 +151,52 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc:"run the full SafeFlow analysis on core components")
     Term.(const run $ files $ no_control $ ctx_insensitive $ field_insensitive $ vfg
-          $ use_summary $ engine $ cache_dir $ pair_domains)
+          $ use_summary $ engine $ cache_dir $ pair_domains $ verbose $ telemetry_flags)
+
+let explain_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniC source file")
+  in
+  let no_control = Arg.(value & flag & info [ "no-control-deps" ] ~doc:"disable control-dependence reporting") in
+  let ctx_insensitive = Arg.(value & flag & info [ "ctx-insensitive" ] ~doc:"merge monitoring contexts (ablation)") in
+  let field_insensitive = Arg.(value & flag & info [ "field-insensitive" ] ~doc:"ignore byte offsets in regions (ablation)") in
+  let engine =
+    Arg.(
+      value
+      & opt engine_conv Safeflow.Config.default.Safeflow.Config.engine
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"phase-3 engine: $(b,legacy) or $(b,worklist); witnesses are identical")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR" ~doc:"content-addressed analysis cache directory")
+  in
+  let run file no_control ctx_insensitive field_insensitive engine cache_dir =
+    try
+      let config =
+        config_of ~control_deps:(not no_control)
+          ~context_sensitive:(not ctx_insensitive)
+          ~field_sensitive:(not field_insensitive)
+          ~engine ~pair_domains:Safeflow.Config.default.Safeflow.Config.pair_domains
+      in
+      let cache = Option.map (fun dir -> Safeflow.Cache.create ~dir ()) cache_dir in
+      let a = Safeflow.Driver.analyze_file ~config ?cache file in
+      Fmt.pr "%a@." Safeflow.Report.pp_explain a.Safeflow.Driver.report
+    with Minic.Loc.Error (loc, msg) ->
+      Fmt.epr "%a: %s@." Minic.Loc.pp loc msg;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "show the value-flow witness behind every reported dependency: read sites with \
+          their monitoring context, then each dependency's step-by-step path from \
+          non-core source to critical sink.  Exits 0 regardless of findings (a review \
+          aid, not a gate).")
+    Term.(const run $ file $ no_control $ ctx_insensitive $ field_insensitive $ engine
+          $ cache_dir)
 
 let initcheck_cmd =
   let file =
@@ -167,4 +255,6 @@ let synth_cmd =
 let () =
   let doc = "static analysis to enforce safe value flow in embedded control systems" in
   let info = Cmd.info "safeflow" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ analyze_cmd; initcheck_cmd; dump_ir_cmd; synth_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ analyze_cmd; explain_cmd; initcheck_cmd; dump_ir_cmd; synth_cmd ]))

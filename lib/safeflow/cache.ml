@@ -1,17 +1,42 @@
 (** Content-addressed analysis cache (see the interface). *)
 
-let format_version = 1
+(* Version 2: Report.dependency gained the structured [d_path] witness
+   field, changing the marshalled layout of the "phase3" namespace. *)
+let format_version = 2
 
 let magic = "SAFEFLOW-CACHE"
 
+type ns_stats = { hits : int; misses : int; stale : int; corrupt : int }
+
+type counters = {
+  c_hits : int ref;
+  c_misses : int ref;
+  c_stale : int ref;
+  c_corrupt : int ref;
+}
+
 type t = {
   dir : string option;
+  verbose : bool;  (** one-line stderr note per discarded disk entry *)
   tbl : (string, Obj.t) Hashtbl.t;  (** "ns:key" ↦ value *)
-  counters : (string, int ref * int ref) Hashtbl.t;  (** ns ↦ hits, misses *)
+  counters : (string, counters) Hashtbl.t;  (** per-namespace outcomes *)
   lock : Mutex.t;
 }
 
-let create ?dir () =
+(* Telemetry counter inventory.  The namespaces are known statically, so
+   registering them here makes every "cache.<ns>.<outcome>" key present
+   (as 0) in any stats snapshot — the CI schema check relies on that.
+   Unknown namespaces still register lazily inside [count]. *)
+let tele_counter ns outcome = Telemetry.counter (Printf.sprintf "cache.%s.%s" ns outcome)
+
+let outcomes = [ "hits"; "misses"; "stale"; "corrupt" ]
+
+let () =
+  List.iter
+    (fun ns -> List.iter (fun o -> ignore (tele_counter ns o)) outcomes)
+    [ "prepared"; "phase1"; "phase2"; "phase2fn"; "pointsto"; "phase3"; "pair" ]
+
+let create ?dir ?(verbose = false) () =
   let dir =
     match dir with
     | None -> None
@@ -21,22 +46,53 @@ let create ?dir () =
          if Sys.is_directory d then Some d else None
        with Sys_error _ -> None)
   in
-  { dir; tbl = Hashtbl.create 256; counters = Hashtbl.create 8; lock = Mutex.create () }
+  {
+    dir;
+    verbose;
+    tbl = Hashtbl.create 256;
+    counters = Hashtbl.create 8;
+    lock = Mutex.create ();
+  }
 
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let count t ns hit =
-  let h, m =
+(* Disk-read outcomes.  [Stale] is a well-formed entry from another cache
+   format or compiler version; [Corrupt] is a file that failed to
+   unmarshal at all (truncated write, bit rot).  Both are recovered from
+   identically — drop and recompute — but are counted separately. *)
+type 'a outcome = Hit of 'a | Absent | Stale | Corrupt
+
+let count t ns (o : _ outcome) =
+  let c =
     match Hashtbl.find_opt t.counters ns with
     | Some c -> c
     | None ->
-      let c = (ref 0, ref 0) in
+      let c = { c_hits = ref 0; c_misses = ref 0; c_stale = ref 0; c_corrupt = ref 0 } in
       Hashtbl.replace t.counters ns c;
       c
   in
-  incr (if hit then h else m)
+  (* [misses] keeps its historical meaning of "every lookup that was not
+     a hit", so the (hits, misses) view is unchanged by the split *)
+  (match o with
+  | Hit _ -> incr c.c_hits
+  | Absent -> incr c.c_misses
+  | Stale ->
+    incr c.c_misses;
+    incr c.c_stale
+  | Corrupt ->
+    incr c.c_misses;
+    incr c.c_corrupt);
+  if Telemetry.enabled () then begin
+    (match o with
+    | Hit _ -> Telemetry.incr (tele_counter ns "hits")
+    | Absent | Stale | Corrupt -> Telemetry.incr (tele_counter ns "misses"));
+    match o with
+    | Stale -> Telemetry.incr (tele_counter ns "stale")
+    | Corrupt -> Telemetry.incr (tele_counter ns "corrupt")
+    | Hit _ | Absent -> ()
+  end
 
 (* Keys are hex digests and namespaces are short alphanumeric tags, so
    "ns-key.bin" is a safe file name on every platform. *)
@@ -50,30 +106,40 @@ type header = {
   h_key : string;
 }
 
-let read_disk t ns key : Obj.t option =
+let read_disk t ns key : Obj.t outcome =
   match t.dir with
-  | None -> None
+  | None -> Absent
   | Some dir ->
     let path = path_of dir ns key in
-    let result =
-      try
-        let ic = open_in_bin path in
-        Fun.protect
-          ~finally:(fun () -> close_in_noerr ic)
-          (fun () ->
-            let (h : header), (v : Obj.t) = Marshal.from_channel ic in
-            if
-              String.equal h.h_magic magic
-              && h.h_version = format_version
-              && String.equal h.h_ocaml Sys.ocaml_version
-              && String.equal h.h_ns ns && String.equal h.h_key key
-            then Some v
-            else None)
-      with _ -> None
-    in
-    (* corrupt or stale: drop the file so it is rewritten on store *)
-    (if result = None && Sys.file_exists path then try Sys.remove path with Sys_error _ -> ());
-    result
+    if not (Sys.file_exists path) then Absent
+    else begin
+      let result =
+        try
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              let (h : header), (v : Obj.t) = Marshal.from_channel ic in
+              if
+                String.equal h.h_magic magic
+                && h.h_version = format_version
+                && String.equal h.h_ocaml Sys.ocaml_version
+                && String.equal h.h_ns ns && String.equal h.h_key key
+              then Hit v
+              else Stale)
+        with _ -> Corrupt
+      in
+      (match result with
+      | Hit _ | Absent -> ()
+      | Stale | Corrupt ->
+        (* drop the file so it is rewritten on the next store *)
+        if t.verbose then
+          Printf.eprintf "safeflow: cache: discarding %s entry %s\n%!"
+            (if result = Stale then "stale" else "corrupt")
+            (Filename.basename path);
+        (try Sys.remove path with Sys_error _ -> ()));
+      result
+    end
 
 let write_disk t ns key (v : Obj.t) =
   match t.dir with
@@ -100,31 +166,49 @@ let write_disk t ns key (v : Obj.t) =
      with _ -> (try Sys.remove tmp with Sys_error _ -> ()))
 
 let find t ~ns ~key : 'a option =
-  locked t (fun () ->
-      let k = ns ^ ":" ^ key in
-      match Hashtbl.find_opt t.tbl k with
-      | Some v ->
-        count t ns true;
-        Some (Obj.obj v)
-      | None -> (
-        match read_disk t ns key with
-        | Some v ->
-          Hashtbl.replace t.tbl k v;
-          count t ns true;
-          Some (Obj.obj v)
-        | None ->
-          count t ns false;
-          None))
+  Telemetry.span "cache.find" ~args:[ ("ns", ns) ] (fun () ->
+      locked t (fun () ->
+          let k = ns ^ ":" ^ key in
+          match Hashtbl.find_opt t.tbl k with
+          | Some v ->
+            count t ns (Hit v);
+            Some (Obj.obj v)
+          | None -> (
+            let o = read_disk t ns key in
+            count t ns o;
+            match o with
+            | Hit v ->
+              Hashtbl.replace t.tbl k v;
+              Some (Obj.obj v)
+            | Absent | Stale | Corrupt -> None)))
 
 let store t ~ns ~key v =
-  locked t (fun () ->
-      let v = Obj.repr v in
-      Hashtbl.replace t.tbl (ns ^ ":" ^ key) v;
-      write_disk t ns key v)
+  Telemetry.span "cache.store" ~args:[ ("ns", ns) ] (fun () ->
+      locked t (fun () ->
+          let v = Obj.repr v in
+          Hashtbl.replace t.tbl (ns ^ ":" ^ key) v;
+          write_disk t ns key v))
 
 let stats t =
   locked t (fun () ->
       List.sort compare
-        (Hashtbl.fold (fun ns (h, m) acc -> (ns, (!h, !m)) :: acc) t.counters []))
+        (Hashtbl.fold
+           (fun ns c acc -> (ns, (!(c.c_hits), !(c.c_misses))) :: acc)
+           t.counters []))
+
+let detailed_stats t =
+  locked t (fun () ->
+      List.sort compare
+        (Hashtbl.fold
+           (fun ns c acc ->
+             ( ns,
+               {
+                 hits = !(c.c_hits);
+                 misses = !(c.c_misses);
+                 stale = !(c.c_stale);
+                 corrupt = !(c.c_corrupt);
+               } )
+             :: acc)
+           t.counters []))
 
 let reset_stats t = locked t (fun () -> Hashtbl.reset t.counters)

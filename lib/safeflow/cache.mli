@@ -16,14 +16,20 @@
     marshalled with a versioned header recording the cache format
     version, the OCaml version and the entry key; a file that is absent,
     truncated, corrupt, or written by a different format/compiler
-    version is silently discarded and the result recomputed. *)
+    version is discarded and the result recomputed.  Discards are never
+    silent to the observability layer: {e stale} (header mismatch) and
+    {e corrupt} (unmarshal failure) recoveries are counted separately —
+    in {!detailed_stats} and in the ["cache.<ns>.stale"/".corrupt"]
+    telemetry counters — and [~verbose] adds a one-line stderr note per
+    discarded file. *)
 
 type t
 
-val create : ?dir:string -> unit -> t
+val create : ?dir:string -> ?verbose:bool -> unit -> t
 (** [create ()] is memory-only; [create ~dir ()] adds a disk tier rooted
     at [dir] (created if missing; creation failure degrades silently to
-    memory-only) *)
+    memory-only).  [~verbose] (default false) reports each discarded
+    stale/corrupt disk entry on stderr; it never affects results. *)
 
 val find : t -> ns:string -> key:string -> 'a option
 (** memory first, then disk (populating memory on a disk hit).  The
@@ -36,7 +42,14 @@ val store : t -> ns:string -> key:string -> 'a -> unit
 val stats : t -> (string * (int * int)) list
 (** per-namespace (hits, misses) counters, sorted by namespace — kept
     here rather than in {!Report.t.stats} so warm and cold reports stay
-    bit-identical *)
+    bit-identical.  [misses] counts every lookup that was not a hit,
+    including stale/corrupt recoveries. *)
+
+type ns_stats = { hits : int; misses : int; stale : int; corrupt : int }
+(** [stale + corrupt <= misses]: both are recovered misses *)
+
+val detailed_stats : t -> (string * ns_stats) list
+(** like {!stats} but splitting out stale/corrupt disk recoveries *)
 
 val reset_stats : t -> unit
 

@@ -44,12 +44,17 @@ type t = {
       (** worklist engine: domains used to build (function, context)
           value-flow edge blocks in parallel; 1 = sequential, 0 = one per
           hardware thread.  Reports are identical for any value. *)
+  verbose : bool;
+      (** emit one-line diagnostics to stderr for otherwise-silent
+          recoveries (stale/corrupt cache entries); never changes
+          reports, so deliberately outside the semantic fingerprint *)
 }
 
 let default =
   {
     engine = Legacy;
     pair_domains = 1;
+    verbose = false;
     field_sensitive = true;
     context_sensitive = true;
     control_deps = true;

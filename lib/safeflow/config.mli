@@ -30,6 +30,9 @@ type t = {
       (** worklist engine: pair-build pool size; 1 = sequential
           (default), 0 = one domain per hardware thread; reports are
           identical for any value *)
+  verbose : bool;
+      (** stderr diagnostics for silent recoveries (default false);
+          report-invisible, excluded from {!Digest_ir.semantic_config} *)
 }
 
 val default : t

@@ -47,15 +47,20 @@ let count_loc (src : string) : int =
 
 (** Frontend + IR construction (shared by all phases). *)
 let prepare_source ?(file = "<input>") (src : string) : prepared =
-  let ast = Parser.parse_string ~file src in
-  let tast = Typecheck.check_program ast in
-  let ir = Ssair.Build.lower tast in
-  ignore (Ssair.Mem2reg.run ir);
-  (match Ssair.Verify.check_program ~ssa:true ir with
-  | [] -> ()
-  | v :: _ ->
-    Loc.error Loc.dummy "internal IR verification failed: %s" v.Ssair.Verify.vmsg);
-  { ir; annotation_lines = count_annotations ast; loc_total = count_loc src }
+  Telemetry.span "prepare" ~args:[ ("file", file) ] (fun () ->
+      let ast = Telemetry.span "parse" (fun () -> Parser.parse_string ~file src) in
+      let tast = Telemetry.span "typecheck" (fun () -> Typecheck.check_program ast) in
+      let ir =
+        Telemetry.span "ssa" (fun () ->
+            let ir = Ssair.Build.lower tast in
+            ignore (Ssair.Mem2reg.run ir);
+            ir)
+      in
+      (match Ssair.Verify.check_program ~ssa:true ir with
+      | [] -> ()
+      | v :: _ ->
+        Loc.error Loc.dummy "internal IR verification failed: %s" v.Ssair.Verify.vmsg);
+      { ir; annotation_lines = count_annotations ast; loc_total = count_loc src })
 
 let prepare_file path : prepared =
   let ic = open_in_bin path in
@@ -172,6 +177,9 @@ let cached (c : Cache.t) ~ns ~key (f : unit -> 'a) : 'a =
     v
 
 let analyze ?(config = Config.default) ?cache ?file (src : string) : analysis =
+  Telemetry.span "analyze"
+    ~args:[ ("file", Option.value file ~default:"<input>") ]
+    (fun () ->
   let p =
     match cache with
     | Some c ->
@@ -182,24 +190,31 @@ let analyze ?(config = Config.default) ?cache ?file (src : string) : analysis =
   (* program digests drive every later cache key; skip them entirely when
      no cache is attached *)
   let digests = Option.map (fun _ -> Digest_ir.of_program p.ir) cache in
-  let shm = stage_shm p in
+  let shm = Telemetry.span "shm" (fun () -> stage_shm p) in
   let p1 =
-    match (cache, digests) with
-    | Some c, Some (d : Digest_ir.t) ->
-      cached c ~ns:"phase1"
-        ~key:(Digest_ir.combine [ d.Digest_ir.program; Digest_ir.semantic_config config ])
-        (fun () -> stage_phase1 ~config p shm)
-    | _ -> stage_phase1 ~config p shm
+    Telemetry.span "phase1" (fun () ->
+        match (cache, digests) with
+        | Some c, Some (d : Digest_ir.t) ->
+          cached c ~ns:"phase1"
+            ~key:
+              (Digest_ir.combine [ d.Digest_ir.program; Digest_ir.semantic_config config ])
+            (fun () -> stage_phase1 ~config p shm)
+        | _ -> stage_phase1 ~config p shm)
   in
-  let violations = stage_phase2 ~config ?cache ?digests p p1 in
+  let violations = Telemetry.span "phase2" (fun () -> stage_phase2 ~config ?cache ?digests p p1) in
   let pts =
-    match (cache, digests) with
-    | Some c, Some (d : Digest_ir.t) ->
-      (* config-independent, so keyed on the program alone *)
-      cached c ~ns:"pointsto" ~key:d.Digest_ir.program (fun () -> stage_pointsto p)
-    | _ -> stage_pointsto p
+    Telemetry.span "pointsto" (fun () ->
+        match (cache, digests) with
+        | Some c, Some (d : Digest_ir.t) ->
+          (* config-independent, so keyed on the program alone *)
+          cached c ~ns:"pointsto" ~key:d.Digest_ir.program (fun () -> stage_pointsto p)
+        | _ -> stage_pointsto p)
   in
-  let ph3 = stage_phase3 ~config ?cache ?digests p shm p1 pts in
+  let ph3 =
+    Telemetry.span "phase3"
+      ~args:[ ("engine", Config.engine_name config.Config.engine) ]
+      (fun () -> stage_phase3 ~config ?cache ?digests p shm p1 pts)
+  in
   let report =
     {
       Report.violations;
@@ -219,7 +234,7 @@ let analyze ?(config = Config.default) ?cache ?file (src : string) : analysis =
         @ ph3.Phase3.engine_stats;
     }
   in
-  { report; phase3 = ph3; prepared = p; shm }
+  { report; phase3 = ph3; prepared = p; shm })
 
 let analyze_file ?config ?cache path : analysis =
   let ic = open_in_bin path in
@@ -227,6 +242,9 @@ let analyze_file ?config ?cache path : analysis =
   let src = really_input_string ic n in
   close_in ic;
   analyze ?config ?cache ~file:path src
+
+let c_file_tasks = Telemetry.counter "pool.file_tasks"
+let c_file_peak = Telemetry.counter "pool.file_peak"
 
 (** Analyze several systems concurrently, one domain per hardware thread
     (bounded by [Domain.recommended_domain_count]).  Analysis state is
@@ -239,12 +257,16 @@ let analyze_files_par ?config ?cache (paths : string list) : analysis list =
     let files = Array.of_list paths in
     let results : (analysis, exn) result option array = Array.make n None in
     let next = Atomic.make 0 in
+    Telemetry.add c_file_tasks n;
+    let active = Atomic.make 0 in
     let worker () =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
+          Telemetry.record_max c_file_peak (Atomic.fetch_and_add active 1 + 1);
           results.(i) <-
             Some (try Ok (analyze_file ?config ?cache files.(i)) with e -> Error e);
+          Atomic.decr active;
           loop ()
         end
       in

@@ -11,10 +11,16 @@ type 'a t = {
 
 let create n = { tbl = Hashtbl.create n; rev = [||]; len = 0 }
 
+let c_hits = Telemetry.counter "intern.hits"
+let c_misses = Telemetry.counter "intern.misses"
+
 let intern t x =
   match Hashtbl.find_opt t.tbl x with
-  | Some i -> i
+  | Some i ->
+    Telemetry.incr c_hits;
+    i
   | None ->
+    Telemetry.incr c_misses;
     let i = t.len in
     if i = Array.length t.rev then begin
       let cap = max 64 (2 * Array.length t.rev) in
@@ -48,14 +54,20 @@ module Ctx = struct
 
   let get s i = get s.ids i
 
+  let c_union_hits = Telemetry.counter "intern.ctx_union_hits"
+  let c_union_misses = Telemetry.counter "intern.ctx_union_misses"
+
   let union s a b =
     if a = b then a
     else
       (* union is symmetric: normalize the memo key *)
       let key = if a < b then (a, b) else (b, a) in
       match Hashtbl.find_opt s.union_memo key with
-      | Some u -> u
+      | Some u ->
+        Telemetry.incr c_union_hits;
+        u
       | None ->
+        Telemetry.incr c_union_misses;
         let u = intern s (get s a @ get s b) in
         Hashtbl.replace s.union_memo key u;
         u

@@ -426,32 +426,58 @@ let analyze_pair st (f : Ssair.Ir.func) (ctx : Ctx.t) =
 
 (* -- Sinks and asserts ------------------------------------------------------------ *)
 
-let trace_of _st table e : string list =
-  let rec go e acc depth =
-    if depth > 32 then List.rev ("..." :: acc)
-    else
-      let self = Fmt.str "%a" pp_entity e in
-      match Hashtbl.find_opt table e with
-      | Some { parent = Some p; why } -> go p (Fmt.str "%s (%s)" self why :: acc) (depth + 1)
-      | Some { parent = None; why } -> List.rev (Fmt.str "%s (%s)" self why :: acc)
-      | None -> List.rev (self :: acc)
+(** Stable opaque identity of a taint entity — the [p_key] of witness
+    steps.  Entities are pure data, so the digest is deterministic
+    across runs, engines and processes. *)
+let entity_key (e : entity) : string =
+  Digest.to_hex (Digest.string (Marshal.to_string e [ Marshal.No_sharing ]))
+
+(** Walk first-taint origins from [e] back to a source, producing the
+    structured witness path, source first.  Each step records the entity
+    it came from ([p_parent]), so consecutive steps form a checkable
+    chain; the legacy string trace is derived from this path
+    ({!Report.path_strings}), keeping both in lockstep. *)
+let path_of table e : Report.path_step list =
+  let step e why parent =
+    {
+      Report.p_desc = Fmt.str "%a" pp_entity e;
+      p_why = why;
+      p_key = entity_key e;
+      p_parent = Option.map entity_key parent;
+    }
   in
-  (* source first *)
-  go e [] 0 |> List.rev
+  let rec go e acc depth =
+    if depth > 32 then Report.synthetic_step "..." :: acc
+    else
+      match Hashtbl.find_opt table e with
+      | Some { parent = Some p; why } -> go p (step e (Some why) (Some p) :: acc) (depth + 1)
+      | Some { parent = None; why } -> step e (Some why) None :: acc
+      | None -> step e None None :: acc
+  in
+  go e [] 0
 
 (** After the fixpoint: evaluate assert(safe(x)) annotations and implicit
     critical sinks, producing dependencies. *)
 let collect_dependencies st : Report.dependency list =
   let deps = ref [] in
-  let add kind sink f loc trace =
-    deps := { Report.d_kind = kind; d_sink = sink; d_func = f; d_loc = loc; d_trace = trace } :: !deps
+  let add kind sink f loc path =
+    deps :=
+      {
+        Report.d_kind = kind;
+        d_sink = sink;
+        d_func = f;
+        d_loc = loc;
+        d_trace = Report.path_strings path;
+        d_path = path;
+      }
+      :: !deps
   in
   let check_value f ctx blk_ctrl bid loc sink (v : Ssair.Ir.value) =
     let fname = f.Ssair.Ir.fname in
     match value_entity fname ctx v with
-    | Some e when data_tainted st e -> add Report.Data sink fname loc (trace_of st st.data e)
+    | Some e when data_tainted st e -> add Report.Data sink fname loc (path_of st.data e)
     | Some e when st.config.Config.control_deps && ctrl_tainted st e ->
-      add Report.Control_only sink fname loc (trace_of st st.ctrl e)
+      add Report.Control_only sink fname loc (path_of st.ctrl e)
     | Some e ->
       (* pointer-typed critical data: unsafe data reachable from it? *)
       let is_ptr =
@@ -477,7 +503,7 @@ let collect_dependencies st : Report.dependency list =
         with
         | Some ne ->
           add Report.Data sink f.Ssair.Ir.fname loc
-            (trace_of st st.data ne @ [ "reachable from critical pointer" ])
+            (path_of st.data ne @ [ Report.synthetic_step "reachable from critical pointer" ])
         | None -> ()
       end;
       if
@@ -487,11 +513,17 @@ let collect_dependencies st : Report.dependency list =
         && Hashtbl.mem blk_ctrl bid
       then
         add Report.Control_only sink fname loc
-          [ "critical site executes under a condition influenced by non-core values" ]
+          [
+            Report.synthetic_step
+              "critical site executes under a condition influenced by non-core values";
+          ]
     | None ->
       if st.config.Config.control_deps && Hashtbl.mem blk_ctrl bid then
         add Report.Control_only sink fname loc
-          [ "critical site executes under a condition influenced by non-core values" ]
+          [
+            Report.synthetic_step
+              "critical site executes under a condition influenced by non-core values";
+          ]
   in
   Hashtbl.iter
     (fun (fname, ctx) () ->
@@ -616,18 +648,19 @@ let run ?(config = Config.default) (prog : Ssair.Ir.program) (shm : Shm.t) (p1 :
     (fun ((f : Ssair.Ir.func), ctx) -> Hashtbl.replace st.pairs (f.Ssair.Ir.fname, ctx) ())
     (root_pairs st);
   (* fixpoint *)
-  while st.changed do
-    st.changed <- false;
-    st.passes <- st.passes + 1;
-    let pairs = Hashtbl.fold (fun k () acc -> k :: acc) st.pairs [] in
-    List.iter
-      (fun (fname, ctx) ->
-        match Ssair.Ir.find_func prog fname with
-        | Some f when not (Phase1.is_exempt p1 fname) -> analyze_pair st f ctx
-        | _ -> ())
-      pairs
-  done;
-  let dependencies = collect_dependencies st in
+  Telemetry.span "phase3.fixpoint" (fun () ->
+      while st.changed do
+        st.changed <- false;
+        st.passes <- st.passes + 1;
+        let pairs = Hashtbl.fold (fun k () acc -> k :: acc) st.pairs [] in
+        List.iter
+          (fun (fname, ctx) ->
+            match Ssair.Ir.find_func prog fname with
+            | Some f when not (Phase1.is_exempt p1 fname) -> analyze_pair st f ctx
+            | _ -> ())
+          pairs
+      done);
+  let dependencies = Telemetry.span "phase3.collect" (fun () -> collect_dependencies st) in
   {
     warnings = Hashtbl.fold (fun _ w acc -> w :: acc) st.warnings [];
     dependencies;

@@ -40,12 +40,34 @@ let pp_dep_kind ppf = function
   | Data -> Fmt.string ppf "data"
   | Control_only -> Fmt.string ppf "control-only"
 
+(** One step of a structured value-flow witness path.  [p_key] is an
+    opaque stable identity of the underlying taint entity (empty for
+    synthetic narrative steps such as "reachable from critical pointer");
+    [p_parent] names the key of the step the taint came from, forming a
+    checkable chain: step [i+1]'s parent is step [i]'s key. *)
+type path_step = {
+  p_desc : string;         (** printed entity, e.g. ["decision:%12"] *)
+  p_why : string option;   (** why taint reached this step; [None] at sources *)
+  p_key : string;          (** entity identity; [""] for synthetic steps *)
+  p_parent : string option;  (** key of the previous step's entity *)
+}
+
+let synthetic_step desc = { p_desc = desc; p_why = None; p_key = ""; p_parent = None }
+
+let path_step_string s =
+  match s.p_why with Some why -> Fmt.str "%s (%s)" s.p_desc why | None -> s.p_desc
+
+let path_strings steps = List.map path_step_string steps
+
 type dependency = {
   d_kind : dep_kind;
   d_sink : string;   (** description of the critical datum (assert or sink) *)
   d_func : string;
   d_loc : Loc.t;     (** location of the assert / sink call *)
   d_trace : string list;  (** one value-flow path, source first *)
+  d_path : path_step list;
+      (** the same path, structured: source first, sink last;
+          [d_trace = path_strings d_path] whenever both are populated *)
 }
 
 type t = {
@@ -96,3 +118,42 @@ let pp ppf t =
   Fmt.pf ppf "@]"
 
 let to_string t = Fmt.str "%a" pp t
+
+(* -- Witness rendering (the [explain] subcommand) ------------------------------ *)
+
+let pp_witness ppf (d : dependency) =
+  Fmt.pf ppf "@[<v>%a dependency: %s@,  in %s at %a@," pp_dep_kind d.d_kind d.d_sink
+    d.d_func Loc.pp d.d_loc;
+  (match d.d_path with
+  | [] -> Fmt.pf ppf "  (no witness path recorded)@,"
+  | steps ->
+    Fmt.pf ppf "  witness (%d steps, source first):@," (List.length steps);
+    List.iteri
+      (fun i (s : path_step) ->
+        let tag = if i = 0 then "source" else if i = List.length steps - 1 then "sink" else "" in
+        Fmt.pf ppf "    %2d. %-34s %s%s@," (i + 1) s.p_desc
+          (match s.p_why with Some why -> "<- " ^ why | None -> "")
+          (if tag = "" then "" else "  [" ^ tag ^ "]"))
+      steps);
+  Fmt.pf ppf "@]"
+
+(** Everything a reviewer needs to audit the analysis verdicts: each
+    warning with its read site and active monitoring context, then each
+    dependency with its full step-by-step witness path. *)
+let pp_explain ppf t =
+  Fmt.pf ppf "@[<v>== SafeFlow explain ==@,";
+  Fmt.pf ppf "unmonitored non-core read sites (%d):@," (List.length t.warnings);
+  List.iter
+    (fun w ->
+      Fmt.pf ppf "  read of region '%s' in %s at %a%s@," w.w_region w.w_func Loc.pp
+        w.w_loc
+        (match w.w_context with
+        | [] -> ""
+        | ctx -> Fmt.str "  (context: %s)" (String.concat ", " ctx)))
+    t.warnings;
+  let errs = errors t and ctrl = control_deps t in
+  Fmt.pf ppf "error dependencies (%d):@," (List.length errs);
+  List.iter (fun d -> Fmt.pf ppf "  @[<v>%a@]@," pp_witness d) errs;
+  Fmt.pf ppf "control-only dependencies (%d):@," (List.length ctrl);
+  List.iter (fun d -> Fmt.pf ppf "  @[<v>%a@]@," pp_witness d) ctrl;
+  Fmt.pf ppf "@]"

@@ -27,12 +27,34 @@ type dep_kind = Data | Control_only
 
 val pp_dep_kind : Format.formatter -> dep_kind -> unit
 
+(** One step of a structured value-flow witness.  Steps chain by
+    identity: step [i+1].p_parent = Some (step [i].p_key), except across
+    synthetic narrative steps (empty [p_key]). *)
+type path_step = {
+  p_desc : string;           (** printed entity, e.g. ["decision:%12"] *)
+  p_why : string option;     (** why taint reached this step; [None] at sources *)
+  p_key : string;            (** opaque entity identity; [""] if synthetic *)
+  p_parent : string option;  (** [p_key] of the preceding step *)
+}
+
+val synthetic_step : string -> path_step
+(** a narrative-only step (no underlying taint entity) *)
+
+val path_step_string : path_step -> string
+(** ["desc (why)"], or just ["desc"] when there is no why — exactly the
+    legacy [d_trace] element format *)
+
+val path_strings : path_step list -> string list
+
 type dependency = {
   d_kind : dep_kind;
   d_sink : string;        (** the critical datum (assert or implicit sink) *)
   d_func : string;
   d_loc : Loc.t;
   d_trace : string list;  (** one value-flow path, source first *)
+  d_path : path_step list;
+      (** the same path, structured (source first, sink last); engines
+          populate it so [d_trace = path_strings d_path] *)
 }
 
 type t = {
@@ -59,3 +81,10 @@ val pp_dependency : Format.formatter -> dependency -> unit
 val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
+
+val pp_witness : Format.formatter -> dependency -> unit
+(** one dependency with its step-by-step witness path *)
+
+val pp_explain : Format.formatter -> t -> unit
+(** reviewer-facing rendering (the [explain] CLI subcommand): every
+    read-site warning, then every dependency's full witness path *)

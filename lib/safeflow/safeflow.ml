@@ -13,6 +13,7 @@
 
 module Config = Config
 module Report = Report
+module Telemetry = Telemetry
 module Shm = Shm
 module Phase1 = Phase1
 module Phase2 = Phase2

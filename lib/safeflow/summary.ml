@@ -495,15 +495,20 @@ let run ?(config = Config.default) (prog : Ssair.Ir.program) (shm : Shm.t)
         in
         if Srcset.is_empty live then None
         else
+          let path =
+            List.map
+              (fun src -> Report.synthetic_step (Fmt.str "%a" pp_source src))
+              (Srcset.elements live)
+            @ [ Report.synthetic_step "(summary-mode flow)" ]
+          in
           Some
             {
               Report.d_kind = Report.Data;
               d_sink = s.k_sink;
               d_func = s.k_func;
               d_loc = s.k_loc;
-              d_trace =
-                List.map (Fmt.str "%a" pp_source) (Srcset.elements live)
-                @ [ "(summary-mode flow)" ];
+              d_trace = Report.path_strings path;
+              d_path = path;
             })
       !sinks
     |> List.sort_uniq compare

@@ -1,0 +1,281 @@
+(** Telemetry implementation (see the interface for the contract).
+
+    Hot-path discipline: every entry point loads one atomic flag and
+    returns when telemetry is off, so instrumented code costs a load and
+    a branch when disabled.  When enabled, span finish and counter
+    registration take a global mutex; counter updates are lock-free
+    atomics. *)
+
+external now_ns : unit -> int64 = "safeflow_monotonic_ns"
+
+let on = Atomic.make false
+
+let enabled () = Atomic.get on
+
+(* -- Spans --------------------------------------------------------------------- *)
+
+type span_record = {
+  s_id : int;
+  s_parent : int;
+  s_name : string;
+  s_args : (string * string) list;
+  s_domain : int;
+  s_start_ns : int64;
+  s_dur_ns : int64;
+}
+
+type active = {
+  a_id : int;
+  a_parent : int;
+  a_name : string;
+  a_args : (string * string) list;
+  a_t0 : int64;
+}
+
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+(* trace epoch: all exported timestamps are relative to this *)
+let epoch = Atomic.make (now_ns ())
+
+let next_span_id = Atomic.make 0
+
+let finished : span_record list ref = ref []  (* newest first; guarded by [lock] *)
+
+(* per-domain stack of open spans *)
+let stack_key : active list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let span ?(args = []) name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let stack = Domain.DLS.get stack_key in
+    let parent = match !stack with [] -> -1 | a :: _ -> a.a_id in
+    let a =
+      {
+        a_id = Atomic.fetch_and_add next_span_id 1;
+        a_parent = parent;
+        a_name = name;
+        a_args = args;
+        a_t0 = now_ns ();
+      }
+    in
+    stack := a :: !stack;
+    Fun.protect
+      ~finally:(fun () ->
+        let dur = Int64.sub (now_ns ()) a.a_t0 in
+        (match !stack with _ :: tl -> stack := tl | [] -> ());
+        let r =
+          {
+            s_id = a.a_id;
+            s_parent = a.a_parent;
+            s_name = a.a_name;
+            s_args = a.a_args;
+            s_domain = (Domain.self () :> int);
+            s_start_ns = Int64.sub a.a_t0 (Atomic.get epoch);
+            s_dur_ns = dur;
+          }
+        in
+        locked (fun () -> finished := r :: !finished))
+      f
+  end
+
+let spans () =
+  let l = locked (fun () -> !finished) in
+  List.sort (fun a b -> compare (a.s_start_ns, a.s_id) (b.s_start_ns, b.s_id)) l
+
+(* -- Counters ------------------------------------------------------------------- *)
+
+type counter = int Atomic.t
+
+let registry : (string, counter) Hashtbl.t = Hashtbl.create 64
+
+let counter name =
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some c -> c
+      | None ->
+        let c = Atomic.make 0 in
+        Hashtbl.replace registry name c;
+        c)
+
+let incr c = if Atomic.get on then ignore (Atomic.fetch_and_add c 1)
+
+let add c n = if Atomic.get on then ignore (Atomic.fetch_and_add c n)
+
+let rec record_max c n =
+  if Atomic.get on then begin
+    let v = Atomic.get c in
+    if n > v && not (Atomic.compare_and_set c v n) then record_max c n
+  end
+
+let value c = Atomic.get c
+
+let counters () =
+  locked (fun () ->
+      List.sort compare
+        (Hashtbl.fold (fun name c acc -> (name, Atomic.get c) :: acc) registry []))
+
+(* -- Switch / reset -------------------------------------------------------------- *)
+
+let reset () =
+  Atomic.set epoch (now_ns ());
+  locked (fun () ->
+      finished := [];
+      Hashtbl.iter (fun _ c -> Atomic.set c 0) registry)
+
+let set_enabled b =
+  if b && not (Atomic.get on) then Atomic.set epoch (now_ns ());
+  Atomic.set on b
+
+(* -- JSON helpers ----------------------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let us_of_ns ns = Int64.to_float ns /. 1_000.0
+
+let ms_of_ns ns = Int64.to_float ns /. 1_000_000.0
+
+(* -- Chrome trace export ----------------------------------------------------------- *)
+
+let write_chrome_trace path =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"safeflow\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d"
+           (json_escape s.s_name) (us_of_ns s.s_start_ns) (us_of_ns s.s_dur_ns) s.s_domain);
+      if s.s_args <> [] then begin
+        Buffer.add_string b ",\"args\":{";
+        List.iteri
+          (fun j (k, v) ->
+            if j > 0 then Buffer.add_char b ',';
+            Buffer.add_string b
+              (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+          s.s_args;
+        Buffer.add_char b '}'
+      end;
+      Buffer.add_char b '}')
+    (spans ());
+  Buffer.add_string b "]}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc
+
+(* -- Aggregated span tree ------------------------------------------------------------ *)
+
+(* One tree node per distinct name under a given parent aggregate:
+   sibling spans sharing a name collapse into (count, total time), which
+   keeps the tree readable when a phase opens hundreds of pair-build
+   spans. *)
+type agg = {
+  g_name : string;
+  mutable g_count : int;
+  mutable g_total_ns : int64;
+  g_children : (string, agg) Hashtbl.t;
+  mutable g_order : string list;  (* child names, first-seen order, reversed *)
+}
+
+let new_agg name =
+  { g_name = name; g_count = 0; g_total_ns = 0L; g_children = Hashtbl.create 4; g_order = [] }
+
+let aggregate () =
+  let all = spans () in
+  let by_id = Hashtbl.create (List.length all) in
+  List.iter (fun s -> Hashtbl.replace by_id s.s_id s) all;
+  let root = new_agg "" in
+  (* aggregate node for a span: walk its ancestor chain, descending from
+     the root through one agg per (depth, name) *)
+  let rec agg_of (s : span_record) : agg =
+    let parent_agg =
+      match Hashtbl.find_opt by_id s.s_parent with
+      | Some p -> agg_of p
+      | None -> root
+    in
+    match Hashtbl.find_opt parent_agg.g_children s.s_name with
+    | Some a -> a
+    | None ->
+      let a = new_agg s.s_name in
+      Hashtbl.replace parent_agg.g_children s.s_name a;
+      parent_agg.g_order <- s.s_name :: parent_agg.g_order;
+      a
+  in
+  List.iter
+    (fun s ->
+      let a = agg_of s in
+      a.g_count <- a.g_count + 1;
+      a.g_total_ns <- Int64.add a.g_total_ns s.s_dur_ns)
+    all;
+  root
+
+let rec iter_agg f depth (a : agg) =
+  List.iter
+    (fun name ->
+      let child = Hashtbl.find a.g_children name in
+      f depth child;
+      iter_agg f (depth + 1) child)
+    (List.rev a.g_order)
+
+(* -- Stats JSON ---------------------------------------------------------------------- *)
+
+let stats_json_schema = "safeflow-telemetry/1"
+
+let write_stats_json path =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (Printf.sprintf "{\"schema\":\"%s\"" stats_json_schema);
+  Buffer.add_string b ",\"counters\":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%d" (json_escape name) v))
+    (counters ());
+  Buffer.add_string b "},\"spans\":[";
+  let first = ref true in
+  iter_agg
+    (fun depth a ->
+      if not !first then Buffer.add_char b ',';
+      first := false;
+      Buffer.add_string b
+        (Printf.sprintf "{\"name\":\"%s\",\"depth\":%d,\"count\":%d,\"total_ms\":%.3f}"
+           (json_escape a.g_name) depth a.g_count (ms_of_ns a.g_total_ns)))
+    0 (aggregate ());
+  Buffer.add_string b "]}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc
+
+(* -- Human-readable tree -------------------------------------------------------------- *)
+
+let pp_stats ppf () =
+  Fmt.pf ppf "@[<v>== telemetry ==@,";
+  Fmt.pf ppf "span tree (count, total wall time):@,";
+  let any = ref false in
+  iter_agg
+    (fun depth a ->
+      any := true;
+      let indent = String.make (2 + (2 * depth)) ' ' in
+      let label = indent ^ a.g_name in
+      Fmt.pf ppf "%-42s %6d x %10.2f ms@," label a.g_count (ms_of_ns a.g_total_ns))
+    0 (aggregate ());
+  if not !any then Fmt.pf ppf "  (no spans recorded)@,";
+  Fmt.pf ppf "counters:@,";
+  List.iter (fun (name, v) -> Fmt.pf ppf "  %-40s %12d@," name v) (counters ());
+  Fmt.pf ppf "@]"

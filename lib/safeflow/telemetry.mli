@@ -1,0 +1,95 @@
+(** Analysis telemetry: hierarchical phase spans, atomic counters and
+    gauges, exportable as a Chrome-trace JSON, a human-readable tree, or
+    a machine-readable stats JSON.
+
+    The subsystem is {b disabled by default} and designed to be
+    zero-overhead when off: {!span} runs its thunk directly after one
+    atomic flag read, and counter updates reduce to the same flag read.
+    Nothing here ever feeds back into {!Report.t}, so reports are
+    byte-identical whether telemetry is on or off (asserted by
+    [test/test_engine_equiv.ml]).
+
+    Spans use a monotonic clock (CLOCK_MONOTONIC via a C stub) and a
+    per-domain span stack ([Domain.DLS]), so instrumented code running on
+    worker domains — the pair-build pool of {!Vfgraph}, the multi-system
+    driver — records correctly-nested spans for its own domain without
+    synchronizing with other domains; finished spans are merged into one
+    global list under a mutex.  Counters are process-global atomics
+    keyed by name, shared by all domains. *)
+
+(** {1 Master switch} *)
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** enabling also (re)starts the trace epoch; disable before comparing
+    reports against an uninstrumented run is {e not} necessary — reports
+    never contain telemetry *)
+
+val reset : unit -> unit
+(** drop all recorded spans and zero every counter (registrations are
+    kept); restarts the trace epoch *)
+
+val now_ns : unit -> int64
+(** monotonic clock, nanoseconds since an arbitrary epoch *)
+
+(** {1 Spans} *)
+
+val span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] times [f ()] as a child of the innermost open span on
+    the current domain.  Exceptions propagate; the span is closed either
+    way.  When disabled this is [f ()]. *)
+
+type span_record = {
+  s_id : int;
+  s_parent : int;  (** -1 for a root span *)
+  s_name : string;
+  s_args : (string * string) list;
+  s_domain : int;  (** domain id the span ran on *)
+  s_start_ns : int64;  (** relative to the trace epoch *)
+  s_dur_ns : int64;
+}
+
+val spans : unit -> span_record list
+(** finished spans, in start order *)
+
+(** {1 Counters and gauges} *)
+
+type counter
+
+val counter : string -> counter
+(** registered process-global counter; the same name always returns the
+    same counter.  Registration is idempotent and happens at module
+    initialization time for the built-in inventory, so every registered
+    counter appears (possibly as 0) in {!counters} and the stats JSON. *)
+
+val incr : counter -> unit
+(** +1 when enabled, no-op when disabled *)
+
+val add : counter -> int -> unit
+
+val record_max : counter -> int -> unit
+(** gauge semantics: retain the maximum observed value *)
+
+val value : counter -> int
+
+val counters : unit -> (string * int) list
+(** every registered counter with its current value, sorted by name *)
+
+(** {1 Export} *)
+
+val write_chrome_trace : string -> unit
+(** write all finished spans as Chrome trace-event JSON (load in
+    [chrome://tracing] or Perfetto); one track per domain *)
+
+val write_stats_json : string -> unit
+(** machine-readable snapshot: schema tag, all counters, and per-name
+    aggregated span timings — the file checked by the CI schema smoke
+    test *)
+
+val stats_json_schema : string
+(** the [schema] field value written by {!write_stats_json} *)
+
+val pp_stats : Format.formatter -> unit -> unit
+(** human-readable span tree (sibling spans aggregated by name, with
+    call counts and total wall time) followed by the counter table *)

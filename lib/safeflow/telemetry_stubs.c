@@ -1,0 +1,21 @@
+/* Monotonic clock for the telemetry span timer.
+
+   CLOCK_MONOTONIC is immune to wall-clock adjustments (NTP slew,
+   manual date changes), which matters because spans are differences of
+   two reads taken possibly seconds apart.  Nanosecond resolution keeps
+   sub-microsecond spans (cache lookups) visible in traces. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value safeflow_monotonic_ns(value unit)
+{
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}

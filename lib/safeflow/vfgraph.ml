@@ -85,7 +85,20 @@ type t = {
   mutable c_why : string array;
   mutable n_edges : int;
   mutable n_pops : int;
+  mutable n_pushes : int;
 }
+
+(* Counter inventory (registered at module init so the names exist in
+   every stats snapshot, even as zeros under the legacy engine). *)
+let c_wl_pushes = Telemetry.counter "vf.worklist_pushes"
+let c_wl_pops = Telemetry.counter "vf.worklist_pops"
+let c_edges = Telemetry.counter "vf.edges_built"
+let c_entities = Telemetry.counter "vf.entities"
+let c_contexts = Telemetry.counter "vf.contexts"
+let c_pair_replayed = Telemetry.counter "vf.pair_blocks_replayed"
+let c_pair_built = Telemetry.counter "vf.pair_blocks_built"
+let c_pair_tasks = Telemetry.counter "pool.pair_tasks"
+let c_pair_peak = Telemetry.counter "pool.pair_peak"
 
 let create st =
   let funcs_by_name = Hashtbl.create 64 in
@@ -114,6 +127,7 @@ let create st =
     c_why = [||];
     n_edges = 0;
     n_pops = 0;
+    n_pushes = 0;
   }
 
 let ensure_cap g n =
@@ -174,6 +188,7 @@ let set_data g eid ~parent ~why =
     Bytes.set g.data eid '\001';
     g.d_parent.(eid) <- parent;
     g.d_why.(eid) <- why;
+    g.n_pushes <- g.n_pushes + 1;
     Queue.push (eid * 2) g.wl
   end
 
@@ -182,6 +197,7 @@ let set_ctrl g eid ~parent ~why =
     Bytes.set g.ctrl eid '\001';
     g.c_parent.(eid) <- parent;
     g.c_why.(eid) <- why;
+    g.n_pushes <- g.n_pushes + 1;
     Queue.push ((eid * 2) + 1) g.wl
   end
 
@@ -699,17 +715,25 @@ let build_many g (todo : (Ssair.Ir.func * Phase3.Ctx.t) array) : block array =
     let d = g.st.Phase3.config.Config.pair_domains in
     if d = 0 then Domain.recommended_domain_count () else d
   in
-  if n <= 1 || domains <= 1 then
-    Array.map (fun (f, ctx) -> build_pair_block g f ctx) todo
+  let build (f : Ssair.Ir.func) ctx =
+    Telemetry.span "pair.build"
+      ~args:[ ("function", f.Ssair.Ir.fname) ]
+      (fun () -> build_pair_block g f ctx)
+  in
+  Telemetry.add c_pair_tasks n;
+  if n <= 1 || domains <= 1 then Array.map (fun (f, ctx) -> build f ctx) todo
   else begin
     let out : (block, exn) result option array = Array.make n None in
     let next = Atomic.make 0 in
+    let active = Atomic.make 0 in
     let worker () =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
+          Telemetry.record_max c_pair_peak (Atomic.fetch_and_add active 1 + 1);
           let f, ctx = todo.(i) in
-          out.(i) <- Some (try Ok (build_pair_block g f ctx) with e -> Error e);
+          out.(i) <- Some (try Ok (build f ctx) with e -> Error e);
+          Atomic.decr active;
           loop ()
         end
       in
@@ -766,6 +790,8 @@ let run ?(config = Config.default) ?cache ?digests (prog : Ssair.Ir.program) (sh
         |> List.filter_map (fun (i, b) -> if b = None then Some i else None)
         |> Array.of_list
       in
+      Telemetry.add c_pair_built (Array.length miss_idx);
+      Telemetry.add c_pair_replayed (Array.length wave - Array.length miss_idx);
       let built =
         build_many g
           (Array.map
@@ -781,12 +807,18 @@ let run ?(config = Config.default) ?cache ?digests (prog : Ssair.Ir.program) (sh
           | Some c, Some k -> Cache.store c ~ns:"pair" ~key:k built.(j)
           | _ -> ())
         miss_idx;
-      Array.iter (function Some b -> replay g b | None -> assert false) blocks;
+      Telemetry.span "phase3.replay" (fun () ->
+          Array.iter (function Some b -> replay g b | None -> assert false) blocks);
       waves ()
     end
   in
   waves ();
-  drain g;
+  Telemetry.span "phase3.drain" (fun () -> drain g);
+  Telemetry.add c_wl_pushes g.n_pushes;
+  Telemetry.add c_wl_pops g.n_pops;
+  Telemetry.add c_edges g.n_edges;
+  Telemetry.add c_entities (Intern.length g.keys);
+  Telemetry.add c_contexts (Intern.Ctx.length g.ctxs);
   (* pour the interned taints back into the shared state shape *)
   let entity_origin parents whys i =
     let p = parents.(i) in
@@ -810,6 +842,7 @@ let run ?(config = Config.default) ?cache ?digests (prog : Ssair.Ir.program) (sh
       [ ("vf_entities", Intern.length g.keys);
         ("vf_contexts", Intern.Ctx.length g.ctxs);
         ("vf_edges", g.n_edges);
-        ("vf_pops", g.n_pops) ];
+        ("vf_pops", g.n_pops);
+        ("vf_pushes", g.n_pushes) ];
     taint_state = st;
   }

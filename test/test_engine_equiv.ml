@@ -119,6 +119,45 @@ let test_worklist_stats () =
     [ "vf_entities"; "vf_contexts"; "vf_edges"; "vf_pops" ];
   Alcotest.(check bool) "edges counted" true (List.assoc "vf_edges" r.Report.stats > 0)
 
+let test_telemetry_invariance () =
+  (* telemetry must be observationally invisible: the report is
+     structurally identical with the subsystem off (default) and on, and
+     nothing at all is recorded while it is off *)
+  let src = read_file (find_system "figure2.c") in
+  let config = { Config.default with engine = Config.Worklist } in
+  let run () = (Driver.analyze ~config src).Driver.report in
+  Telemetry.set_enabled false;
+  Telemetry.reset ();
+  let off = run () in
+  Alcotest.(check int) "no spans while off" 0 (List.length (Telemetry.spans ()));
+  Alcotest.(check bool) "no counts while off" true
+    (List.for_all (fun (_, v) -> v = 0) (Telemetry.counters ()));
+  Telemetry.set_enabled true;
+  Telemetry.reset ();
+  let on = run () in
+  let spans = Telemetry.spans () in
+  let counters = Telemetry.counters () in
+  Telemetry.set_enabled false;
+  Telemetry.reset ();
+  Alcotest.(check bool) "reports identical on/off" true (off = on);
+  Alcotest.(check bool) "spans recorded while on" true (spans <> []);
+  let names = List.map (fun (s : Telemetry.span_record) -> s.Telemetry.s_name) spans in
+  List.iter
+    (fun phase ->
+      if not (List.mem phase names) then Alcotest.failf "missing %s span" phase)
+    [ "analyze"; "prepare"; "parse"; "phase1"; "phase2"; "pointsto"; "phase3";
+      "pair.build"; "phase3.drain" ];
+  (* every non-root parent id must name a recorded span *)
+  let ids = List.map (fun (s : Telemetry.span_record) -> s.Telemetry.s_id) spans in
+  List.iter
+    (fun (s : Telemetry.span_record) ->
+      if s.Telemetry.s_parent <> -1 && not (List.mem s.Telemetry.s_parent ids) then
+        Alcotest.failf "span %s has dangling parent" s.Telemetry.s_name)
+    spans;
+  Alcotest.(check bool) "worklist counters moved" true
+    (List.assoc "vf.edges_built" counters > 0
+    && List.assoc "vf.worklist_pops" counters > 0)
+
 let test_parallel_driver () =
   (* analyze_files_par must agree with sequential analyze_file, in order *)
   let files = List.map find_system [ "ip_controller.c"; "generic_simplex.c"; "car_follow.c" ] in
@@ -145,4 +184,5 @@ let () =
           Alcotest.test_case "context_explosion 4" `Quick test_synth_context_explosion ] );
       ( "engine plumbing",
         [ Alcotest.test_case "worklist stats" `Quick test_worklist_stats;
+          Alcotest.test_case "telemetry invariance" `Quick test_telemetry_invariance;
           Alcotest.test_case "parallel driver" `Quick test_parallel_driver ] ) ]
