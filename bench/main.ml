@@ -138,7 +138,10 @@ let jmeta ~benchmark ~engines =
         ("engines", Jarr (List.map (fun e -> Jstr e) engines));
         ("config_fingerprint", Jstr (config_fingerprint Safeflow.Config.default));
         ("cache_format_version", Jint Safeflow.Cache.format_version);
-        ("telemetry_schema", Jstr Safeflow.Telemetry.stats_json_schema) ] )
+        ("telemetry_schema", Jstr Safeflow.Telemetry.stats_json_schema);
+        ("sarif_version", Jstr Safeflow.Sarif.sarif_version);
+        ("findings_format", Jstr Safeflow.Diffreport.format_version);
+        ("fingerprint_version", Jstr Safeflow.Fingerprint.version) ] )
 
 (* Counter snapshot from one dedicated instrumented run of [f] — never
    from the timed samples, which run with telemetry off so the recorded
@@ -288,7 +291,13 @@ let table1 (o : opts) =
             ("annotations", Jint r.Safeflow.Report.annotation_lines);
             ("errors", Jint (List.length (Safeflow.Report.errors r)));
             ("warnings", Jint (List.length r.Safeflow.Report.warnings));
-            ("false_positives", Jint (List.length (Safeflow.Report.control_deps r))) ])
+            ("false_positives", Jint (List.length (Safeflow.Report.control_deps r)));
+            ( "noncore_read_sites",
+              Jint a.Safeflow.Driver.coverage.Safeflow.Coverage.cov_read_sites );
+            ( "monitored_read_sites",
+              Jint a.Safeflow.Driver.coverage.Safeflow.Coverage.cov_monitored_sites );
+            ( "monitored_fraction",
+              Jfloat (Safeflow.Coverage.monitored_fraction a.Safeflow.Driver.coverage) ) ])
       rows analyses
   in
   Fmt.pr "@.Notes: LOC(total) differs because the authors' lab codebases bundle@.";

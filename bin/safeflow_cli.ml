@@ -6,12 +6,22 @@
                              [--field-insensitive] [--vfg out.dot]
                              [--engine legacy|worklist]
                              [--stats] [--trace out.json] [--stats-json out.json]
+                             [--sarif out.sarif] [--save-findings out.findings]
+                             [--baseline FILE] [--fail-on never|error|warning]
+     safeflow diff OLD NEW       (findings files or MiniC sources)
      safeflow explain file.c
      safeflow initcheck file.c
      safeflow dump-ir file.c
-     safeflow synth N *)
+     safeflow synth N
+     safeflow version
+
+   Exit codes (analyze and diff): 0 clean, 1 error-level findings,
+   2 warning-level findings only, 3 frontend (parse/type) failure.
+   With --baseline, only findings NEW relative to the baseline gate. *)
 
 open Cmdliner
+
+let tool_version = "1.0.0"
 
 let config_of ~control_deps ~context_sensitive ~field_sensitive ~engine ~pair_domains =
   {
@@ -49,6 +59,27 @@ let telemetry_finish (stats, trace, stats_json) =
 
 let engine_conv =
   Arg.enum [ ("legacy", Safeflow.Config.Legacy); ("worklist", Safeflow.Config.Worklist) ]
+
+let fail_on_conv = Arg.enum [ ("never", `Never); ("error", `Error); ("warning", `Warning) ]
+
+let fail_on_arg =
+  Arg.(
+    value
+    & opt fail_on_conv `Warning
+    & info [ "fail-on" ] ~docv:"LEVEL"
+        ~doc:
+          "findings that make the exit code non-zero: $(b,never) always exits 0, \
+           $(b,error) exits 1 on error-level findings (critical dependencies and \
+           restriction violations), $(b,warning) (default) additionally exits 2 when \
+           only warning-level findings are present.  With $(b,--baseline), only \
+           findings new relative to the baseline gate.")
+
+let read_file file =
+  let ic = open_in_bin file in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  src
 
 let analyze_cmd =
   let files =
@@ -97,8 +128,36 @@ let analyze_cmd =
             "one-line stderr diagnostics for otherwise-silent recoveries (stale or \
              corrupt cache entries); never changes reports")
   in
+  let sarif =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sarif" ] ~docv:"OUT.sarif"
+          ~doc:
+            "write all findings as SARIF 2.1.0 (rule metadata for every diagnostic \
+             code, witness paths as codeFlows, stable partialFingerprints)")
+  in
+  let save_findings =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-findings" ] ~docv:"OUT"
+          ~doc:
+            "write the findings as a fingerprinted baseline file (format \
+             safeflow-findings/1) for later $(b,--baseline) or $(b,safeflow diff) runs")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "suppression baseline (a $(b,--save-findings) file): findings are \
+             classified new/fixed/unchanged by fingerprint, the delta is printed, and \
+             only new findings drive the exit code")
+  in
   let run files no_control ctx_insensitive field_insensitive vfg use_summary engine
-      cache_dir pair_domains verbose tele =
+      cache_dir pair_domains verbose sarif save_findings baseline fail_on tele =
     try
       telemetry_setup tele;
       let config =
@@ -114,17 +173,15 @@ let analyze_cmd =
       let cache =
         Option.map (fun dir -> Safeflow.Cache.create ~dir ~verbose ()) cache_dir
       in
-      let reports =
+      (* one row per input: report + fingerprint context (+ coverage for
+         the exact engines; the summary engine has no pair universe) *)
+      let rows =
         if use_summary then
           List.map
             (fun file ->
-              let ic = open_in_bin file in
-              let n = in_channel_length ic in
-              let src = really_input_string ic n in
-              close_in ic;
-              let r, _ = Safeflow.Driver.analyze_summary ~config ~file src in
+              let r, _ = Safeflow.Driver.analyze_summary ~config ~file (read_file file) in
               Fmt.pr "%a@." Safeflow.Report.pp r;
-              r)
+              (file, r, Safeflow.Fingerprint.ctx_empty, None))
             files
         else begin
           let analyses = Safeflow.Driver.analyze_files_par ~config ?cache files in
@@ -139,19 +196,72 @@ let analyze_cmd =
             Fmt.pr "value-flow graph written to %s@." path
           | Some _, _ -> Fmt.epr "--vfg ignored: more than one input file@."
           | None, _ -> ());
-          List.map (fun (a : Safeflow.Driver.analysis) -> a.Safeflow.Driver.report) analyses
+          List.map2
+            (fun file (a : Safeflow.Driver.analysis) ->
+              ( file,
+                a.Safeflow.Driver.report,
+                Safeflow.Fingerprint.ctx_of_program
+                  a.Safeflow.Driver.prepared.Safeflow.Driver.ir,
+                Some a.Safeflow.Driver.coverage ))
+            files analyses
         end
       in
+      (match sarif with
+      | Some path ->
+        Safeflow.Sarif.write ~tool_version path
+          (List.map
+             (fun (file, r, ctx, _) ->
+               { Safeflow.Sarif.i_file = file; i_report = r; i_ctx = ctx })
+             rows);
+        Fmt.pr "SARIF written to %s@." path
+      | None -> ());
+      let entries =
+        List.concat_map
+          (fun (file, r, ctx, _) -> Safeflow.Diffreport.entries_of_report ctx ~file r)
+          rows
+      in
+      (match save_findings with
+      | Some path ->
+        Safeflow.Diffreport.save path entries;
+        Fmt.pr "findings written to %s@." path
+      | None -> ());
+      let stats_flag, _, stats_json = tele in
+      List.iter
+        (fun (file, _, _, cov) ->
+          match cov with
+          | Some cov ->
+            if stats_flag then Fmt.epr "== %s ==@.%a@." file Safeflow.Coverage.pp cov;
+            if stats_json <> None then
+              Safeflow.Telemetry.set_section ("coverage:" ^ file)
+                (Safeflow.Coverage.to_json cov)
+          | None -> ())
+        rows;
       telemetry_finish tele;
-      if List.exists (fun r -> Safeflow.Report.errors r <> []) reports then exit 1
+      let gated =
+        match baseline with
+        | Some bl ->
+          let d =
+            Safeflow.Diffreport.diff ~baseline:(Safeflow.Diffreport.load bl)
+              ~current:entries
+          in
+          Fmt.pr "%a@." Safeflow.Diffreport.pp_diff d;
+          d.Safeflow.Diffreport.d_new
+        | None -> entries
+      in
+      exit (Safeflow.Diffreport.gate ~fail_on gated)
     with Minic.Loc.Error (loc, msg) ->
       Fmt.epr "%a: %s@." Minic.Loc.pp loc msg;
-      exit 2
+      exit 3
   in
   Cmd.v
-    (Cmd.info "analyze" ~doc:"run the full SafeFlow analysis on core components")
+    (Cmd.info "analyze"
+       ~doc:
+         "run the full SafeFlow analysis on core components.  Exits 0 when clean, 1 on \
+          error-level findings, 2 on warning-level findings only (see $(b,--fail-on)), \
+          3 on frontend failure.")
     Term.(const run $ files $ no_control $ ctx_insensitive $ field_insensitive $ vfg
-          $ use_summary $ engine $ cache_dir $ pair_domains $ verbose $ telemetry_flags)
+          $ use_summary $ engine $ cache_dir $ pair_domains $ verbose $ sarif
+          $ save_findings $ baseline $ fail_on_arg $ telemetry_flags)
 
 let explain_cmd =
   let file =
@@ -186,7 +296,7 @@ let explain_cmd =
       Fmt.pr "%a@." Safeflow.Report.pp_explain a.Safeflow.Driver.report
     with Minic.Loc.Error (loc, msg) ->
       Fmt.epr "%a: %s@." Minic.Loc.pp loc msg;
-      exit 2
+      exit 3
   in
   Cmd.v
     (Cmd.info "explain"
@@ -217,7 +327,7 @@ let initcheck_cmd =
       exit 1
     | Minic.Loc.Error (loc, msg) ->
       Fmt.epr "%a: %s@." Minic.Loc.pp loc msg;
-      exit 2
+      exit 3
   in
   Cmd.v
     (Cmd.info "initcheck"
@@ -241,10 +351,81 @@ let dump_ir_cmd =
       Fmt.pr "%a@." Ssair.Ir.pp_program p.Safeflow.Driver.ir
     with Minic.Loc.Error (loc, msg) ->
       Fmt.epr "%a: %s@." Minic.Loc.pp loc msg;
-      exit 2
+      exit 3
   in
   Cmd.v (Cmd.info "dump-ir" ~doc:"print the SSA IR of a source file")
     Term.(const run $ file $ optimize)
+
+let diff_cmd =
+  let old_arg =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"OLD" ~doc:"baseline: a findings file or a MiniC source")
+  in
+  let new_arg =
+    Arg.(
+      required & pos 1 (some file) None
+      & info [] ~docv:"NEW" ~doc:"current: a findings file or a MiniC source")
+  in
+  let engine =
+    Arg.(
+      value
+      & opt engine_conv Safeflow.Config.default.Safeflow.Config.engine
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"phase-3 engine used when an argument is a source file; fingerprints are \
+                engine-invariant, so the delta is too")
+  in
+  (* Sources are analyzed on the spot; findings files (--save-findings
+     output) are loaded as-is, so either side can be a checked-in
+     baseline. *)
+  let entries_of ~config file =
+    let content = read_file file in
+    if Safeflow.Diffreport.looks_like_findings content then
+      Safeflow.Diffreport.parse content
+    else begin
+      let a = Safeflow.Driver.analyze ~config ~file content in
+      let ctx =
+        Safeflow.Fingerprint.ctx_of_program a.Safeflow.Driver.prepared.Safeflow.Driver.ir
+      in
+      Safeflow.Diffreport.entries_of_report ctx ~file a.Safeflow.Driver.report
+    end
+  in
+  let run old_file new_file engine fail_on =
+    try
+      let config = { Safeflow.Config.default with engine } in
+      let baseline = entries_of ~config old_file in
+      let current = entries_of ~config new_file in
+      let d = Safeflow.Diffreport.diff ~baseline ~current in
+      Fmt.pr "%a@." Safeflow.Diffreport.pp_diff d;
+      exit (Safeflow.Diffreport.gate ~fail_on d.Safeflow.Diffreport.d_new)
+    with Minic.Loc.Error (loc, msg) ->
+      Fmt.epr "%a: %s@." Minic.Loc.pp loc msg;
+      exit 3
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "classify findings between two runs as new/fixed/unchanged by stable \
+          fingerprint.  Each argument is either a findings file ($(b,--save-findings) \
+          output) or a MiniC source, which is analyzed on the spot.  Exits 0 when no \
+          new findings, otherwise per $(b,--fail-on) applied to the new findings only.")
+    Term.(const run $ old_arg $ new_arg $ engine $ fail_on_arg)
+
+let version_cmd =
+  let run () =
+    Fmt.pr "safeflow %s@." tool_version;
+    Fmt.pr "cache format:      v%d@." Safeflow.Cache.format_version;
+    Fmt.pr "telemetry schema:  %s@." Safeflow.Telemetry.stats_json_schema;
+    Fmt.pr "findings format:   %s@." Safeflow.Diffreport.format_version;
+    Fmt.pr "fingerprint:       %s@." Safeflow.Fingerprint.version;
+    Fmt.pr "SARIF:             %s@." Safeflow.Sarif.sarif_version
+  in
+  Cmd.v
+    (Cmd.info "version"
+       ~doc:
+         "print the tool version and every artifact format version (cache, telemetry \
+          JSON, findings baseline, fingerprint scheme, SARIF) so artifacts are traceable")
+    Term.(const run $ const ())
 
 let synth_cmd =
   let n = Arg.(value & pos 0 int 8 & info [] ~docv:"N" ~doc:"worker count") in
@@ -254,7 +435,9 @@ let synth_cmd =
 
 let () =
   let doc = "static analysis to enforce safe value flow in embedded control systems" in
-  let info = Cmd.info "safeflow" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "safeflow" ~version:tool_version ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ analyze_cmd; explain_cmd; initcheck_cmd; dump_ir_cmd; synth_cmd ]))
+       (Cmd.group info
+          [ analyze_cmd; diff_cmd; explain_cmd; initcheck_cmd; dump_ir_cmd; synth_cmd;
+            version_cmd ]))

@@ -166,7 +166,56 @@ type analysis = {
   phase3 : Phase3.result;
   prepared : prepared;
   shm : Shm.t;
+  phase1 : Phase1.t;
+  pointsto : Pointsto.t;
+  coverage : Coverage.t;
 }
+
+(* -- Canonical report order ------------------------------------------------------ *)
+
+(* The emission sites already sort by (file, line, code); this final
+   (file, line, fingerprint) sort also covers results restored from a
+   cache written by an older layout, making printed and serialized
+   output byte-identical across {engines} x {cache states} x
+   {parallelism}. *)
+let canonicalize (fctx : Fingerprint.ctx) (r : Report.t) : Report.t =
+  let by_fp to_finding natural a b =
+    let c = Report.compare_loc (Fingerprint.loc (to_finding a)) (Fingerprint.loc (to_finding b)) in
+    if c <> 0 then c
+    else
+      let c =
+        compare
+          (Fingerprint.compute fctx (to_finding a))
+          (Fingerprint.compute fctx (to_finding b))
+      in
+      if c <> 0 then c else natural a b
+  in
+  {
+    r with
+    Report.violations =
+      List.stable_sort
+        (by_fp (fun v -> Fingerprint.Violation v) Report.compare_violation)
+        r.Report.violations;
+    warnings =
+      List.stable_sort
+        (by_fp (fun w -> Fingerprint.Warning w) Report.compare_warning)
+        r.Report.warnings;
+    dependencies =
+      List.stable_sort
+        (by_fp (fun d -> Fingerprint.Dependency d) Report.compare_dependency)
+        r.Report.dependencies;
+  }
+
+(** The function universe phase 3 actually analyzed: discovered pairs
+    minus exempt functions (identical for both engines — asserted by
+    [test_engine_equiv.ml]'s pair-count check). *)
+let analyzed_functions (ph3 : Phase3.result) (p1 : Phase1.t) : string list =
+  let seen = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun (fname, _) () ->
+      if not (Phase1.is_exempt p1 fname) then Hashtbl.replace seen fname ())
+    ph3.Phase3.taint_state.Phase3.pairs;
+  List.sort compare (Hashtbl.fold (fun f () acc -> f :: acc) seen [])
 
 let cached (c : Cache.t) ~ns ~key (f : unit -> 'a) : 'a =
   match Cache.find c ~ns ~key with
@@ -215,26 +264,36 @@ let analyze ?(config = Config.default) ?cache ?file (src : string) : analysis =
       ~args:[ ("engine", Config.engine_name config.Config.engine) ]
       (fun () -> stage_phase3 ~config ?cache ?digests p shm p1 pts)
   in
+  let fctx = Fingerprint.ctx_of_program p.ir in
+  let report =
+    canonicalize fctx
+      {
+        Report.violations;
+        warnings = ph3.Phase3.warnings;
+        dependencies = ph3.Phase3.dependencies;
+        regions =
+          List.map (fun r -> (r.Shm.r_name, r.Shm.r_size, r.Shm.r_noncore)) shm.Shm.regions;
+        annotation_lines = p.annotation_lines;
+        stats = [];
+      }
+  in
+  let coverage =
+    Telemetry.span "coverage" (fun () ->
+        Coverage.compute ~prog:p.ir ~shm ~p1 ~pts
+          ~analyzed:(analyzed_functions ph3 p1) report)
+  in
   let report =
     {
-      Report.violations;
-      warnings =
-        List.sort
-          (fun (a : Report.warning) b -> Loc.compare a.w_loc b.w_loc)
-          ph3.Phase3.warnings;
-      dependencies = ph3.Phase3.dependencies;
-      regions =
-        List.map (fun r -> (r.Shm.r_name, r.Shm.r_size, r.Shm.r_noncore)) shm.Shm.regions;
-      annotation_lines = p.annotation_lines;
-      stats =
+      report with
+      Report.stats =
         [ ("loc", p.loc_total);
           ("functions", List.length p.ir.Ssair.Ir.funcs);
           ("phase3_passes", ph3.Phase3.passes);
           ("phase3_contexts", ph3.Phase3.pair_count) ]
-        @ ph3.Phase3.engine_stats;
+        @ Coverage.stats coverage @ ph3.Phase3.engine_stats;
     }
   in
-  { report; phase3 = ph3; prepared = p; shm })
+  { report; phase3 = ph3; prepared = p; shm; phase1 = p1; pointsto = pts; coverage })
 
 let analyze_file ?config ?cache path : analysis =
   let ic = open_in_bin path in
@@ -300,13 +359,14 @@ let analyze_summary ?(config = Config.default) ?file (src : string) :
   let violations = stage_phase2 ~config p p1 in
   let pts = stage_pointsto p in
   let s = stage_summary ~config p shm p1 pts in
-  ( {
-      Report.violations;
-      warnings = s.Summary.warnings;
-      dependencies = s.Summary.dependencies;
-      regions =
-        List.map (fun r -> (r.Shm.r_name, r.Shm.r_size, r.Shm.r_noncore)) shm.Shm.regions;
-      annotation_lines = p.annotation_lines;
-      stats = [ ("loc", p.loc_total); ("summary_passes", s.Summary.passes) ];
-    },
+  ( canonicalize (Fingerprint.ctx_of_program p.ir)
+      {
+        Report.violations;
+        warnings = s.Summary.warnings;
+        dependencies = s.Summary.dependencies;
+        regions =
+          List.map (fun r -> (r.Shm.r_name, r.Shm.r_size, r.Shm.r_noncore)) shm.Shm.regions;
+        annotation_lines = p.annotation_lines;
+        stats = [ ("loc", p.loc_total); ("summary_passes", s.Summary.passes) ];
+      },
     s )

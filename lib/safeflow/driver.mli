@@ -49,11 +49,18 @@ val stage_phase3 :
 (** {1 One-shot analysis} *)
 
 type analysis = {
-  report : Report.t;
+  report : Report.t;  (** canonical order: (file, line, fingerprint) *)
   phase3 : Phase3.result;  (** taint state, for VFG export *)
   prepared : prepared;
   shm : Shm.t;
+  phase1 : Phase1.t;
+  pointsto : Pointsto.t;
+  coverage : Coverage.t;  (** monitoring-coverage metrics *)
 }
+
+val analyzed_functions : Phase3.result -> Phase1.t -> string list
+(** the function universe phase 3 analyzed: discovered (function,
+    context) pairs minus exempt functions; sorted *)
 
 val analyze : ?config:Config.t -> ?cache:Cache.t -> ?file:string -> string -> analysis
 (** With [~cache], every stage consults the content-addressed cache: the

@@ -556,6 +556,10 @@ let run ?(config = Config.default) ?cache ?digests (prog : Ssair.Ir.program) (p1
               | _ -> check_function ~config ~prog ~p1 accessors f)
           prog.Ssair.Ir.funcs
       in
+      (* canonical (file, line, code) order: emission follows program
+         order, so sorting here makes the cached whole-program entry and
+         a fresh run byte-identical regardless of function layout *)
+      let violations = List.stable_sort Report.compare_violation violations in
       (match (cache, whole_key) with
       | Some c, Some key -> Cache.store c ~ns:"phase2" ~key violations
       | _ -> ());

@@ -557,7 +557,9 @@ let collect_dependencies st : Report.dependency list =
               b.Ssair.Ir.instrs)
           f.Ssair.Ir.blocks)
     st.pairs;
-  (* deduplicate by (sink, loc, kind) *)
+  (* deduplicate by (sink, loc, kind), then emit in the canonical
+     (file, line, code) order — [st.pairs] is a hash table, so the raw
+     collection order is engine- and layout-dependent *)
   let seen = Hashtbl.create 16 in
   List.filter
     (fun (d : Report.dependency) ->
@@ -568,6 +570,7 @@ let collect_dependencies st : Report.dependency list =
         true
       end)
     (List.rev !deps)
+  |> List.stable_sort Report.compare_dependency
 
 (* -- Entry point -------------------------------------------------------------------- *)
 
@@ -662,7 +665,9 @@ let run ?(config = Config.default) (prog : Ssair.Ir.program) (shm : Shm.t) (p1 :
       done);
   let dependencies = Telemetry.span "phase3.collect" (fun () -> collect_dependencies st) in
   {
-    warnings = Hashtbl.fold (fun _ w acc -> w :: acc) st.warnings [];
+    warnings =
+      Hashtbl.fold (fun _ w acc -> w :: acc) st.warnings []
+      |> List.stable_sort Report.compare_warning;
     dependencies;
     passes = st.passes;
     pair_count = Hashtbl.length st.pairs;

@@ -82,16 +82,141 @@ type t = {
 let errors t = List.filter (fun d -> d.d_kind = Data) t.dependencies
 let control_deps t = List.filter (fun d -> d.d_kind = Control_only) t.dependencies
 
+(* -- Diagnostic codes ----------------------------------------------------------- *)
+
+let code_unmonitored_read = "W-UNMONITORED-READ"
+let code_critical_dep = "E-CRITICAL-DEP"
+let code_control_dep = "C-CONTROL-DEP"
+
+let code_of_restriction = function
+  | P1 -> "V-P1"
+  | P2 -> "V-P2"
+  | P3 -> "V-P3"
+  | A1 -> "V-A1"
+  | A2 -> "V-A2"
+
+let code_of_violation v = code_of_restriction v.v_rule
+let code_of_warning (_ : warning) = code_unmonitored_read
+
+let code_of_dependency d =
+  match d.d_kind with Data -> code_critical_dep | Control_only -> code_control_dep
+
+type rule = {
+  rule_id : string;
+  rule_name : string;       (** PascalCase identifier (SARIF [name]) *)
+  rule_summary : string;    (** one sentence *)
+  rule_help : string;       (** what a reviewer should do about it *)
+  rule_level : [ `Error | `Warning | `Note ];
+}
+
+let rules =
+  [
+    { rule_id = code_unmonitored_read;
+      rule_name = "UnmonitoredNoncoreRead";
+      rule_summary =
+        "The core component reads a non-core shared-memory value without a \
+         monitor assumption covering the read.";
+      rule_help =
+        "Wrap the read in a monitoring function (assume(core(...))) or verify \
+         that the value cannot compromise critical data.";
+      rule_level = `Warning };
+    { rule_id = code_critical_dep;
+      rule_name = "CriticalDataDependency";
+      rule_summary =
+        "Critical data is data-dependent on an unmonitored non-core value.";
+      rule_help =
+        "Follow the witness value-flow path and insert monitoring where the \
+         non-core value enters the critical computation.";
+      rule_level = `Error };
+    { rule_id = code_control_dep;
+      rule_name = "ControlOnlyDependency";
+      rule_summary =
+        "Critical data is only control-dependent on an unmonitored non-core \
+         value — the class the paper found to contain all its false positives.";
+      rule_help =
+        "Review the value-flow graph: dependence through configuration-style \
+         branch conditions is usually benign, but must be audited.";
+      rule_level = `Note };
+    { rule_id = code_of_restriction P1;
+      rule_name = "SharedMemoryBounds";
+      rule_summary = "A shared-memory access may fall outside its region (restriction P1).";
+      rule_help = "Bound the index so the access stays within the declared region size.";
+      rule_level = `Error };
+    { rule_id = code_of_restriction P2;
+      rule_name = "SharedMemoryPointerEscape";
+      rule_summary =
+        "A shared-memory pointer is stored to memory or aliased in a way that \
+         defeats phase-1 tracking (restriction P2).";
+      rule_help = "Keep shm pointers in locals, parameters and return values only.";
+      rule_level = `Error };
+    { rule_id = code_of_restriction P3;
+      rule_name = "SharedMemoryWrite";
+      rule_summary = "The core component writes a non-core region (restriction P3).";
+      rule_help = "Core components must not write regions owned by non-core components.";
+      rule_level = `Error };
+    { rule_id = code_of_restriction A1;
+      rule_name = "MonitorAssumptionBounds";
+      rule_summary =
+        "A monitor assumption names a byte range outside its region (restriction A1).";
+      rule_help = "Fix the assume(core(...)) offset/size so it stays within the region.";
+      rule_level = `Error };
+    { rule_id = code_of_restriction A2;
+      rule_name = "MonitorAssumptionUnresolved";
+      rule_summary =
+        "A monitor assumption names a pointer that phase 1 cannot resolve to a \
+         region (restriction A2).";
+      rule_help = "Annotate a pointer whose region is statically known.";
+      rule_level = `Error };
+  ]
+
+let rule_of_code id =
+  match List.find_opt (fun r -> String.equal r.rule_id id) rules with
+  | Some r -> r
+  | None ->
+    { rule_id = id; rule_name = id; rule_summary = id; rule_help = "";
+      rule_level = `Warning }
+
+(* -- Canonical finding order ----------------------------------------------------- *)
+
+(* (file, line, col) first so reports read in source order, then the
+   diagnostic code and remaining fields for a total order.  Emission
+   sites (phase 2/3) and the driver both sort with these, so the legacy
+   and worklist engines emit byte-identically ordered output. *)
+
+let compare_loc (a : Loc.t) (b : Loc.t) =
+  let c = compare a.Loc.file b.Loc.file in
+  if c <> 0 then c
+  else
+    let c = compare a.Loc.line b.Loc.line in
+    if c <> 0 then c else compare a.Loc.col b.Loc.col
+
+let compare_violation (a : violation) (b : violation) =
+  let c = compare_loc a.v_loc b.v_loc in
+  if c <> 0 then c
+  else compare (code_of_violation a, a.v_func, a.v_msg) (code_of_violation b, b.v_func, b.v_msg)
+
+let compare_warning (a : warning) (b : warning) =
+  let c = compare_loc a.w_loc b.w_loc in
+  if c <> 0 then c else compare (a.w_region, a.w_func) (b.w_region, b.w_func)
+
+let compare_dependency (a : dependency) (b : dependency) =
+  let c = compare_loc a.d_loc b.d_loc in
+  if c <> 0 then c
+  else
+    compare
+      (code_of_dependency a, a.d_sink, a.d_func)
+      (code_of_dependency b, b.d_sink, b.d_func)
+
 let pp_violation ppf v =
-  Fmt.pf ppf "restriction %a violated in %s at %a: %s" pp_restriction v.v_rule v.v_func
-    Loc.pp v.v_loc v.v_msg
+  Fmt.pf ppf "[%s] restriction %a violated in %s at %a: %s" (code_of_violation v)
+    pp_restriction v.v_rule v.v_func Loc.pp v.v_loc v.v_msg
 
 let pp_warning ppf w =
-  Fmt.pf ppf "warning: unmonitored non-core read of region '%s' in %s at %a" w.w_region
-    w.w_func Loc.pp w.w_loc
+  Fmt.pf ppf "[%s] warning: unmonitored non-core read of region '%s' in %s at %a"
+    (code_of_warning w) w.w_region w.w_func Loc.pp w.w_loc
 
 let pp_dependency ppf d =
-  Fmt.pf ppf "%a dependency: %s in %s at %a@,  flow: %a"
+  Fmt.pf ppf "[%s] %a dependency: %s in %s at %a@,  flow: %a" (code_of_dependency d)
     pp_dep_kind d.d_kind d.d_sink d.d_func Loc.pp d.d_loc
     Fmt.(list ~sep:(any " ->@ ") string)
     d.d_trace

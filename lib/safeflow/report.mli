@@ -72,6 +72,59 @@ val errors : t -> dependency list
 val control_deps : t -> dependency list
 (** the [Control_only] dependencies — candidate false positives *)
 
+(** {1 Diagnostic codes}
+
+    Every finding carries a stable diagnostic code, the unit of rule
+    metadata in the SARIF export and the leading component of finding
+    fingerprints ({!Fingerprint}).  Codes are derived from the finding,
+    never stored, so report and cache layouts are unchanged. *)
+
+val code_unmonitored_read : string  (** ["W-UNMONITORED-READ"] *)
+
+val code_critical_dep : string  (** ["E-CRITICAL-DEP"] *)
+
+val code_control_dep : string  (** ["C-CONTROL-DEP"] *)
+
+val code_of_restriction : restriction -> string
+(** ["V-P1"] … ["V-A2"] *)
+
+val code_of_violation : violation -> string
+
+val code_of_warning : warning -> string
+
+val code_of_dependency : dependency -> string
+
+(** Registry entry backing the SARIF [tool.driver.rules] array and the
+    documentation table in DESIGN.md. *)
+type rule = {
+  rule_id : string;
+  rule_name : string;       (** PascalCase identifier (SARIF [name]) *)
+  rule_summary : string;    (** one sentence *)
+  rule_help : string;       (** what a reviewer should do about it *)
+  rule_level : [ `Error | `Warning | `Note ];
+}
+
+val rules : rule list
+(** every code the analysis can emit, exactly once each *)
+
+val rule_of_code : string -> rule
+(** total: unknown codes get a degenerate warning-level entry *)
+
+(** {1 Canonical finding order}
+
+    Total orders by (file, line, col), then diagnostic code, then the
+    remaining fields.  Emission sites and the driver sort with these so
+    both engines emit byte-identically ordered reports. *)
+
+val compare_loc : Loc.t -> Loc.t -> int
+(** (file, line, col) *)
+
+val compare_violation : violation -> violation -> int
+
+val compare_warning : warning -> warning -> int
+
+val compare_dependency : dependency -> dependency -> int
+
 val pp_violation : Format.formatter -> violation -> unit
 
 val pp_warning : Format.formatter -> warning -> unit

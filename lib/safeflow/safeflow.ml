@@ -28,3 +28,7 @@ module Synth = Synth
 module Dyntaint = Dyntaint
 module Summary = Summary
 module Assume = Assume
+module Fingerprint = Fingerprint
+module Sarif = Sarif
+module Diffreport = Diffreport
+module Coverage = Coverage

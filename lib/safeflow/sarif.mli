@@ -1,0 +1,29 @@
+(** SARIF 2.1.0 export of analysis reports (the [--sarif] CLI flag).
+
+    One SARIF [run] covers all analyzed files: the tool driver carries
+    rule metadata for every diagnostic code in {!Report.rules}, each
+    finding becomes a [result] with a [partialFingerprints] entry keyed
+    by {!Fingerprint.version}, and dependencies embed their value-flow
+    witness as a [codeFlow] so SARIF viewers can walk the path from
+    non-core source to critical sink. *)
+
+val sarif_version : string
+(** ["2.1.0"] *)
+
+val schema_uri : string
+(** the canonical sarif-schema-2.1.0.json URI, written as [$schema] *)
+
+val fingerprint_key : string
+(** the [partialFingerprints] property name ({!Fingerprint.version}) *)
+
+type input = {
+  i_file : string;          (** artifact URI for the findings *)
+  i_report : Report.t;
+  i_ctx : Fingerprint.ctx;  (** normalization context of that report *)
+}
+
+val to_string : ?tool_version:string -> input list -> string
+(** the complete SARIF log as a JSON document *)
+
+val write : ?tool_version:string -> string -> input list -> unit
+(** [write path inputs] writes {!to_string} to [path] *)

@@ -118,12 +118,26 @@ let counters () =
       List.sort compare
         (Hashtbl.fold (fun name c acc -> (name, Atomic.get c) :: acc) registry []))
 
+(* -- Sections -------------------------------------------------------------------- *)
+
+(* named raw-JSON fragments contributed by other subsystems (monitoring
+   coverage per analyzed file, notably) and embedded verbatim in the
+   stats JSON; guarded by [lock], first-set order preserved *)
+let section_tbl : (string * string) list ref = ref []
+
+let set_section name json =
+  locked (fun () ->
+      section_tbl := (name, json) :: List.remove_assoc name !section_tbl)
+
+let sections () = locked (fun () -> List.rev !section_tbl)
+
 (* -- Switch / reset -------------------------------------------------------------- *)
 
 let reset () =
   Atomic.set epoch (now_ns ());
   locked (fun () ->
       finished := [];
+      section_tbl := [];
       Hashtbl.iter (fun _ c -> Atomic.set c 0) registry)
 
 let set_enabled b =
@@ -236,7 +250,9 @@ let rec iter_agg f depth (a : agg) =
 
 (* -- Stats JSON ---------------------------------------------------------------------- *)
 
-let stats_json_schema = "safeflow-telemetry/1"
+(* v2: adds the "sections" object (raw JSON fragments from subsystems,
+   e.g. per-file monitoring coverage); counters and spans are unchanged *)
+let stats_json_schema = "safeflow-telemetry/2"
 
 let write_stats_json path =
   let b = Buffer.create 4096 in
@@ -257,7 +273,13 @@ let write_stats_json path =
         (Printf.sprintf "{\"name\":\"%s\",\"depth\":%d,\"count\":%d,\"total_ms\":%.3f}"
            (json_escape a.g_name) depth a.g_count (ms_of_ns a.g_total_ns)))
     0 (aggregate ());
-  Buffer.add_string b "]}\n";
+  Buffer.add_string b "],\"sections\":{";
+  List.iteri
+    (fun i (name, json) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%s" (json_escape name) json))
+    (sections ());
+  Buffer.add_string b "}}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents b);
   close_out oc

@@ -76,6 +76,19 @@ val value : counter -> int
 val counters : unit -> (string * int) list
 (** every registered counter with its current value, sorted by name *)
 
+(** {1 Sections} *)
+
+val set_section : string -> string -> unit
+(** [set_section name json] attaches a raw JSON fragment under the
+    [sections] object of the stats JSON (schema 2); setting an existing
+    name replaces it.  Used for the per-file monitoring-coverage blocks
+    ({!Coverage.to_json}).  Unlike counters, sections are recorded even
+    while telemetry is disabled — they carry analysis-derived data, not
+    timings. *)
+
+val sections : unit -> (string * string) list
+(** recorded sections, first-set order *)
+
 (** {1 Export} *)
 
 val write_chrome_trace : string -> unit

@@ -834,7 +834,9 @@ let run ?(config = Config.default) ?cache ?digests (prog : Ssair.Ir.program) (sh
   st.Phase3.changed <- false;
   let dependencies = Phase3.collect_dependencies st in
   {
-    Phase3.warnings = Hashtbl.fold (fun _ w acc -> w :: acc) st.Phase3.warnings [];
+    Phase3.warnings =
+      Hashtbl.fold (fun _ w acc -> w :: acc) st.Phase3.warnings []
+      |> List.stable_sort Report.compare_warning;
     dependencies;
     passes = 1;
     pair_count = Hashtbl.length st.Phase3.pairs;
