@@ -11,6 +11,7 @@
      ablation  - field/context/control-dependence toggles (B3)
      summary   - exact vs ESP-style summary engine (B4)
      sim       - closed-loop Simplex scenario outcomes (Figure 1 / §4 narrative)
+     ranges    - value-range A1/A2 discharge and control-dependence pruning
      micro     - bechamel microbenchmarks of the substrates
 
    Options:
@@ -783,6 +784,160 @@ let sim (_o : opts) =
   run_table "inverted pendulum" (Plant.inverted_pendulum ());
   run_table "double inverted pendulum" (Plant.double_inverted_pendulum ())
 
+(* ==================================================== ranges ============ *)
+
+(* Synthetic clamp component: a non-core mode value is clamped into
+   [0,3], then a branch on mode > 7 guards the critical output.  The
+   branch can never be taken, so the C-CONTROL-DEP the guard induces is
+   a false positive that the value-range analysis removes. *)
+let clamp_demo_src =
+  {|
+struct SHMData { int mode; int cmd; };
+typedef struct SHMData SHMData;
+SHMData *modeShm;
+int shmLock;
+extern void sendControl(int out);
+void initComm()
+/*** SafeFlow Annotation shminit ***/
+{
+  int shmid;
+  void *shmStart;
+  shmid = shmget(9000, sizeof(SHMData), 438);
+  shmStart = shmat(shmid, (void *) 0, 0);
+  modeShm = (SHMData *) shmStart;
+  InitCheck(shmStart, sizeof(SHMData));
+  /*** SafeFlow Annotation
+       assume(shmvar(modeShm, sizeof(SHMData)))
+       assume(noncore(modeShm)) ***/
+}
+int main()
+{
+  int m;
+  int out;
+  initComm();
+  m = modeShm->mode;
+  if (m < 0) { m = 0; }
+  if (m > 3) { m = 3; }
+  out = 1;
+  if (m > 7) { out = 2; }
+  /*** SafeFlow Annotation assert(safe(out)) ***/
+  sendControl(out);
+  return 0;
+}
+|}
+
+(* Value-range discharge experiment (BENCH_ranges.json): per system and
+   engine, the A1/A2 bounds obligations broken down by discharge method
+   (range analysis alone vs Omega), the Omega queries avoided, and
+   phase-2 wall time with the range analysis on and off — plus the
+   report-level guarantee that the on-findings are a fingerprint-subset
+   of the off-findings.  The clamp synthetic demonstrates the phase-3
+   control-dependence pruning under both engines. *)
+let ranges_bench (o : opts) =
+  Fmt.pr "@.== value-range discharge: A1/A2 obligations and phase-2 time ==@.@.";
+  let sys_files =
+    [ "figure2.c"; "ip_controller.c"; "double_ip.c"; "car_follow.c";
+      "generic_simplex.c" ]
+  in
+  let fingerprints (a : Safeflow.Driver.analysis) =
+    let ctx =
+      Safeflow.Fingerprint.ctx_of_program a.Safeflow.Driver.prepared.Safeflow.Driver.ir
+    in
+    List.sort_uniq compare
+      (List.map fst (Safeflow.Fingerprint.of_report ctx a.Safeflow.Driver.report))
+  in
+  Fmt.pr "%-20s %-8s %-6s %6s %7s %6s %7s %8s %11s %7s@." "system" "engine"
+    "absint" "oblig" "ranges" "omega" "failed" "avoided" "phase2 ms" "subset";
+  let records =
+    List.concat_map
+      (fun file ->
+        let path = find ("systems/" ^ file) in
+        let src = read_file path in
+        List.concat_map
+          (fun engine ->
+            let analyze absint =
+              let config = { Safeflow.Config.default with engine; absint } in
+              Safeflow.Driver.analyze ~config ~file:path src
+            in
+            let a_on = analyze true and a_off = analyze false in
+            let fps_on = fingerprints a_on and fps_off = fingerprints a_off in
+            let is_subset =
+              List.for_all (fun fp -> List.mem fp fps_off) fps_on
+            in
+            List.map
+              (fun absint ->
+                let config = { Safeflow.Config.default with engine; absint } in
+                let a = if absint then a_on else a_off in
+                let p = a.Safeflow.Driver.prepared in
+                let shm = Safeflow.Driver.stage_shm p in
+                let p1 = Safeflow.Driver.stage_phase1 ~config p shm in
+                let ai = Safeflow.Driver.stage_absint ~config p in
+                let samples =
+                  List.init o.iters (fun _ ->
+                      snd
+                        (timed (fun () ->
+                             Safeflow.Driver.stage_phase2 ~config ?absint:ai p p1)))
+                in
+                let b =
+                  a.Safeflow.Driver.coverage.Safeflow.Coverage.cov_bounds
+                in
+                let ctrl_deps =
+                  List.length (Safeflow.Report.control_deps a.Safeflow.Driver.report)
+                in
+                let st = stats_of samples in
+                Fmt.pr "%-20s %-8s %-6s %6d %7d %6d %7d %8d %11.2f %7b@." file
+                  (Safeflow.Config.engine_name engine)
+                  (if absint then "on" else "off")
+                  b.Safeflow.Phase2.bs_total b.Safeflow.Phase2.bs_ranges
+                  b.Safeflow.Phase2.bs_omega b.Safeflow.Phase2.bs_failed
+                  b.Safeflow.Phase2.bs_omega_avoided st.st_median is_subset;
+                Jobj
+                  ([ ("system", Jstr file);
+                     ("engine", Jstr (Safeflow.Config.engine_name engine));
+                     ("absint", Jbool absint);
+                     ("config_fingerprint", Jstr (config_fingerprint config));
+                     ("a1a2_obligations", Jint b.Safeflow.Phase2.bs_total);
+                     ("a1a2_by_ranges", Jint b.Safeflow.Phase2.bs_ranges);
+                     ("a1a2_by_omega", Jint b.Safeflow.Phase2.bs_omega);
+                     ("a1a2_failed", Jint b.Safeflow.Phase2.bs_failed);
+                     ("omega_queries_avoided",
+                      Jint b.Safeflow.Phase2.bs_omega_avoided);
+                     ("control_only_deps", Jint ctrl_deps);
+                     ("findings", Jint (List.length fps_on));
+                     ("findings_on_subset_of_off", Jbool is_subset) ]
+                  @ jstats "phase2" st))
+              [ true; false ])
+          [ Safeflow.Config.Legacy; Safeflow.Config.Worklist ])
+      sys_files
+  in
+  Fmt.pr "@.-- clamp synthetic: control-dependence pruning --@.";
+  let demo =
+    List.map
+      (fun engine ->
+        let deps absint =
+          let config = { Safeflow.Config.default with engine; absint } in
+          List.length
+            (Safeflow.Report.control_deps
+               (Safeflow.Driver.analyze ~config ~file:"clamp_demo.c"
+                  clamp_demo_src)
+                 .Safeflow.Driver.report)
+        in
+        let off_deps = deps false and on_deps = deps true in
+        Fmt.pr "clamp demo (%s): C-CONTROL-DEP %d -> %d with ranges@."
+          (Safeflow.Config.engine_name engine)
+          off_deps on_deps;
+        Jobj
+          [ ("engine", Jstr (Safeflow.Config.engine_name engine));
+            ("control_only_deps_off", Jint off_deps);
+            ("control_only_deps_on", Jint on_deps) ])
+      [ Safeflow.Config.Legacy; Safeflow.Config.Worklist ]
+  in
+  write_json o
+    (Jobj
+       [ jmeta ~benchmark:"ranges" ~engines:[ "legacy"; "worklist" ];
+         ("systems", Jarr records);
+         ("clamp_demo", Jarr demo) ])
+
 (* ==================================================== micro ============== *)
 
 let micro (_o : opts) =
@@ -836,7 +991,8 @@ let () =
   let which, opts = parse_args () in
   let all = [ ("table1", table1); ("phases", phases); ("scale", scale);
               ("engines", engines); ("cache", cache_bench); ("ablation", ablation);
-              ("summary", summary); ("sim", sim); ("micro", micro) ] in
+              ("summary", summary); ("sim", sim); ("ranges", ranges_bench);
+              ("micro", micro) ] in
   match List.assoc_opt which all with
   | Some f -> f opts
   | None ->

@@ -60,6 +60,20 @@ let telemetry_finish (stats, trace, stats_json) =
 let engine_conv =
   Arg.enum [ ("legacy", Safeflow.Config.Legacy); ("worklist", Safeflow.Config.Worklist) ]
 
+let absint_conv = Arg.enum [ ("on", true); ("off", false) ]
+
+let absint_arg =
+  Arg.(
+    value
+    & opt absint_conv Safeflow.Config.default.Safeflow.Config.absint
+    & info [ "absint" ] ~docv:"on|off"
+        ~doc:
+          "interprocedural value-range analysis (default $(b,on)): discharges A1/A2 \
+           bounds obligations without Omega queries and drops control dependence of \
+           branches whose direction the ranges decide.  Precision-only: $(b,off) \
+           reproduces the pre-range reports byte-identically, $(b,on) reports a \
+           fingerprint-subset of them.")
+
 let fail_on_conv = Arg.enum [ ("never", `Never); ("error", `Error); ("warning", `Warning) ]
 
 let fail_on_arg =
@@ -157,7 +171,7 @@ let analyze_cmd =
              only new findings drive the exit code")
   in
   let run files no_control ctx_insensitive field_insensitive vfg use_summary engine
-      cache_dir pair_domains verbose sarif save_findings baseline fail_on tele =
+      absint cache_dir pair_domains verbose sarif save_findings baseline fail_on tele =
     try
       telemetry_setup tele;
       let config =
@@ -168,6 +182,7 @@ let analyze_cmd =
              ~engine ~pair_domains)
           with
           Safeflow.Config.verbose = verbose;
+          absint;
         }
       in
       let cache =
@@ -260,7 +275,7 @@ let analyze_cmd =
           error-level findings, 2 on warning-level findings only (see $(b,--fail-on)), \
           3 on frontend failure.")
     Term.(const run $ files $ no_control $ ctx_insensitive $ field_insensitive $ vfg
-          $ use_summary $ engine $ cache_dir $ pair_domains $ verbose $ sarif
+          $ use_summary $ engine $ absint_arg $ cache_dir $ pair_domains $ verbose $ sarif
           $ save_findings $ baseline $ fail_on_arg $ telemetry_flags)
 
 let explain_cmd =
@@ -283,13 +298,17 @@ let explain_cmd =
       & opt (some string) None
       & info [ "cache" ] ~docv:"DIR" ~doc:"content-addressed analysis cache directory")
   in
-  let run file no_control ctx_insensitive field_insensitive engine cache_dir =
+  let run file no_control ctx_insensitive field_insensitive engine absint cache_dir =
     try
       let config =
-        config_of ~control_deps:(not no_control)
-          ~context_sensitive:(not ctx_insensitive)
-          ~field_sensitive:(not field_insensitive)
-          ~engine ~pair_domains:Safeflow.Config.default.Safeflow.Config.pair_domains
+        {
+          (config_of ~control_deps:(not no_control)
+             ~context_sensitive:(not ctx_insensitive)
+             ~field_sensitive:(not field_insensitive)
+             ~engine ~pair_domains:Safeflow.Config.default.Safeflow.Config.pair_domains)
+          with
+          Safeflow.Config.absint = absint;
+        }
       in
       let cache = Option.map (fun dir -> Safeflow.Cache.create ~dir ()) cache_dir in
       let a = Safeflow.Driver.analyze_file ~config ?cache file in
@@ -306,7 +325,45 @@ let explain_cmd =
           non-core source to critical sink.  Exits 0 regardless of findings (a review \
           aid, not a gate).")
     Term.(const run $ file $ no_control $ ctx_insensitive $ field_insensitive $ engine
-          $ cache_dir)
+          $ absint_arg $ cache_dir)
+
+let ranges_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniC source file")
+  in
+  let fname =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "function" ] ~docv:"NAME" ~doc:"print only this function's summary")
+  in
+  let run file fname =
+    try
+      let p = Safeflow.Driver.prepare_file file in
+      match Safeflow.Driver.stage_absint p with
+      | None ->
+        Fmt.epr "value-range analysis is disabled@.";
+        exit 1
+      | Some ai ->
+        List.iter
+          (fun (f : Ssair.Ir.func) ->
+            match fname with
+            | Some n when not (String.equal n f.Ssair.Ir.fname) -> ()
+            | _ -> Fmt.pr "%a@." (Absint.pp_func_summary ai) f)
+          p.Safeflow.Driver.ir.Ssair.Ir.funcs
+    with Minic.Loc.Error (loc, msg) ->
+      Fmt.epr "%a: %s@." Minic.Loc.pp loc msg;
+      exit 3
+  in
+  Cmd.v
+    (Cmd.info "ranges"
+       ~doc:
+         "print the interprocedural value-range summaries the analysis computes: the \
+          interval of every SSA value and parameter, the return range, and the branches \
+          whose direction the ranges decide (the ones pruned from control dependence).  \
+          A review aid for $(b,I-RANGE-PROVED) notes and disappearing \
+          $(b,C-CONTROL-DEP) findings.")
+    Term.(const run $ file $ fname)
 
 let initcheck_cmd =
   let file =
@@ -439,5 +496,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ analyze_cmd; diff_cmd; explain_cmd; initcheck_cmd; dump_ir_cmd; synth_cmd;
-            version_cmd ]))
+          [ analyze_cmd; diff_cmd; explain_cmd; ranges_cmd; initcheck_cmd; dump_ir_cmd;
+            synth_cmd; version_cmd ]))

@@ -1,0 +1,121 @@
+(** Interprocedural value-range abstract interpretation over the SSA IR.
+
+    Computes, per function, an interval for every SSA value (plus the
+    formal parameters and the return value) by a worklist fixpoint over
+    the CFG with widening/narrowing at phi nodes and branch-condition
+    refinement on CFG edges ([x < n] narrows the interval flowing into
+    the true successor).  Call summaries are propagated over the
+    {!Dataflow.Scc} condensation of the call graph: a bottom-up pass
+    derives sound return-value ranges, then a top-down pass joins the
+    argument ranges of every call site into formal-parameter ranges
+    (entry points and recursion cycles keep ⊤).
+
+    Consumers: Phase 2 discharges A1/A2 index obligations whose range is
+    provably within bounds (and feeds finite ranges to the Omega solver
+    as extra hypotheses); Phase 3 drops control-dependence edges for
+    branches whose condition has a decided value; [safeflow ranges]
+    dumps the summaries.  The analysis is purely an over-approximation:
+    consumers may only ever {e remove} findings based on it. *)
+
+(** Integer intervals with infinite bounds and saturating arithmetic. *)
+module Itv : sig
+  type bound = MInf | Fin of int | PInf
+
+  type t = Bot | Iv of bound * bound
+      (** [Iv (lo, hi)] with [lo <= hi]; [Bot] is the empty set *)
+
+  val top : t
+  val bot : t
+  val const : int -> t
+  val range : int -> int -> t
+  (** [range lo hi] — [Bot] when [lo > hi] *)
+
+  val is_bot : t -> bool
+  val equal : t -> t -> bool
+  val leq : t -> t -> bool  (** subset order *)
+
+  val join : t -> t -> t
+  val meet : t -> t -> t
+
+  val widen : t -> t -> t
+  (** [widen old next] jumps unstable bounds to ±∞ *)
+
+  val narrow : t -> t -> t
+  (** [narrow old next] refines only the infinite bounds of [old] *)
+
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val neg : t -> t
+
+  val contains : t -> int -> bool
+
+  val is_zero : t -> bool
+  (** exactly [0,0] *)
+
+  val excludes_zero : t -> bool
+  (** non-empty and 0 ∉ interval *)
+
+  val within : t -> lo:int -> hi:int -> bool
+  (** is the interval (possibly empty) contained in [lo, hi]? *)
+
+  val finite_lo : t -> int option
+  val finite_hi : t -> int option
+
+  val pp : Format.formatter -> t -> unit
+end
+
+type func_summary
+(** per-function result: value/param/return ranges, decided branches and
+    fixpoint statistics.  Pure data — safe to marshal for caching. *)
+
+type t
+(** whole-program result *)
+
+val analyze :
+  ?memo:(fname:string -> inputs_digest:string -> (unit -> func_summary) -> func_summary) ->
+  Ssair.Ir.program ->
+  t
+(** [analyze prog] runs both interprocedural passes.  [~memo] is called
+    around every per-function fixpoint with a digest of everything the
+    fixpoint reads (function body, parameter ranges, callee return
+    ranges); the driver uses it to back the computation with the
+    content-addressed cache. *)
+
+val summary_digest : t -> string -> string
+(** stable digest of a function's summary (empty string when the
+    function is unknown); folded into downstream cache keys so cached
+    phase-2/phase-3 artifacts are invalidated when ranges change *)
+
+val iterations : t -> int
+(** total fixpoint passes, all functions *)
+
+val widenings : t -> int
+(** total widening events, all functions *)
+
+(** {1 Queries} *)
+
+type dead = Dead_then | Dead_else
+    (** which successor of a two-way branch is never taken *)
+
+val dead_branch : t -> fname:string -> bid:Ssair.Ir.bid -> dead option
+(** for a reachable block ending in [Cbr] with distinct successors:
+    [Some _] when the condition's interval is decided (always zero or
+    never zero), i.e. the branch cannot actually select at run time *)
+
+type qctx
+(** per-function query context (caches the dominator tree used for
+    branch refinement at query sites) *)
+
+val query_ctx : t -> Ssair.Ir.func -> qctx
+
+val range_of_value : qctx -> at:Ssair.Ir.bid -> Ssair.Ir.value -> Itv.t
+(** interval of a value as observed in block [at]: the fixpoint interval
+    refined by every branch condition dominating [at] *)
+
+val range_of_sym : qctx -> at:Ssair.Ir.bid -> string -> Itv.t option
+(** interval for one of Phase 2's Omega symbols ([v<id>] for SSA values,
+    [p_<name>] for parameters); [None] for opaque symbols *)
+
+val pp_func_summary : t -> Format.formatter -> Ssair.Ir.func -> unit
+(** human-readable dump used by [safeflow ranges] *)

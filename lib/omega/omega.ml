@@ -260,11 +260,21 @@ let feasible ?(fuel = 200_000) (cs : cstr list) : result =
 
 (* -- Convenience constructors -------------------------------------------- *)
 
+(* Construction-time overflow (constants near max_int, e.g. derived from
+   value-range bounds) must not escape: [feasible]'s handler only covers
+   solving, not building the constraint.  An overflowing constraint is
+   weakened to the always-true 0 ≥ 0 — dropping a conjunct can only make
+   the system more feasible, so verdicts err toward Sat/Unknown and
+   never a false Unsat. *)
+let trivially_true = Geq (Linexpr.const 0)
+
 (** e1 ≤ e2 *)
-let le e1 e2 = Geq (Linexpr.sub e2 e1)
+let le e1 e2 = try Geq (Linexpr.sub e2 e1) with Linexpr.Overflow -> trivially_true
 
 (** e1 < e2 (integers: e1 ≤ e2 − 1) *)
-let lt e1 e2 = Geq (Linexpr.add (Linexpr.sub e2 e1) (Linexpr.const (-1)))
+let lt e1 e2 =
+  try Geq (Linexpr.add (Linexpr.sub e2 e1) (Linexpr.const (-1)))
+  with Linexpr.Overflow -> trivially_true
 
 (** e1 ≥ e2 *)
 let ge e1 e2 = le e2 e1
@@ -273,7 +283,7 @@ let ge e1 e2 = le e2 e1
 let gt e1 e2 = lt e2 e1
 
 (** e1 = e2 *)
-let eq e1 e2 = Eq (Linexpr.sub e1 e2)
+let eq e1 e2 = try Eq (Linexpr.sub e1 e2) with Linexpr.Overflow -> trivially_true
 
 (** Is [cs ∧ extra] infeasible — i.e. does [cs] entail ¬extra?  Utility
     for bounds checking: indices violate bounds iff

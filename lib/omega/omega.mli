@@ -30,7 +30,10 @@ val feasible : ?fuel:int -> cstr list -> result
 (** {1 Constraint constructors} *)
 
 val le : Linexpr.t -> Linexpr.t -> cstr
-(** e1 ≤ e2 *)
+(** e1 ≤ e2.  All constructors are overflow-total: if building the
+    difference overflows (constants near [max_int], e.g. derived from
+    value-range bounds), the constraint degrades to the always-true
+    0 ≥ 0 — a conservative weakening, never a false Unsat. *)
 
 val lt : Linexpr.t -> Linexpr.t -> cstr
 (** e1 < e2 (integer semantics: e1 ≤ e2 − 1) *)

@@ -1,8 +1,12 @@
 (** Content-addressed analysis cache (see the interface). *)
 
 (* Version 2: Report.dependency gained the structured [d_path] witness
-   field, changing the marshalled layout of the "phase3" namespace. *)
-let format_version = 2
+   field, changing the marshalled layout of the "phase3" namespace.
+   Version 3: the "phase2"/"phase2fn" namespaces store a result record
+   (violations + range-discharge infos + bounds statistics) instead of a
+   bare violation list, and the new "absint" namespace holds per-function
+   range summaries. *)
+let format_version = 3
 
 let magic = "SAFEFLOW-CACHE"
 

@@ -48,6 +48,14 @@ type t = {
       (** emit one-line diagnostics to stderr for otherwise-silent
           recoveries (stale/corrupt cache entries); never changes
           reports, so deliberately outside the semantic fingerprint *)
+  absint : bool;
+      (** interprocedural value-range abstract interpretation
+          ({!Absint}): phase 2 discharges A1/A2 obligations whose index
+          range is provably in bounds (and strengthens the remaining
+          Omega queries with range hypotheses), phase 3 prunes
+          control-dependence edges of branches with a decided condition.
+          Precision-only: off reproduces byte-identical reports, on can
+          only remove findings.  Part of the semantic fingerprint. *)
 }
 
 let default =
@@ -55,6 +63,7 @@ let default =
     engine = Legacy;
     pair_domains = 1;
     verbose = false;
+    absint = true;
     field_sensitive = true;
     context_sensitive = true;
     control_deps = true;

@@ -33,6 +33,11 @@ type t = {
   verbose : bool;
       (** stderr diagnostics for silent recoveries (default false);
           report-invisible, excluded from {!Digest_ir.semantic_config} *)
+  absint : bool;
+      (** value-range abstract interpretation (default on): discharges
+          A1/A2 bounds obligations and prunes decided control-dependence
+          branches; precision-only (off ⇒ byte-identical to the
+          pre-range analyzer).  Included in the semantic fingerprint. *)
 }
 
 val default : t

@@ -15,6 +15,7 @@ type t = {
   cov_errors : int;
   cov_control_only : int;
   cov_warnings : int;
+  cov_bounds : Phase2.bounds_stats;
 }
 
 (* byte count of the union of [lo, hi) intervals, clamped to [0, size) *)
@@ -42,8 +43,8 @@ let union_bytes ~size intervals =
   (match !cur with Some (clo, chi) -> acc := !acc + (chi - clo) | None -> ());
   !acc
 
-let compute ~(prog : Ssair.Ir.program) ~(shm : Shm.t) ~(p1 : Phase1.t)
-    ~(pts : Pointsto.t) ~(analyzed : string list) (r : Report.t) : t =
+let compute ?(bounds = Phase2.bounds_zero) ~(prog : Ssair.Ir.program) ~(shm : Shm.t)
+    ~(p1 : Phase1.t) ~(pts : Pointsto.t) ~(analyzed : string list) (r : Report.t) : t =
   let analyzed_set = Hashtbl.create 32 in
   List.iter (fun f -> Hashtbl.replace analyzed_set f ()) analyzed;
   let in_scope (f : Ssair.Ir.func) =
@@ -119,6 +120,7 @@ let compute ~(prog : Ssair.Ir.program) ~(shm : Shm.t) ~(p1 : Phase1.t)
     cov_errors = List.length (Report.errors r);
     cov_control_only = List.length (Report.control_deps r);
     cov_warnings = List.length r.Report.warnings;
+    cov_bounds = bounds;
   }
 
 let monitored_fraction t =
@@ -126,10 +128,16 @@ let monitored_fraction t =
   else float_of_int t.cov_monitored_sites /. float_of_int t.cov_read_sites
 
 let stats t =
+  let b = t.cov_bounds in
   [
     ("noncore_read_sites", t.cov_read_sites);
     ("monitored_read_sites", t.cov_monitored_sites);
     ("control_only_deps", t.cov_control_only);
+    ("a1a2_obligations", b.Phase2.bs_total);
+    ("a1a2_by_ranges", b.Phase2.bs_ranges);
+    ("a1a2_by_omega", b.Phase2.bs_omega);
+    ("a1a2_failed", b.Phase2.bs_failed);
+    ("omega_queries_avoided", b.Phase2.bs_omega_avoided);
   ]
 
 let pp ppf t =
@@ -140,6 +148,11 @@ let pp ppf t =
     (100.0 *. monitored_fraction t);
   Fmt.pf ppf "error dependencies: %d   control-only (likely FP): %d@," t.cov_errors
     t.cov_control_only;
+  (let b = t.cov_bounds in
+   Fmt.pf ppf
+     "A1/A2 bounds obligations: %d (%d by ranges, %d by Omega, %d failed; %d Omega queries avoided)@,"
+     b.Phase2.bs_total b.Phase2.bs_ranges b.Phase2.bs_omega b.Phase2.bs_failed
+     b.Phase2.bs_omega_avoided);
   Fmt.pf ppf "non-core regions:@,";
   List.iter
     (fun rc ->
@@ -153,9 +166,11 @@ let to_json t =
   let b = Buffer.create 256 in
   Buffer.add_string b
     (Printf.sprintf
-       "{\"read_sites\":%d,\"monitored_sites\":%d,\"monitored_fraction\":%.3f,\"errors\":%d,\"control_only\":%d,\"warnings\":%d,\"regions\":["
+       "{\"read_sites\":%d,\"monitored_sites\":%d,\"monitored_fraction\":%.3f,\"errors\":%d,\"control_only\":%d,\"warnings\":%d,\"bounds\":{\"obligations\":%d,\"by_ranges\":%d,\"by_omega\":%d,\"failed\":%d,\"omega_avoided\":%d},\"regions\":["
        t.cov_read_sites t.cov_monitored_sites (monitored_fraction t) t.cov_errors
-       t.cov_control_only t.cov_warnings);
+       t.cov_control_only t.cov_warnings t.cov_bounds.Phase2.bs_total
+       t.cov_bounds.Phase2.bs_ranges t.cov_bounds.Phase2.bs_omega
+       t.cov_bounds.Phase2.bs_failed t.cov_bounds.Phase2.bs_omega_avoided);
   List.iteri
     (fun i rc ->
       if i > 0 then Buffer.add_char b ',';

@@ -27,7 +27,8 @@ let semantic_config (c : Config.t) =
       c.Config.check_restrictions,
       c.Config.omega_fuel,
       c.Config.critical_sinks,
-      c.Config.recv_functions )
+      c.Config.recv_functions,
+      c.Config.absint )
 
 let sorted_tbl tbl = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
 

@@ -78,9 +78,40 @@ let stage_phase1 ?config (p : prepared) (shm : Shm.t) : Phase1.t =
 
 let stage_pointsto (p : prepared) : Pointsto.t = Pointsto.analyze p.ir
 
-let stage_phase2 ?config ?cache ?digests (p : prepared) (p1 : Phase1.t) :
-    Report.violation list =
-  Phase2.run ?config ?cache ?digests p.ir p1
+let c_absint_iters = Telemetry.counter "absint.iterations"
+let c_absint_widenings = Telemetry.counter "absint.widenings"
+
+(** Interprocedural value-range analysis, or [None] when disabled by
+    [Config.absint] (phases 2/3 then behave exactly as without it).
+    With [~cache], per-function summaries are memoized in the ["absint"]
+    namespace, keyed on the summary inputs (function text, parameter and
+    callee-return intervals) — an edit recomputes only the functions
+    whose inputs actually shifted. *)
+let stage_absint ?(config = Config.default) ?cache (p : prepared) : Absint.t option =
+  if not config.Config.absint then None
+  else
+    Telemetry.span "absint" (fun () ->
+        let memo =
+          Option.map
+            (fun c ~fname:_ ~inputs_digest (compute : unit -> Absint.func_summary) ->
+              match
+                (Cache.find c ~ns:"absint" ~key:inputs_digest : Absint.func_summary option)
+              with
+              | Some s -> s
+              | None ->
+                let s = compute () in
+                Cache.store c ~ns:"absint" ~key:inputs_digest s;
+                s)
+            cache
+        in
+        let ai = Absint.analyze ?memo p.ir in
+        Telemetry.add c_absint_iters (Absint.iterations ai);
+        Telemetry.add c_absint_widenings (Absint.widenings ai);
+        Some ai)
+
+let stage_phase2 ?config ?cache ?digests ?absint (p : prepared) (p1 : Phase1.t) :
+    Phase2.result =
+  Phase2.run ?config ?cache ?digests ?absint p.ir p1
 
 (* Whole-result phase-3 tier, keyed at program granularity: the
    report-visible lists verbatim (order preserved) plus the taint tables
@@ -102,8 +133,8 @@ type phase3_cached = {
   lc_warn_tbl : ((Minic.Loc.t * string) * Report.warning) list;
 }
 
-let phase3_whole ~config ~tag ?cache ?digests (p : prepared) (shm : Shm.t) (p1 : Phase1.t)
-    (pts : Pointsto.t) (runner : unit -> Phase3.result) : Phase3.result =
+let phase3_whole ~config ~tag ?cache ?digests ?absint (p : prepared) (shm : Shm.t)
+    (p1 : Phase1.t) (pts : Pointsto.t) (runner : unit -> Phase3.result) : Phase3.result =
   let key =
     match digests with
     | Some (d : Digest_ir.t) ->
@@ -112,7 +143,7 @@ let phase3_whole ~config ~tag ?cache ?digests (p : prepared) (shm : Shm.t) (p1 :
     | None -> None
   in
   let restore (lc : phase3_cached) : Phase3.result =
-    let st = Phase3.make_state ~config p.ir shm p1 pts in
+    let st = Phase3.make_state ~config ?absint p.ir shm p1 pts in
     List.iter (fun (e, o) -> Hashtbl.replace st.Phase3.data e o) lc.lc_data;
     List.iter (fun (e, o) -> Hashtbl.replace st.Phase3.ctrl e o) lc.lc_ctrl;
     List.iter (fun pr -> Hashtbl.replace st.Phase3.pairs pr ()) lc.lc_pairs;
@@ -149,15 +180,15 @@ let phase3_whole ~config ~tag ?cache ?digests (p : prepared) (shm : Shm.t) (p1 :
       r)
   | _ -> runner ()
 
-let stage_phase3 ?(config = Config.default) ?cache ?digests (p : prepared) (shm : Shm.t)
-    (p1 : Phase1.t) (pts : Pointsto.t) : Phase3.result =
+let stage_phase3 ?(config = Config.default) ?cache ?digests ?absint (p : prepared)
+    (shm : Shm.t) (p1 : Phase1.t) (pts : Pointsto.t) : Phase3.result =
   match config.Config.engine with
   | Config.Legacy ->
-    phase3_whole ~config ~tag:"legacy" ?cache ?digests p shm p1 pts (fun () ->
-        Phase3.run ~config p.ir shm p1 pts)
+    phase3_whole ~config ~tag:"legacy" ?cache ?digests ?absint p shm p1 pts (fun () ->
+        Phase3.run ~config ?absint p.ir shm p1 pts)
   | Config.Worklist ->
-    phase3_whole ~config ~tag:"worklist" ?cache ?digests p shm p1 pts (fun () ->
-        Vfgraph.run ~config ?cache ?digests p.ir shm p1 pts)
+    phase3_whole ~config ~tag:"worklist" ?cache ?digests ?absint p shm p1 pts (fun () ->
+        Vfgraph.run ~config ?cache ?digests ?absint p.ir shm p1 pts)
 
 (* -- One-shot analysis ------------------------------------------------------------ *)
 
@@ -204,6 +235,8 @@ let canonicalize (fctx : Fingerprint.ctx) (r : Report.t) : Report.t =
       List.stable_sort
         (by_fp (fun d -> Fingerprint.Dependency d) Report.compare_dependency)
         r.Report.dependencies;
+    infos =
+      List.stable_sort (by_fp (fun i -> Fingerprint.Info i) Report.compare_info) r.Report.infos;
   }
 
 (** The function universe phase 3 actually analyzed: discovered pairs
@@ -250,7 +283,10 @@ let analyze ?(config = Config.default) ?cache ?file (src : string) : analysis =
             (fun () -> stage_phase1 ~config p shm)
         | _ -> stage_phase1 ~config p shm)
   in
-  let violations = Telemetry.span "phase2" (fun () -> stage_phase2 ~config ?cache ?digests p p1) in
+  let absint = stage_absint ~config ?cache p in
+  let ph2 =
+    Telemetry.span "phase2" (fun () -> stage_phase2 ~config ?cache ?digests ?absint p p1)
+  in
   let pts =
     Telemetry.span "pointsto" (fun () ->
         match (cache, digests) with
@@ -262,15 +298,18 @@ let analyze ?(config = Config.default) ?cache ?file (src : string) : analysis =
   let ph3 =
     Telemetry.span "phase3"
       ~args:[ ("engine", Config.engine_name config.Config.engine) ]
-      (fun () -> stage_phase3 ~config ?cache ?digests p shm p1 pts)
+      (fun () -> stage_phase3 ~config ?cache ?digests ?absint p shm p1 pts)
   in
   let fctx = Fingerprint.ctx_of_program p.ir in
   let report =
     canonicalize fctx
       {
-        Report.violations;
+        Report.violations = ph2.Phase2.violations;
         warnings = ph3.Phase3.warnings;
         dependencies = ph3.Phase3.dependencies;
+        (* infos are always computed (cache entries stay verbose-free);
+           the report carries them only under --verbose *)
+        infos = (if config.Config.verbose then ph2.Phase2.infos else []);
         regions =
           List.map (fun r -> (r.Shm.r_name, r.Shm.r_size, r.Shm.r_noncore)) shm.Shm.regions;
         annotation_lines = p.annotation_lines;
@@ -279,7 +318,7 @@ let analyze ?(config = Config.default) ?cache ?file (src : string) : analysis =
   in
   let coverage =
     Telemetry.span "coverage" (fun () ->
-        Coverage.compute ~prog:p.ir ~shm ~p1 ~pts
+        Coverage.compute ~bounds:ph2.Phase2.bounds ~prog:p.ir ~shm ~p1 ~pts
           ~analyzed:(analyzed_functions ph3 p1) report)
   in
   let report =
@@ -356,14 +395,16 @@ let analyze_summary ?(config = Config.default) ?file (src : string) :
   let p = prepare_source ?file src in
   let shm = stage_shm p in
   let p1 = stage_phase1 ~config p shm in
-  let violations = stage_phase2 ~config p p1 in
+  let absint = stage_absint ~config p in
+  let ph2 = stage_phase2 ~config ?absint p p1 in
   let pts = stage_pointsto p in
   let s = stage_summary ~config p shm p1 pts in
   ( canonicalize (Fingerprint.ctx_of_program p.ir)
       {
-        Report.violations;
+        Report.violations = ph2.Phase2.violations;
         warnings = s.Summary.warnings;
         dependencies = s.Summary.dependencies;
+        infos = (if config.Config.verbose then ph2.Phase2.infos else []);
         regions =
           List.map (fun r -> (r.Shm.r_name, r.Shm.r_size, r.Shm.r_noncore)) shm.Shm.regions;
         annotation_lines = p.annotation_lines;

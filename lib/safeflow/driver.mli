@@ -28,18 +28,25 @@ val stage_phase1 : ?config:Config.t -> prepared -> Shm.t -> Phase1.t
 
 val stage_pointsto : prepared -> Pointsto.t
 
+val stage_absint : ?config:Config.t -> ?cache:Cache.t -> prepared -> Absint.t option
+(** interprocedural value-range analysis, or [None] when disabled by
+    {!Config.t.absint}; with [~cache], per-function summaries are
+    memoized in the ["absint"] namespace *)
+
 val stage_phase2 :
   ?config:Config.t ->
   ?cache:Cache.t ->
   ?digests:Digest_ir.t ->
+  ?absint:Absint.t ->
   prepared ->
   Phase1.t ->
-  Report.violation list
+  Phase2.result
 
 val stage_phase3 :
   ?config:Config.t ->
   ?cache:Cache.t ->
   ?digests:Digest_ir.t ->
+  ?absint:Absint.t ->
   prepared ->
   Shm.t ->
   Phase1.t ->

@@ -23,27 +23,32 @@ type finding =
   | Violation of Report.violation
   | Warning of Report.warning
   | Dependency of Report.dependency
+  | Info of Report.info
 
 let code = function
   | Violation v -> Report.code_of_violation v
   | Warning w -> Report.code_of_warning w
   | Dependency d -> Report.code_of_dependency d
+  | Info i -> Report.code_of_info i
 
 let loc = function
   | Violation v -> v.Report.v_loc
   | Warning w -> w.Report.w_loc
   | Dependency d -> d.Report.d_loc
+  | Info i -> i.Report.i_loc
 
 let func = function
   | Violation v -> v.Report.v_func
   | Warning w -> w.Report.w_func
   | Dependency d -> d.Report.d_func
+  | Info i -> i.Report.i_func
 
 let message = function
   | Violation v -> Fmt.str "restriction %a: %s" Report.pp_restriction v.Report.v_rule v.Report.v_msg
   | Warning w -> Fmt.str "unmonitored non-core read of region '%s'" w.Report.w_region
   | Dependency d ->
     Fmt.str "%a dependency: %s" Report.pp_dep_kind d.Report.d_kind d.Report.d_sink
+  | Info i -> i.Report.i_msg
 
 type ctx = (string, int) Hashtbl.t  (* function ↦ first source line *)
 
@@ -79,6 +84,7 @@ let compute (ctx : ctx) (f : finding) : string =
     | Violation v -> ("violation", v.Report.v_msg)
     | Warning w -> ("warning", w.Report.w_region)
     | Dependency d -> ("dependency", d.Report.d_sink ^ "\x00" ^ witness_digest d)
+    | Info i -> ("info", i.Report.i_msg)
   in
   Digest_ir.of_value (code f, fn, span, payload)
 
@@ -87,6 +93,7 @@ let of_report (ctx : ctx) (r : Report.t) : (string * finding) list =
     List.map (fun v -> Violation v) r.Report.violations
     @ List.map (fun w -> Warning w) r.Report.warnings
     @ List.map (fun d -> Dependency d) r.Report.dependencies
+    @ List.map (fun i -> Info i) r.Report.infos
   in
   List.map (fun f -> (compute ctx f, f)) all
 

@@ -22,6 +22,7 @@ type finding =
   | Violation of Report.violation
   | Warning of Report.warning
   | Dependency of Report.dependency
+  | Info of Report.info
 
 val code : finding -> string  (** the diagnostic code ({!Report.rules}) *)
 
@@ -47,7 +48,7 @@ val compute : ctx -> finding -> string
 val of_report : ctx -> Report.t -> (string * finding) list
 (** every finding of the report paired with its fingerprint, in the
     report's canonical order (violations, then warnings, then
-    dependencies) *)
+    dependencies, then infos) *)
 
 val version : string
 (** the fingerprint construction version, recorded in SARIF

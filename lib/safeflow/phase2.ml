@@ -253,11 +253,42 @@ let induction_constraints ctx (e : Omega.Linexpr.t) : Omega.cstr list =
 
 (* -- The checker -------------------------------------------------------------- *)
 
+(** How the A1/A2 array-bounds obligations of a run were discharged.  An
+    obligation is one (indexing gep, region target) pair with a
+    non-constant index.  [bs_ranges] counts obligations proved in bounds
+    by the value-range analysis alone (no Omega query), [bs_omega] those
+    needing at least one Omega query but reported clean, [bs_failed]
+    those that produced a violation.  [bs_omega_avoided] counts the
+    individual solver queries skipped thanks to ranges (two per fully
+    discharged obligation, one when only one side was range-proven). *)
+type bounds_stats = {
+  bs_total : int;
+  bs_ranges : int;
+  bs_omega : int;
+  bs_failed : int;
+  bs_omega_avoided : int;
+}
+
+let bounds_zero =
+  { bs_total = 0; bs_ranges = 0; bs_omega = 0; bs_failed = 0; bs_omega_avoided = 0 }
+
+let bounds_add a b =
+  {
+    bs_total = a.bs_total + b.bs_total;
+    bs_ranges = a.bs_ranges + b.bs_ranges;
+    bs_omega = a.bs_omega + b.bs_omega;
+    bs_failed = a.bs_failed + b.bs_failed;
+    bs_omega_avoided = a.bs_omega_avoided + b.bs_omega_avoided;
+  }
+
 type state = {
   prog : Ssair.Ir.program;
   p1 : Phase1.t;
   config : Config.t;
+  absint : Absint.t option;
   mutable violations : Report.violation list;
+  mutable infos : Report.info list;
+  mutable bounds : bounds_stats;
 }
 
 let violate st rule (f : Ssair.Ir.func) loc fmt =
@@ -266,6 +297,15 @@ let violate st rule (f : Ssair.Ir.func) loc fmt =
       st.violations <-
         { Report.v_rule = rule; v_func = f.fname; v_loc = loc; v_msg = msg }
         :: st.violations)
+    fmt
+
+let note st (f : Ssair.Ir.func) loc fmt =
+  Fmt.kstr
+    (fun msg ->
+      st.infos <-
+        { Report.i_code = Report.code_range_proved; i_func = f.fname; i_loc = loc;
+          i_msg = msg }
+        :: st.infos)
     fmt
 
 (** Does function [fname] (transitively) load or store shared memory? *)
@@ -388,8 +428,39 @@ let check_p2_p3 st (f : Ssair.Ir.func) =
       | _ -> ())
     (Ssair.Ir.all_instrs f)
 
+(* Range hypotheses carry concrete interval bounds into the Omega
+   queries.  Constants beyond this magnitude add no precision over the
+   ±inf they approximate and risk coefficient blow-up during
+   elimination, so they are dropped. *)
+let hyp_clamp = 1 lsl 40
+
+(** Finite range facts for the symbols of [e] at block [bid], as Omega
+    constraints ([lo <= sym <= hi]). *)
+let range_hypotheses aq ~bid (e : Omega.Linexpr.t) : Omega.cstr list =
+  match aq with
+  | None -> []
+  | Some q ->
+    List.concat_map
+      (fun sym ->
+        match Absint.range_of_sym q ~at:bid sym with
+        | None -> []
+        | Some itv ->
+          let v = Omega.Linexpr.var sym in
+          let lo =
+            match Absint.Itv.finite_lo itv with
+            | Some l when abs l <= hyp_clamp -> [ Omega.ge v (Omega.Linexpr.const l) ]
+            | _ -> []
+          in
+          let hi =
+            match Absint.Itv.finite_hi itv with
+            | Some h when abs h <= hyp_clamp -> [ Omega.le v (Omega.Linexpr.const h) ]
+            | _ -> []
+          in
+          lo @ hi)
+      (Omega.Linexpr.vars e)
+
 (** Check one shm array access: gep with non-trivial index. *)
-let check_bounds st ctx (f : Ssair.Ir.func) (i : Ssair.Ir.instr) bid base kind idx =
+let check_bounds st ctx aq (f : Ssair.Ir.func) (i : Ssair.Ir.instr) bid base kind idx =
   let env = st.prog.Ssair.Ir.env in
   let targets = Phase1.shm_targets st.p1 f base in
   if not (Phase1.Rset.is_empty targets) then
@@ -418,66 +489,134 @@ let check_bounds st ctx (f : Ssair.Ir.func) (i : Ssair.Ir.instr) bid base kind i
                     "constant index %d outside region %s (%d elements of %d bytes)" n
                     r.Shm.r_name nelems elsize
               | _ ->
-                let idx_e = affine_of_value ctx idx in
-                (* symbols that are neither loop phis nor parameters are
-                   opaque (call results, memory loads): a satisfiable
-                   violation query then means "cannot prove affine" (A2)
-                   rather than a definite out-of-bounds access (A1) *)
-                let opaque =
-                  List.exists
-                    (fun sym ->
+                let tick d = st.bounds <- bounds_add st.bounds d in
+                tick { bounds_zero with bs_total = 1 };
+                (* range verdicts first: each side an interval proves in
+                   bounds skips its Omega query outright *)
+                let rng = Option.map (fun q -> Absint.range_of_value q ~at:bid idx) aq in
+                let lo_proved =
+                  match rng with
+                  | Some r -> (
+                    Absint.Itv.is_bot r
+                    || match Absint.Itv.finite_lo r with Some l -> l >= 0 | None -> false)
+                  | None -> false
+                in
+                let hi_proved =
+                  match rng with
+                  | Some r -> (
+                    Absint.Itv.is_bot r
+                    ||
+                    match Absint.Itv.finite_hi r with
+                    | Some h -> h <= nelems - 1
+                    | None -> false)
+                  | None -> false
+                in
+                if lo_proved && hi_proved then begin
+                  tick { bounds_zero with bs_ranges = 1; bs_omega_avoided = 2 };
+                  note st f i.Ssair.Ir.iloc
+                    "index into region %s proven within [0,%d) by value-range analysis"
+                    r.Shm.r_name nelems
+                end
+                else begin
+                  let idx_e = affine_of_value ctx idx in
+                  (* symbols that are neither loop phis nor parameters are
+                     opaque (call results, memory loads): a satisfiable
+                     violation query then means "cannot prove affine" (A2)
+                     rather than a definite out-of-bounds access (A1) *)
+                  let opaque =
+                    List.exists
+                      (fun sym ->
+                        match
+                          if String.length sym > 1 && sym.[0] = 'v' then
+                            int_of_string_opt (String.sub sym 1 (String.length sym - 1))
+                          else None
+                        with
+                        | None -> not (String.length sym > 2 && String.sub sym 0 2 = "p_")
+                        | Some id -> (
+                          match Hashtbl.find_opt ctx.defs id with
+                          | Some (Ssair.Ir.Def_phi _) -> false
+                          | _ -> true))
+                      (Omega.Linexpr.vars idx_e)
+                  in
+                  let sat_rule = if opaque then Report.A2 else Report.A1 in
+                  let constraints =
+                    dominating_constraints ctx bid @ induction_constraints ctx idx_e
+                  in
+                  let hyps = range_hypotheses aq ~bid idx_e in
+                  (* hypotheses may only strengthen a query towards Unsat: a
+                     query they do not settle falls back to the baseline
+                     verdict, so a run with ranges reports a subset of the
+                     findings of a run without *)
+                  let query goal =
+                    match hyps with
+                    | [] ->
+                      Omega.feasible ~fuel:st.config.Config.omega_fuel (goal :: constraints)
+                    | _ -> (
                       match
-                        if String.length sym > 1 && sym.[0] = 'v' then
-                          int_of_string_opt (String.sub sym 1 (String.length sym - 1))
-                        else None
+                        Omega.feasible ~fuel:st.config.Config.omega_fuel
+                          ((goal :: hyps) @ constraints)
                       with
-                      | None -> not (String.length sym > 2 && String.sub sym 0 2 = "p_")
-                      | Some id -> (
-                        match Hashtbl.find_opt ctx.defs id with
-                        | Some (Ssair.Ir.Def_phi _) -> false
-                        | _ -> true))
-                    (Omega.Linexpr.vars idx_e)
-                in
-                let sat_rule = if opaque then Report.A2 else Report.A1 in
-                let constraints =
-                  dominating_constraints ctx bid @ induction_constraints ctx idx_e
-                in
-                let low_q =
-                  Omega.feasible ~fuel:st.config.Config.omega_fuel
-                    (Omega.le idx_e (Omega.Linexpr.const (-1)) :: constraints)
-                in
-                let high_q =
-                  Omega.feasible ~fuel:st.config.Config.omega_fuel
-                    (Omega.ge idx_e (Omega.Linexpr.const nelems) :: constraints)
-                in
-                (match low_q with
-                | Omega.Unsat -> ()
-                | Omega.Sat ->
-                  violate st sat_rule f i.Ssair.Ir.iloc
-                    "index into region %s can be negative" r.Shm.r_name
-                | Omega.Unknown ->
-                  violate st Report.A2 f i.Ssair.Ir.iloc
-                    "cannot prove index into region %s non-negative (non-affine)"
-                    r.Shm.r_name);
-                match high_q with
-                | Omega.Unsat -> ()
-                | Omega.Sat ->
-                  violate st sat_rule f i.Ssair.Ir.iloc
-                    "index into region %s can exceed %d elements" r.Shm.r_name nelems
-                | Omega.Unknown ->
-                  violate st Report.A2 f i.Ssair.Ir.iloc
-                    "cannot prove index into region %s below bound %d (non-affine)"
-                    r.Shm.r_name nelems)))
+                      | Omega.Unsat -> Omega.Unsat
+                      | Omega.Sat | Omega.Unknown ->
+                        Omega.feasible ~fuel:st.config.Config.omega_fuel (goal :: constraints))
+                  in
+                  let low_q =
+                    if lo_proved then begin
+                      tick { bounds_zero with bs_omega_avoided = 1 };
+                      Omega.Unsat
+                    end
+                    else query (Omega.le idx_e (Omega.Linexpr.const (-1)))
+                  in
+                  let high_q =
+                    if hi_proved then begin
+                      tick { bounds_zero with bs_omega_avoided = 1 };
+                      Omega.Unsat
+                    end
+                    else query (Omega.ge idx_e (Omega.Linexpr.const nelems))
+                  in
+                  let clean = ref true in
+                  (match low_q with
+                  | Omega.Unsat -> ()
+                  | Omega.Sat ->
+                    clean := false;
+                    violate st sat_rule f i.Ssair.Ir.iloc
+                      "index into region %s can be negative" r.Shm.r_name
+                  | Omega.Unknown ->
+                    clean := false;
+                    violate st Report.A2 f i.Ssair.Ir.iloc
+                      "cannot prove index into region %s non-negative (non-affine)"
+                      r.Shm.r_name);
+                  (match high_q with
+                  | Omega.Unsat -> ()
+                  | Omega.Sat ->
+                    clean := false;
+                    violate st sat_rule f i.Ssair.Ir.iloc
+                      "index into region %s can exceed %d elements" r.Shm.r_name nelems
+                  | Omega.Unknown ->
+                    clean := false;
+                    violate st Report.A2 f i.Ssair.Ir.iloc
+                      "cannot prove index into region %s below bound %d (non-affine)"
+                      r.Shm.r_name nelems);
+                  tick
+                    (if !clean then { bounds_zero with bs_omega = 1 }
+                     else { bounds_zero with bs_failed = 1 })
+                end)))
         targets
 
 let check_arrays st (f : Ssair.Ir.func) =
   let ctx = mk_affine_ctx f in
+  (* per-function range query context, built lazily so functions without
+     array accesses never pay for the dominator tree *)
+  let aq =
+    lazy (Option.map (fun ai -> Absint.query_ctx ai f) st.absint)
+  in
   List.iter
     (fun (b : Ssair.Ir.block) ->
       List.iter
         (fun (i : Ssair.Ir.instr) ->
           match i.Ssair.Ir.idesc with
-          | Ssair.Ir.Gep { base; kind; idx } -> check_bounds st ctx f i b.Ssair.Ir.bbid base kind idx
+          | Ssair.Ir.Gep { base; kind; idx } ->
+            check_bounds st ctx (Lazy.force aq) f i b.Ssair.Ir.bbid base kind idx
           | _ -> ())
         b.Ssair.Ir.instrs)
     f.Ssair.Ir.blocks
@@ -486,25 +625,39 @@ let check_arrays st (f : Ssair.Ir.func) =
     result can be cached and reused independently.  Concatenating the
     per-function lists in program order reproduces exactly the order the
     original single-accumulator pass emitted. *)
-let check_function ~config ~prog ~p1 accessors (f : Ssair.Ir.func) : Report.violation list =
-  let st = { prog; p1; config; violations = [] } in
+let check_function ~config ~prog ~p1 ~absint accessors (f : Ssair.Ir.func) :
+    Report.violation list * Report.info list * bounds_stats =
+  let st = { prog; p1; config; absint; violations = []; infos = []; bounds = bounds_zero } in
   check_p1 st f accessors;
   check_p2_p3 st f;
   check_arrays st f;
-  List.rev st.violations
+  (List.rev st.violations, List.rev st.infos, st.bounds)
+
+(** Everything phase 2 produces in one pass: restriction verdicts, the
+    [I-RANGE-PROVED] audit notes, and the A1/A2 discharge accounting. *)
+type result = {
+  violations : Report.violation list;
+  infos : Report.info list;
+  bounds : bounds_stats;
+}
+
+let empty_result = { violations = []; infos = []; bounds = bounds_zero }
 
 (** Run phase 2.  Returns restriction violations (empty when the program
-    adheres to the MiniC shared-memory discipline).
+    adheres to the MiniC shared-memory discipline) together with range
+    notes and bounds-obligation statistics.
 
     With [~cache] and [~digests], verdicts are cached at two
     granularities: the whole program (so an unchanged system skips even
     the accessor-closure computation) and per function — keyed on the
     function body, its phase-1 facts, the shm-accessor closure, the
-    region model, the type environment and the semantic config — so a
+    region model, the type environment, the semantic config and the
+    function's value-range summary (ranges are interprocedural, so an
+    edit elsewhere that shifts this function's ranges must miss) — so a
     one-function edit recomputes only that function. *)
-let run ?(config = Config.default) ?cache ?digests (prog : Ssair.Ir.program) (p1 : Phase1.t)
-    : Report.violation list =
-  if not config.Config.check_restrictions then []
+let run ?(config = Config.default) ?cache ?digests ?absint (prog : Ssair.Ir.program)
+    (p1 : Phase1.t) : result =
+  if not config.Config.check_restrictions then empty_result
   else begin
     let sem_fp = lazy (Digest_ir.semantic_config config) in
     let whole_key =
@@ -515,13 +668,18 @@ let run ?(config = Config.default) ?cache ?digests (prog : Ssair.Ir.program) (p1
     in
     let cached_whole =
       match (cache, whole_key) with
-      | Some c, Some key -> (Cache.find c ~ns:"phase2" ~key : Report.violation list option)
+      | Some c, Some key -> (Cache.find c ~ns:"phase2" ~key : result option)
       | _ -> None
     in
     match cached_whole with
-    | Some vs -> vs
+    | Some r -> r
     | None ->
       let accessors = shm_accessors prog p1 in
+      let absint_digest fname =
+        match absint with
+        | Some ai -> Absint.summary_digest ai fname
+        | None -> "no-absint"
+      in
       let func_key =
         match (cache, digests) with
         | Some _, Some (d : Digest_ir.t) ->
@@ -537,31 +695,42 @@ let run ?(config = Config.default) ?cache ?digests (prog : Ssair.Ir.program) (p1
           fun fname ->
             Some
               (Digest_ir.combine
-                 [ Digest_ir.func d fname; Digest_ir.facts_digest p1_by fname; global ])
+                 [ Digest_ir.func d fname;
+                   Digest_ir.facts_digest p1_by fname;
+                   Digest_ir.of_value (absint_digest fname);
+                   global ])
         | _ -> fun _ -> None
       in
-      let violations =
-        List.concat_map
+      let per_func =
+        List.map
           (fun (f : Ssair.Ir.func) ->
-            if Phase1.is_exempt p1 f.Ssair.Ir.fname then []
+            if Phase1.is_exempt p1 f.Ssair.Ir.fname then ([], [], bounds_zero)
             else
               match (cache, func_key f.Ssair.Ir.fname) with
               | Some c, Some key -> (
-                match (Cache.find c ~ns:"phase2fn" ~key : Report.violation list option) with
-                | Some vs -> vs
+                match
+                  (Cache.find c ~ns:"phase2fn" ~key
+                    : (Report.violation list * Report.info list * bounds_stats) option)
+                with
+                | Some r -> r
                 | None ->
-                  let vs = check_function ~config ~prog ~p1 accessors f in
-                  Cache.store c ~ns:"phase2fn" ~key vs;
-                  vs)
-              | _ -> check_function ~config ~prog ~p1 accessors f)
+                  let r = check_function ~config ~prog ~p1 ~absint accessors f in
+                  Cache.store c ~ns:"phase2fn" ~key r;
+                  r)
+              | _ -> check_function ~config ~prog ~p1 ~absint accessors f)
           prog.Ssair.Ir.funcs
       in
+      let violations = List.concat_map (fun (vs, _, _) -> vs) per_func in
+      let infos = List.concat_map (fun (_, is, _) -> is) per_func in
+      let bounds = List.fold_left (fun acc (_, _, b) -> bounds_add acc b) bounds_zero per_func in
       (* canonical (file, line, code) order: emission follows program
          order, so sorting here makes the cached whole-program entry and
          a fresh run byte-identical regardless of function layout *)
       let violations = List.stable_sort Report.compare_violation violations in
+      let infos = List.stable_sort Report.compare_info infos in
+      let result = { violations; infos; bounds } in
       (match (cache, whole_key) with
-      | Some c, Some key -> Cache.store c ~ns:"phase2" ~key violations
+      | Some c, Some key -> Cache.store c ~ns:"phase2" ~key result
       | _ -> ());
-      violations
+      result
   end

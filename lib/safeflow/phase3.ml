@@ -71,6 +71,8 @@ type state = {
   p1 : Phase1.t;
   pts : Pointsto.t;
   config : Config.t;
+  absint : Absint.t option;
+      (** value ranges; decided branches exert no control dependence *)
   data : (entity, origin) Hashtbl.t;  (** data-tainted entities *)
   ctrl : (entity, origin) Hashtbl.t;  (** control-tainted entities *)
   pairs : (string * Ctx.t, unit) Hashtbl.t;  (** discovered (function, context) pairs *)
@@ -83,6 +85,15 @@ type state = {
 
 let data_tainted st e = Hashtbl.mem st.data e
 let ctrl_tainted st e = Hashtbl.mem st.ctrl e
+
+(* A conditional branch whose condition's value range decides the
+   direction takes the same successor in every concrete execution, so it
+   exerts no control dependence.  Pruning it is precision-only: findings
+   can disappear, never appear. *)
+let branch_decided st (f : Ssair.Ir.func) (b : Ssair.Ir.block) : bool =
+  match st.absint with
+  | None -> false
+  | Some ai -> Absint.dead_branch ai ~fname:f.Ssair.Ir.fname ~bid:b.Ssair.Ir.bbid <> None
 
 let taint st table e ~parent ~why =
   if not (Hashtbl.mem table e) then begin
@@ -144,7 +155,7 @@ let block_control_taint st (f : Ssair.Ir.func) ctx : (Ssair.Ir.bid, unit) Hashtb
         | _ -> None
       in
       match cond_val with
-      | Some (Ssair.Ir.Vreg id) ->
+      | Some (Ssair.Ir.Vreg id) when not (branch_decided st f b) ->
         let e = Eval (f.fname, ctx, id) in
         if data_tainted st e || ctrl_tainted st e then
           List.iter
@@ -224,6 +235,8 @@ let analyze_pair st (f : Ssair.Ir.func) (ctx : Ctx.t) =
                      match pblk.Ssair.Ir.termin with
                      | Ssair.Ir.Cbr (Ssair.Ir.Vreg cid, _, _)
                      | Ssair.Ir.Switch (Ssair.Ir.Vreg cid, _, _) ->
+                       (not (branch_decided st f pblk))
+                       &&
                        let ce = Eval (fname, ctx, cid) in
                        data_tainted st ce || ctrl_tainted st ce
                      | _ -> false)
@@ -589,8 +602,8 @@ type result = {
 (** Fresh analysis state; shared with the sparse engine ({!Vfgraph}),
     which fills the same tables through a different propagation
     strategy. *)
-let make_state ~(config : Config.t) (prog : Ssair.Ir.program) (shm : Shm.t) (p1 : Phase1.t)
-    (pts : Pointsto.t) : state =
+let make_state ~(config : Config.t) ?absint (prog : Ssair.Ir.program) (shm : Shm.t)
+    (p1 : Phase1.t) (pts : Pointsto.t) : state =
   let st =
     {
       prog;
@@ -598,6 +611,7 @@ let make_state ~(config : Config.t) (prog : Ssair.Ir.program) (shm : Shm.t) (p1 
       p1;
       pts;
       config;
+      absint;
       data = Hashtbl.create 256;
       ctrl = Hashtbl.create 256;
       pairs = Hashtbl.create 32;
@@ -643,9 +657,9 @@ let root_pairs st : (Ssair.Ir.func * Ctx.t) list =
     prog.Ssair.Ir.funcs;
   List.rev !roots
 
-let run ?(config = Config.default) (prog : Ssair.Ir.program) (shm : Shm.t) (p1 : Phase1.t)
-    (pts : Pointsto.t) : result =
-  let st = make_state ~config prog shm p1 pts in
+let run ?(config = Config.default) ?absint (prog : Ssair.Ir.program) (shm : Shm.t)
+    (p1 : Phase1.t) (pts : Pointsto.t) : result =
+  let st = make_state ~config ?absint prog shm p1 pts in
   st.changed <- true;
   List.iter
     (fun ((f : Ssair.Ir.func), ctx) -> Hashtbl.replace st.pairs (f.Ssair.Ir.fname, ctx) ())

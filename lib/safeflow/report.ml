@@ -70,10 +70,21 @@ type dependency = {
           [d_trace = path_strings d_path] whenever both are populated *)
 }
 
+(** Informational note: an audit trail entry that never gates.  Emitted
+    under [--verbose] for each A1/A2 obligation the range analysis
+    discharged without an Omega query ([I-RANGE-PROVED]). *)
+type info = {
+  i_code : string;
+  i_func : string;
+  i_loc : Loc.t;
+  i_msg : string;
+}
+
 type t = {
   violations : violation list;
   warnings : warning list;
   dependencies : dependency list;
+  infos : info list;  (** informational notes; empty unless [--verbose] *)
   regions : (string * int * bool) list;  (** name, size, noncore *)
   annotation_lines : int;  (** number of annotation clauses in the program *)
   stats : (string * int) list;  (** misc counters for the benchmark harness *)
@@ -87,6 +98,7 @@ let control_deps t = List.filter (fun d -> d.d_kind = Control_only) t.dependenci
 let code_unmonitored_read = "W-UNMONITORED-READ"
 let code_critical_dep = "E-CRITICAL-DEP"
 let code_control_dep = "C-CONTROL-DEP"
+let code_range_proved = "I-RANGE-PROVED"
 
 let code_of_restriction = function
   | P1 -> "V-P1"
@@ -100,6 +112,8 @@ let code_of_warning (_ : warning) = code_unmonitored_read
 
 let code_of_dependency d =
   match d.d_kind with Data -> code_critical_dep | Control_only -> code_control_dep
+
+let code_of_info (i : info) = i.i_code
 
 type rule = {
   rule_id : string;
@@ -167,6 +181,15 @@ let rules =
          region (restriction A2).";
       rule_help = "Annotate a pointer whose region is statically known.";
       rule_level = `Error };
+    { rule_id = code_range_proved;
+      rule_name = "RangeProvedBounds";
+      rule_summary =
+        "The value-range analysis proved an A1/A2 array-index obligation in \
+         bounds without consulting the Omega solver.";
+      rule_help =
+        "Nothing to fix — an audit-trail note (emitted under --verbose) \
+         recording a statically discharged bounds obligation.";
+      rule_level = `Note };
   ]
 
 let rule_of_code id =
@@ -207,6 +230,10 @@ let compare_dependency (a : dependency) (b : dependency) =
       (code_of_dependency a, a.d_sink, a.d_func)
       (code_of_dependency b, b.d_sink, b.d_func)
 
+let compare_info (a : info) (b : info) =
+  let c = compare_loc a.i_loc b.i_loc in
+  if c <> 0 then c else compare (a.i_code, a.i_func, a.i_msg) (b.i_code, b.i_func, b.i_msg)
+
 let pp_violation ppf v =
   Fmt.pf ppf "[%s] restriction %a violated in %s at %a: %s" (code_of_violation v)
     pp_restriction v.v_rule v.v_func Loc.pp v.v_loc v.v_msg
@@ -214,6 +241,9 @@ let pp_violation ppf v =
 let pp_warning ppf w =
   Fmt.pf ppf "[%s] warning: unmonitored non-core read of region '%s' in %s at %a"
     (code_of_warning w) w.w_region w.w_func Loc.pp w.w_loc
+
+let pp_info ppf (i : info) =
+  Fmt.pf ppf "[%s] note: %s in %s at %a" i.i_code i.i_msg i.i_func Loc.pp i.i_loc
 
 let pp_dependency ppf d =
   Fmt.pf ppf "[%s] %a dependency: %s in %s at %a@,  flow: %a" (code_of_dependency d)
@@ -240,6 +270,12 @@ let pp ppf t =
   Fmt.pf ppf "control-only dependencies — candidate false positives (%d):@,"
     (List.length ctrl);
   List.iter (fun d -> Fmt.pf ppf "  @[<v>%a@]@," pp_dependency d) ctrl;
+  (* informational notes exist only under --verbose; printing nothing
+     when empty keeps default reports byte-identical *)
+  if t.infos <> [] then begin
+    Fmt.pf ppf "informational (%d):@," (List.length t.infos);
+    List.iter (fun i -> Fmt.pf ppf "  %a@," pp_info i) t.infos
+  end;
   Fmt.pf ppf "@]"
 
 let to_string t = Fmt.str "%a" pp t

@@ -57,10 +57,21 @@ type dependency = {
           populate it so [d_trace = path_strings d_path] *)
 }
 
+(** Informational note (never gates): audit-trail entry emitted under
+    [--verbose], e.g. [I-RANGE-PROVED] for each A1/A2 obligation the
+    range analysis discharged without an Omega query. *)
+type info = {
+  i_code : string;
+  i_func : string;
+  i_loc : Loc.t;
+  i_msg : string;
+}
+
 type t = {
   violations : violation list;
   warnings : warning list;
   dependencies : dependency list;
+  infos : info list;  (** empty unless [--verbose] *)
   regions : (string * int * bool) list;  (** name, size, noncore *)
   annotation_lines : int;
   stats : (string * int) list;
@@ -85,6 +96,8 @@ val code_critical_dep : string  (** ["E-CRITICAL-DEP"] *)
 
 val code_control_dep : string  (** ["C-CONTROL-DEP"] *)
 
+val code_range_proved : string  (** ["I-RANGE-PROVED"] *)
+
 val code_of_restriction : restriction -> string
 (** ["V-P1"] … ["V-A2"] *)
 
@@ -93,6 +106,8 @@ val code_of_violation : violation -> string
 val code_of_warning : warning -> string
 
 val code_of_dependency : dependency -> string
+
+val code_of_info : info -> string
 
 (** Registry entry backing the SARIF [tool.driver.rules] array and the
     documentation table in DESIGN.md. *)
@@ -125,7 +140,11 @@ val compare_warning : warning -> warning -> int
 
 val compare_dependency : dependency -> dependency -> int
 
+val compare_info : info -> info -> int
+
 val pp_violation : Format.formatter -> violation -> unit
+
+val pp_info : Format.formatter -> info -> unit
 
 val pp_warning : Format.formatter -> warning -> unit
 

@@ -258,11 +258,15 @@ let finfo g (f : Ssair.Ir.func) : finfo =
     let fi_branches =
       List.filter_map
         (fun (b : Ssair.Ir.block) ->
-          match b.Ssair.Ir.termin with
-          | Ssair.Ir.Cbr (Ssair.Ir.Vreg id, _, _) | Ssair.Ir.Switch (Ssair.Ir.Vreg id, _, _)
-            ->
-            Some (b.Ssair.Ir.bbid, id)
-          | _ -> None)
+          (* decided branches exert no control dependence — mirror
+             Phase3.block_control_taint's pruning *)
+          if Phase3.branch_decided g.st f b then None
+          else
+            match b.Ssair.Ir.termin with
+            | Ssair.Ir.Cbr (Ssair.Ir.Vreg id, _, _)
+            | Ssair.Ir.Switch (Ssair.Ir.Vreg id, _, _) ->
+              Some (b.Ssair.Ir.bbid, id)
+            | _ -> None)
         f.Ssair.Ir.blocks
     in
     let fi_closure = Hashtbl.create 8 in
@@ -400,7 +404,8 @@ let build_pair_block g (f : Ssair.Ir.func) (ctx : Phase3.Ctx.t) : block =
                   match pblk.Ssair.Ir.termin with
                   | Ssair.Ir.Cbr (Ssair.Ir.Vreg cvid, _, _)
                   | Ssair.Ir.Switch (Ssair.Ir.Vreg cvid, _, _) ->
-                    edge (eval cvid) self Many_ctrl why
+                    if not (Phase3.branch_decided st f pblk) then
+                      edge (eval cvid) self Many_ctrl why
                   | _ -> ())
                 | None -> ())
               p.Ssair.Ir.incoming
@@ -664,12 +669,20 @@ let dep_digest g kc (f : Ssair.Ir.func) =
   match Hashtbl.find_opt kc.kc_dep fname with
   | Some d -> d
   | None ->
+    (* the absint summary shapes the edge block (pruned control edges),
+       and ranges are interprocedural, so it must key the cached block *)
+    let absint_d =
+      match g.st.Phase3.absint with
+      | Some ai -> Absint.summary_digest ai fname
+      | None -> "no-absint"
+    in
     let d =
       Digest_ir.of_value
         ( Hashtbl.find kc.kc_funcs fname,
           Digest_ir.facts_digest kc.kc_p1_by fname,
           Digest_ir.facts_digest kc.kc_pts_by fname,
           kc.kc_global,
+          absint_d,
           callee_sigs g f )
     in
     Hashtbl.replace kc.kc_dep fname d;
@@ -748,9 +761,9 @@ let build_many g (todo : (Ssair.Ir.func * Phase3.Ctx.t) array) : block array =
 
 (* -- Entry point --------------------------------------------------------------- *)
 
-let run ?(config = Config.default) ?cache ?digests (prog : Ssair.Ir.program) (shm : Shm.t)
-    (p1 : Phase1.t) (pts : Pointsto.t) : Phase3.result =
-  let st = Phase3.make_state ~config prog shm p1 pts in
+let run ?(config = Config.default) ?cache ?digests ?absint (prog : Ssair.Ir.program)
+    (shm : Shm.t) (p1 : Phase1.t) (pts : Pointsto.t) : Phase3.result =
+  let st = Phase3.make_state ~config ?absint prog shm p1 pts in
   let g = create st in
   let kc =
     match (cache, digests) with

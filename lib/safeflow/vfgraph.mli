@@ -27,12 +27,16 @@ val run :
   ?config:Config.t ->
   ?cache:Cache.t ->
   ?digests:Digest_ir.t ->
+  ?absint:Absint.t ->
   Ssair.Ir.program ->
   Shm.t ->
   Phase1.t ->
   Pointsto.t ->
   Phase3.result
-(** drop-in replacement for {!Phase3.run}; [result.passes] is 1 and
+(** drop-in replacement for {!Phase3.run}; [?absint] prunes control
+    dependence of branches whose direction the value-range analysis
+    decides (precision-only, mirrored in the legacy engine);
+    [result.passes] is 1 and
     [result.engine_stats] reports interned-entity, edge and worklist-pop
     counters.
 

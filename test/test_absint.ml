@@ -1,0 +1,264 @@
+(* Value-range abstract interpretation (lib/absint): interval lattice
+   laws, widening termination, branch refinement via dead-branch
+   detection, the precision-only guarantee on the five subject systems
+   (absint-on findings are a fingerprint subset of absint-off), and the
+   A1/A2 discharge evidence on generic_simplex. *)
+
+open Safeflow
+module Itv = Absint.Itv
+
+let find_system name =
+  let candidates =
+    [ "../../../systems/" ^ name; "../../systems/" ^ name; "systems/" ^ name ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Alcotest.fail ("cannot locate systems/" ^ name)
+
+let itv = Alcotest.testable Itv.pp Itv.equal
+
+(* -- interval lattice -------------------------------------------------- *)
+
+(* a small but adversarial universe: Bot, points, finite ranges, and all
+   half-open/overlapping shapes including the infinities *)
+let universe =
+  let bounds = [ Itv.MInf; Itv.Fin (-7); Itv.Fin 0; Itv.Fin 3; Itv.PInf ] in
+  Itv.bot
+  :: List.concat_map
+       (fun lo ->
+         List.filter_map
+           (fun hi ->
+             match (lo, hi) with
+             | Itv.Fin a, Itv.Fin b when a > b -> None
+             | Itv.PInf, _ | _, Itv.MInf -> None
+             | _ -> Some (Itv.Iv (lo, hi)))
+           bounds)
+       bounds
+
+let forall2 f = List.iter (fun a -> List.iter (fun b -> f a b) universe) universe
+
+let test_lattice_laws () =
+  List.iter
+    (fun a ->
+      Alcotest.check itv "join idempotent" a (Itv.join a a);
+      Alcotest.check itv "meet idempotent" a (Itv.meet a a);
+      Alcotest.(check bool) "leq reflexive" true (Itv.leq a a);
+      Alcotest.(check bool) "bot below all" true (Itv.leq Itv.bot a);
+      Alcotest.(check bool) "all below top" true (Itv.leq a Itv.top))
+    universe;
+  forall2 (fun a b ->
+      Alcotest.check itv "join commutative" (Itv.join a b) (Itv.join b a);
+      Alcotest.check itv "meet commutative" (Itv.meet a b) (Itv.meet b a);
+      Alcotest.(check bool) "join is upper bound" true
+        (Itv.leq a (Itv.join a b) && Itv.leq b (Itv.join a b));
+      Alcotest.(check bool) "meet is lower bound" true
+        (Itv.leq (Itv.meet a b) a && Itv.leq (Itv.meet a b) b);
+      (* absorption ties join and meet into one lattice *)
+      Alcotest.check itv "absorption" a (Itv.meet a (Itv.join a b));
+      Alcotest.check itv "absorption'" a (Itv.join a (Itv.meet a b)))
+
+let test_widen_narrow () =
+  forall2 (fun a b ->
+      let w = Itv.widen a b in
+      Alcotest.(check bool) "widen covers join" true (Itv.leq (Itv.join a b) w);
+      (* narrowing never goes below the stable value it refines *)
+      Alcotest.(check bool) "narrow sound" true (Itv.leq (Itv.meet a b) (Itv.narrow a b)));
+  (* widening terminates: any strictly ascending chain stabilizes after
+     at most one jump per bound *)
+  List.iter
+    (fun start ->
+      let x = ref start in
+      let steps = ref 0 in
+      let stable = ref false in
+      while (not !stable) && !steps < 5 do
+        let next = Itv.add !x (Itv.const 1) in
+        let w = Itv.widen !x (Itv.join !x next) in
+        if Itv.equal w !x then stable := true else x := w;
+        incr steps
+      done;
+      Alcotest.(check bool) "ascending chain stabilizes" true !stable)
+    universe
+
+let test_arith () =
+  Alcotest.check itv "add" (Itv.range 4 6) (Itv.add (Itv.range 1 2) (Itv.range 3 4));
+  Alcotest.check itv "sub" (Itv.range (-4) 1) (Itv.sub (Itv.range 1 2) (Itv.range 1 5));
+  Alcotest.check itv "mul signs" (Itv.range (-10) 10)
+    (Itv.mul (Itv.range (-2) 2) (Itv.range (-5) 5));
+  Alcotest.check itv "neg" (Itv.range (-2) 1) (Itv.neg (Itv.range (-1) 2));
+  Alcotest.check itv "add bot" Itv.bot (Itv.add Itv.bot (Itv.const 1));
+  Alcotest.(check bool) "within" true (Itv.within (Itv.range 0 5) ~lo:0 ~hi:6);
+  Alcotest.(check bool) "not within" false (Itv.within (Itv.range 0 7) ~lo:0 ~hi:6);
+  Alcotest.(check bool) "bot within anything" true (Itv.within Itv.bot ~lo:0 ~hi:0);
+  Alcotest.(check bool) "excludes zero" true (Itv.excludes_zero (Itv.range 1 9));
+  Alcotest.(check bool) "contains zero" false (Itv.excludes_zero (Itv.range (-1) 9))
+
+(* -- fixpoint on real programs ----------------------------------------- *)
+
+(* clamp pattern: m is clamped into [0,3]; the branch on m > 7 can never
+   be taken, so its control dependence on the non-core mode value is a
+   false positive that the ranges remove *)
+let clamp_src =
+  {|
+struct SHMData { int mode; int cmd; };
+typedef struct SHMData SHMData;
+SHMData *modeShm;
+int shmLock;
+extern void sendControl(int out);
+void initComm()
+/*** SafeFlow Annotation shminit ***/
+{
+  int shmid;
+  void *shmStart;
+  shmid = shmget(9000, sizeof(SHMData), 438);
+  shmStart = shmat(shmid, (void *) 0, 0);
+  modeShm = (SHMData *) shmStart;
+  InitCheck(shmStart, sizeof(SHMData));
+  /*** SafeFlow Annotation
+       assume(shmvar(modeShm, sizeof(SHMData)))
+       assume(noncore(modeShm)) ***/
+}
+int main()
+{
+  int m;
+  int out;
+  initComm();
+  m = modeShm->mode;
+  if (m < 0) { m = 0; }
+  if (m > 3) { m = 3; }
+  out = 1;
+  if (m > 7) { out = 2; }
+  /*** SafeFlow Annotation assert(safe(out)) ***/
+  sendControl(out);
+  return 0;
+}
+|}
+
+let test_widening_terminates_on_loop () =
+  (* unbounded counter loop: only widening makes the fixpoint finite *)
+  let src =
+    {|
+int spin(int n)
+{
+  int i;
+  int acc;
+  acc = 0;
+  i = 0;
+  while (i < n) {
+    acc = acc + 2;
+    i = i + 1;
+  }
+  return acc;
+}
+int main() { return spin(50); }
+|}
+  in
+  let p = Driver.prepare_source ~file:"loop.c" src in
+  let ai = Absint.analyze p.Driver.ir in
+  Alcotest.(check bool) "fixpoint ran" true (Absint.iterations ai > 0);
+  Alcotest.(check bool) "widening fired" true (Absint.widenings ai > 0);
+  (* the pass budget in run_function is 100 ascending iterations; a
+     terminating analysis stays far under it even with two functions *)
+  Alcotest.(check bool) "iterations bounded" true (Absint.iterations ai < 200)
+
+let test_branch_refinement_kills_branch () =
+  let p = Driver.prepare_source ~file:"clamp.c" clamp_src in
+  let ai = Absint.analyze p.Driver.ir in
+  let main =
+    List.find (fun f -> f.Ssair.Ir.fname = "main") p.Driver.ir.Ssair.Ir.funcs
+  in
+  (* after the two clamps, m is in [0,3]: the m > 7 branch has a decided
+     (always false) condition, so exactly its then-arm is dead *)
+  let dead =
+    List.filter_map
+      (fun b -> Absint.dead_branch ai ~fname:"main" ~bid:b.Ssair.Ir.bbid)
+      main.Ssair.Ir.blocks
+  in
+  Alcotest.(check bool) "a decided branch exists" true (dead <> []);
+  Alcotest.(check bool) "its then arm is dead" true
+    (List.exists (fun d -> d = Absint.Dead_then) dead)
+
+(* -- report-level guarantees ------------------------------------------- *)
+
+let analyze_with ~engine ~absint ?file src =
+  let config = { Config.default with Config.engine; absint } in
+  Driver.analyze ~config ?file src
+
+let fingerprints (a : Driver.analysis) =
+  let ctx = Fingerprint.ctx_of_program a.Driver.prepared.Driver.ir in
+  List.sort_uniq compare (List.map fst (Fingerprint.of_report ctx a.Driver.report))
+
+let test_clamp_control_dep_pruned () =
+  List.iter
+    (fun engine ->
+      let name = Config.engine_name engine in
+      let off = analyze_with ~engine ~absint:false ~file:"clamp.c" clamp_src in
+      let on = analyze_with ~engine ~absint:true ~file:"clamp.c" clamp_src in
+      Alcotest.(check int)
+        (name ^ ": control dep reported without ranges")
+        1
+        (List.length (Report.control_deps off.Driver.report));
+      Alcotest.(check int)
+        (name ^ ": control dep pruned with ranges")
+        0
+        (List.length (Report.control_deps on.Driver.report));
+      (* the data-flow warning on the unchecked mode read must survive:
+         pruning is restricted to control dependences *)
+      Alcotest.(check int)
+        (name ^ ": warnings unchanged")
+        (List.length off.Driver.report.Report.warnings)
+        (List.length on.Driver.report.Report.warnings))
+    [ Config.Legacy; Config.Worklist ]
+
+let all_systems =
+  [ "figure2.c"; "ip_controller.c"; "double_ip.c"; "car_follow.c";
+    "generic_simplex.c" ]
+
+let test_systems_fingerprint_subset () =
+  List.iter
+    (fun name ->
+      let src =
+        let ic = open_in_bin (find_system name) in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      in
+      List.iter
+        (fun engine ->
+          let off = analyze_with ~engine ~absint:false ~file:name src in
+          let on = analyze_with ~engine ~absint:true ~file:name src in
+          let fps_on = fingerprints on and fps_off = fingerprints off in
+          Alcotest.(check bool)
+            (Fmt.str "%s/%s: on-findings are a subset of off-findings" name
+               (Config.engine_name engine))
+            true
+            (List.for_all (fun fp -> List.mem fp fps_off) fps_on))
+        [ Config.Legacy; Config.Worklist ])
+    all_systems
+
+let test_generic_simplex_discharges () =
+  let a = Driver.analyze_file (find_system "generic_simplex.c") in
+  let b = a.Driver.coverage.Coverage.cov_bounds in
+  Alcotest.(check bool) "has A1/A2 obligations" true (b.Phase2.bs_total >= 1);
+  Alcotest.(check bool) "at least one discharged by ranges" true
+    (b.Phase2.bs_ranges >= 1);
+  Alcotest.(check int) "none failed" 0 b.Phase2.bs_failed;
+  Alcotest.(check bool) "Omega queries avoided" true (b.Phase2.bs_omega_avoided >= 1)
+
+let () =
+  Alcotest.run "absint"
+    [ ( "interval lattice",
+        [ Alcotest.test_case "lattice laws" `Quick test_lattice_laws;
+          Alcotest.test_case "widen/narrow" `Quick test_widen_narrow;
+          Alcotest.test_case "arithmetic" `Quick test_arith ] );
+      ( "fixpoint",
+        [ Alcotest.test_case "widening terminates on counter loop" `Quick
+            test_widening_terminates_on_loop;
+          Alcotest.test_case "branch refinement decides clamp guard" `Quick
+            test_branch_refinement_kills_branch ] );
+      ( "reports",
+        [ Alcotest.test_case "clamp control dep pruned, both engines" `Quick
+            test_clamp_control_dep_pruned;
+          Alcotest.test_case "five systems: on ⊆ off fingerprints" `Slow
+            test_systems_fingerprint_subset;
+          Alcotest.test_case "generic_simplex discharges via ranges" `Quick
+            test_generic_simplex_discharges ] ) ]

@@ -142,11 +142,12 @@ let test_staged_pipeline_consistency () =
   let p = Driver.prepare_file path in
   let shm = Driver.stage_shm p in
   let p1 = Driver.stage_phase1 p shm in
-  let violations = Driver.stage_phase2 p p1 in
+  let absint = Driver.stage_absint p in
+  let ph2 = Driver.stage_phase2 ?absint p p1 in
   let pts = Driver.stage_pointsto p in
-  let ph3 = Driver.stage_phase3 p shm p1 pts in
+  let ph3 = Driver.stage_phase3 ?absint p shm p1 pts in
   Alcotest.(check int) "violations agree" (List.length one_shot.Report.violations)
-    (List.length violations);
+    (List.length ph2.Phase2.violations);
   Alcotest.(check int) "warnings agree" (List.length one_shot.Report.warnings)
     (List.length ph3.Phase3.warnings);
   Alcotest.(check int) "dependencies agree"

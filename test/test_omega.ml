@@ -135,6 +135,25 @@ let test_overflow_unknown () =
   in
   match feasible ~fuel:5000 cs with Sat | Unsat | Unknown -> ()
 
+let test_constructor_overflow_total () =
+  (* near-max_int constants (e.g. hypothesis bounds derived from value
+     ranges) overflow while BUILDING the constraint, before feasible's
+     handler is in scope; the constructors must degrade to a trivially
+     true constraint instead of raising *)
+  let huge = c (max_int - 1) in
+  let neg_huge = c (min_int + 2) in
+  let cs =
+    [ le neg_huge x;    (* x - (min_int + 2) overflows *)
+      ge huge x;        (* fine *)
+      lt x huge;        (* (max_int - 1) - x - 1 may overflow under shift *)
+      gt x neg_huge;
+      eq (Linexpr.add x huge) huge ]
+  in
+  (match feasible cs with Sat | Unsat | Unknown -> ());
+  (* a weakened conjunct must never manufacture an Unsat: x = 0 satisfies
+     every non-degenerate constraint above *)
+  Alcotest.(check bool) "no false unsat" true (feasible cs <> Unsat)
+
 let test_budget_exhaustion () =
   (* dense random-ish system with tiny fuel must not loop forever *)
   let cs =
@@ -255,5 +274,7 @@ let () =
           Alcotest.test_case "entails" `Quick test_entails ] );
       ( "robustness",
         [ Alcotest.test_case "overflow unknown" `Quick test_overflow_unknown;
+          Alcotest.test_case "constructor overflow total" `Quick
+            test_constructor_overflow_total;
           Alcotest.test_case "budget" `Quick test_budget_exhaustion ] );
       ("properties", [ qt prop_matches_brute_force; qt prop_monotone_unsat ]) ]
