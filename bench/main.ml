@@ -17,7 +17,9 @@
    Options:
      --json FILE    also write the subcommand's results as JSON
      --iters N      samples per measurement (median is reported; default 5)
-     --system NAME  restrict table rows to the named system (e.g. IP) *)
+     --system NAME  restrict table rows to the named system (e.g. IP)
+     --synth SIZES  engines: run only the synthetic grid at these
+                    comma-separated worker counts (CI perf smoke) *)
 
 let find path =
   let candidates = [ path; "../" ^ path; "../../" ^ path; "../../../" ^ path ] in
@@ -46,21 +48,32 @@ let timed f =
   Gc.compact ();
   time_ms f
 
-type stats = { st_median : float; st_min : float; st_mean : float }
+type stats = { st_median : float; st_min : float; st_mean : float; st_stddev : float }
 
 let stats_of (samples : float list) : stats =
   let n = max 1 (List.length samples) in
+  let mean = List.fold_left ( +. ) 0.0 samples /. float_of_int n in
+  let var =
+    List.fold_left (fun acc x -> acc +. ((x -. mean) *. (x -. mean))) 0.0 samples
+    /. float_of_int n
+  in
   {
     st_median = median samples;
     st_min = List.fold_left Float.min Float.infinity samples;
-    st_mean = List.fold_left ( +. ) 0.0 samples /. float_of_int n;
+    st_mean = mean;
+    st_stddev = sqrt var;
   }
 
 (* -- options ---------------------------------------------------------------- *)
 
-type opts = { json : string option; iters : int; system : string option }
+type opts = {
+  json : string option;
+  iters : int;
+  system : string option;
+  synth : int list option;  (* engines: restrict B2 to these sizes, skip B1 *)
+}
 
-let default_opts = { json = None; iters = 5; system = None }
+let default_opts = { json = None; iters = 5; system = None; synth = None }
 
 let parse_args () : string * opts =
   let rec go cmd o = function
@@ -68,6 +81,9 @@ let parse_args () : string * opts =
     | "--json" :: v :: rest -> go cmd { o with json = Some v } rest
     | "--iters" :: v :: rest -> go cmd { o with iters = int_of_string v } rest
     | "--system" :: v :: rest -> go cmd { o with system = Some v } rest
+    | "--synth" :: v :: rest ->
+      let sizes = List.map int_of_string (String.split_on_char ',' v) in
+      go cmd { o with synth = Some sizes } rest
     | a :: rest when cmd = None && String.length a > 0 && a.[0] <> '-' ->
       go (Some a) o rest
     | a :: _ -> failwith ("unknown argument " ^ a)
@@ -120,11 +136,12 @@ let write_json (o : opts) (j : json) : unit =
     if path <> "/dev/null" then Fmt.pr "results written to %s@." path
 
 (* JSON fields for one measurement: median under the historical "_ms" name
-   plus the min/mean spread *)
+   plus the min/mean/stddev spread *)
 let jstats prefix (st : stats) =
   [ (prefix ^ "_ms", Jfloat st.st_median);
     (prefix ^ "_min_ms", Jfloat st.st_min);
-    (prefix ^ "_mean_ms", Jfloat st.st_mean) ]
+    (prefix ^ "_mean_ms", Jfloat st.st_mean);
+    (prefix ^ "_stddev_ms", Jfloat st.st_stddev) ]
 
 (* Self-describing records: the semantic-config fingerprint
    (Digest_ir.semantic_config — engine-independent by construction) ties
@@ -137,6 +154,8 @@ let jmeta ~benchmark ~engines =
     Jobj
       [ ("benchmark", Jstr benchmark);
         ("engines", Jarr (List.map (fun e -> Jstr e) engines));
+        ("ocaml_version", Jstr Sys.ocaml_version);
+        ("word_size", Jint Sys.word_size);
         ("config_fingerprint", Jstr (config_fingerprint Safeflow.Config.default));
         ("cache_format_version", Jint Safeflow.Cache.format_version);
         ("telemetry_schema", Jstr Safeflow.Telemetry.stats_json_schema);
@@ -407,6 +426,11 @@ let engines (o : opts) =
     let p1 = Safeflow.Driver.stage_phase1 p shm in
     let pts = Safeflow.Driver.stage_pointsto p in
     let sample config =
+      (* warmup: populate allocator/caches and fault code pages so the
+         first timed iteration is not an outlier *)
+      for _ = 1 to 2 do
+        ignore (Safeflow.Driver.stage_phase3 ~config p shm p1 pts)
+      done;
       stats_of
         (List.init iters (fun _ ->
              snd (timed (fun () -> Safeflow.Driver.stage_phase3 ~config p shm p1 pts))))
@@ -422,7 +446,9 @@ let engines (o : opts) =
   Fmt.pr "%-18s %22s %22s %9s %12s %7s@." "input" "legacy(ms)" "worklist(ms)"
     "speedup" "err/warn/fp" "agree";
   let b1 =
-    List.map
+    if o.synth <> None then []
+    else
+      List.map
       (fun row ->
         let path = find ("systems/" ^ row.p_core_file) in
         let src = read_file path in
@@ -455,7 +481,9 @@ let engines (o : opts) =
                   Safeflow.Driver.analyze ~config:worklist_cfg ~file:path src) ]))
       (selected_rows o)
   in
-  let b2_sizes = [ 32; 64; 128; 192; 256; 384 ] in
+  let b2_sizes =
+    match o.synth with Some sizes -> sizes | None -> [ 32; 64; 128; 192; 256; 384 ]
+  in
   Fmt.pr "@.%8s %22s %22s %9s %10s %10s@." "workers" "legacy(ms)" "worklist(ms)"
     "speedup" "passes" "vf_edges";
   let b2 =

@@ -4,7 +4,7 @@
      safeflow analyze file.c [file2.c ...]
                              [--no-control-deps] [--ctx-insensitive]
                              [--field-insensitive] [--vfg out.dot]
-                             [--engine legacy|worklist]
+                             [--engine worklist|legacy]   (default: worklist)
                              [--stats] [--trace out.json] [--stats-json out.json]
                              [--sarif out.sarif] [--save-findings out.findings]
                              [--baseline FILE] [--fail-on never|error|warning]
@@ -111,7 +111,7 @@ let analyze_cmd =
       value
       & opt engine_conv Safeflow.Config.default.Safeflow.Config.engine
       & info [ "engine" ] ~docv:"ENGINE"
-          ~doc:"phase-3 engine: $(b,legacy) (dense fixpoint) or $(b,worklist) (sparse value-flow graph); reports are identical")
+          ~doc:"phase-3 engine: $(b,worklist) (sparse CSR value-flow graph with packed bitset taint state; the default) or $(b,legacy) (dense fixpoint, kept as an equivalence oracle); reports are byte-identical under both")
   in
   let cache_dir =
     Arg.(
@@ -290,7 +290,7 @@ let explain_cmd =
       value
       & opt engine_conv Safeflow.Config.default.Safeflow.Config.engine
       & info [ "engine" ] ~docv:"ENGINE"
-          ~doc:"phase-3 engine: $(b,legacy) or $(b,worklist); witnesses are identical")
+          ~doc:"phase-3 engine: $(b,worklist) (default) or $(b,legacy); witnesses are identical under both")
   in
   let cache_dir =
     Arg.(

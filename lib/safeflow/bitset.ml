@@ -1,0 +1,60 @@
+(** Growable packed bitsets (see the interface for the contract).
+
+    Layout: 32 bits per [int] word.  OCaml ints are 63-bit on 64-bit
+    hosts, but 32 bits per word keeps the shift/mask arithmetic identical
+    across word sizes and leaves the sign bit untouched, so [lsr]/[lsl]
+    never wrap.  [set] grows on demand by doubling; [get] out of range is
+    [false], mirroring a hashtable-membership reading of the set. *)
+
+type t = { mutable words : int array }
+
+let bits_per_word = 32
+
+let words_for nbits = (max nbits 1 + (bits_per_word - 1)) / bits_per_word
+
+let create nbits = { words = Array.make (words_for nbits) 0 }
+
+let words t = Array.length t.words
+
+let capacity t = Array.length t.words * bits_per_word
+
+let ensure t nbits =
+  let need = words_for nbits in
+  let cap = Array.length t.words in
+  if need > cap then begin
+    let w = Array.make (max need (2 * cap)) 0 in
+    Array.blit t.words 0 w 0 cap;
+    t.words <- w
+  end
+
+let get t i =
+  if i < 0 then invalid_arg "Bitset.get";
+  let w = i / bits_per_word in
+  w < Array.length t.words
+  && (Array.unsafe_get t.words w lsr (i land (bits_per_word - 1))) land 1 = 1
+
+let set t i =
+  if i < 0 then invalid_arg "Bitset.set";
+  ensure t (i + 1);
+  let w = i / bits_per_word in
+  Array.unsafe_set t.words w
+    (Array.unsafe_get t.words w lor (1 lsl (i land (bits_per_word - 1))))
+
+let clear t i =
+  if i < 0 then invalid_arg "Bitset.clear";
+  let w = i / bits_per_word in
+  if w < Array.length t.words then
+    Array.unsafe_set t.words w
+      (Array.unsafe_get t.words w land lnot (1 lsl (i land (bits_per_word - 1))))
+
+let count t =
+  let n = ref 0 in
+  Array.iter
+    (fun w ->
+      let w = ref w in
+      while !w <> 0 do
+        w := !w land (!w - 1);
+        incr n
+      done)
+    t.words;
+  !n

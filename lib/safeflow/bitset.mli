@@ -1,0 +1,36 @@
+(** Growable packed bitsets over dense non-negative ids.
+
+    The sparse phase-3 engine ({!Vfgraph}) interns taint entities to
+    dense integer ids and keeps per-entity data/control taint membership
+    here: one bit per entity instead of a hashtable entry, so the hot
+    propagation loop tests and sets membership with a shift and a mask.
+    32 bits are packed per [int] word. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty set with capacity for ids [0 .. n-1]
+    preallocated (the set still grows past [n] on demand). *)
+
+val get : t -> int -> bool
+(** membership; ids beyond the current capacity are absent.
+    @raise Invalid_argument on a negative id *)
+
+val set : t -> int -> unit
+(** add an id, growing the backing array (by doubling) when needed *)
+
+val clear : t -> int -> unit
+(** remove an id; no-op beyond current capacity *)
+
+val ensure : t -> int -> unit
+(** [ensure t n] pre-grows the capacity to at least [n] bits, so a
+    subsequent in-range {!set} performs no bounds work *)
+
+val count : t -> int
+(** number of set bits *)
+
+val words : t -> int
+(** allocated backing words (32 bits each) — telemetry *)
+
+val capacity : t -> int
+(** current capacity in bits *)

@@ -5,8 +5,11 @@
    Version 3: the "phase2"/"phase2fn" namespaces store a result record
    (violations + range-discharge infos + bounds statistics) instead of a
    bare violation list, and the new "absint" namespace holds per-function
-   range summaries. *)
-let format_version = 3
+   range summaries.
+   Version 4: the "pair" namespace stores the flattened edge-block
+   layout (packed int entity descriptors and op words plus local value
+   tables) instead of the symbolic op-variant arrays. *)
+let format_version = 4
 
 let magic = "SAFEFLOW-CACHE"
 

@@ -39,7 +39,8 @@ type t = {
           buffer argument is tainted when the socket is non-core *)
   engine : engine;
       (** phase-3 propagation engine; [Legacy] is the paper-shaped dense
-          fixpoint, [Worklist] the sparse value-flow-graph engine *)
+          fixpoint, [Worklist] (the default) the sparse value-flow-graph
+          engine *)
   pair_domains : int;
       (** worklist engine: domains used to build (function, context)
           value-flow edge blocks in parallel; 1 = sequential, 0 = one per
@@ -60,7 +61,7 @@ type t = {
 
 let default =
   {
-    engine = Legacy;
+    engine = Worklist;
     pair_domains = 1;
     verbose = false;
     absint = true;

@@ -25,7 +25,7 @@ type t = {
           (default: the pid argument of [kill]) *)
   recv_functions : string list;
       (** message-passing receive calls (§3.4.3), default [recv] *)
-  engine : engine;  (** phase-3 engine, default [Legacy] *)
+  engine : engine;  (** phase-3 engine, default [Worklist] *)
   pair_domains : int;
       (** worklist engine: pair-build pool size; 1 = sequential
           (default), 0 = one domain per hardware thread; reports are

@@ -42,6 +42,89 @@ let iter f t =
     f i t.rev.(i)
   done
 
+let to_array t = Array.sub t.rev 0 t.len
+
+module Packed = struct
+  (* Open-addressed (linear probing) int-key hash table mapping packed
+     integer keys to dense ids.  Compared to [int t] above this avoids
+     the per-entry box and bucket list of [Hashtbl]: probing walks a flat
+     int array.  [ids.(slot) = -1] marks an empty slot, so any int —
+     including negative ones — is a valid key.  Load is kept below 1/2
+     by doubling. *)
+  type t = {
+    mutable keys : int array;
+    mutable ids : int array;  (** -1 = empty slot *)
+    mutable mask : int;  (** capacity - 1; capacity is a power of two *)
+    mutable len : int;
+  }
+
+  let create n =
+    let cap = ref 16 in
+    while !cap < 2 * n do
+      cap := !cap * 2
+    done;
+    { keys = Array.make !cap 0; ids = Array.make !cap (-1); mask = !cap - 1; len = 0 }
+
+  (* Fibonacci-style multiplicative mixing; the constant is
+     0x2545F4914F6CDD1D truncated to OCaml's 63-bit int range. *)
+  let slot_of mask k =
+    let h = k * 0x2545F4914F6CDD1 in
+    (h lxor (h lsr 29)) land mask
+
+  let grow t =
+    let cap' = 2 * (t.mask + 1) in
+    let keys' = Array.make cap' 0 in
+    let ids' = Array.make cap' (-1) in
+    let mask' = cap' - 1 in
+    for s = 0 to t.mask do
+      let id = Array.unsafe_get t.ids s in
+      if id >= 0 then begin
+        let k = Array.unsafe_get t.keys s in
+        let j = ref (slot_of mask' k) in
+        while Array.unsafe_get ids' !j >= 0 do
+          j := (!j + 1) land mask'
+        done;
+        Array.unsafe_set keys' !j k;
+        Array.unsafe_set ids' !j id
+      end
+    done;
+    t.keys <- keys';
+    t.ids <- ids';
+    t.mask <- mask'
+
+  let intern t k =
+    let j = ref (slot_of t.mask k) in
+    let id = ref (Array.unsafe_get t.ids !j) in
+    while !id >= 0 && Array.unsafe_get t.keys !j <> k do
+      j := (!j + 1) land t.mask;
+      id := Array.unsafe_get t.ids !j
+    done;
+    if !id >= 0 then begin
+      Telemetry.incr c_hits;
+      !id
+    end
+    else begin
+      Telemetry.incr c_misses;
+      let i = t.len in
+      Array.unsafe_set t.keys !j k;
+      Array.unsafe_set t.ids !j i;
+      t.len <- i + 1;
+      if 2 * t.len > t.mask then grow t;
+      i
+    end
+
+  let find_opt t k =
+    let j = ref (slot_of t.mask k) in
+    let id = ref (Array.unsafe_get t.ids !j) in
+    while !id >= 0 && Array.unsafe_get t.keys !j <> k do
+      j := (!j + 1) land t.mask;
+      id := Array.unsafe_get t.ids !j
+    done;
+    if !id >= 0 then Some !id else None
+
+  let length t = t.len
+end
+
 module Ctx = struct
   type store = {
     ids : Assume.assumption list t;

@@ -65,6 +65,20 @@ let pp_entity ppf = function
 
 type origin = { parent : entity option; why : string }
 
+(** Per-function control-dependence facts that do not depend on the
+    monitoring context or the taint state: the undecided register-cond
+    branches, and per branch block the transitive closure of the CDG
+    "controls" relation.  Memoized in {!state} ([brinfos]) — the legacy
+    engine recomputes {!block_control_taint} per (pair, pass) and
+    {!collect_dependencies} per pair, and only the branch conditions'
+    taint is dynamic. *)
+type brinfo = {
+  br_branches : (Ssair.Ir.bid * Ssair.Ir.vid * Ssair.Ir.bid list) list;
+      (** blocks ending in [Cbr]/[Switch] on a register: block, cond
+          vid, and the blocks transitively control-dependent on the
+          block (as a set — member order is not meaningful) *)
+}
+
 type state = {
   prog : Ssair.Ir.program;
   shm : Shm.t;
@@ -73,11 +87,15 @@ type state = {
   config : Config.t;
   absint : Absint.t option;
       (** value ranges; decided branches exert no control dependence *)
-  data : (entity, origin) Hashtbl.t;  (** data-tainted entities *)
-  ctrl : (entity, origin) Hashtbl.t;  (** control-tainted entities *)
+  mutable data : (entity, origin) Hashtbl.t;  (** data-tainted entities *)
+  mutable ctrl : (entity, origin) Hashtbl.t;  (** control-tainted entities *)
   pairs : (string * Ctx.t, unit) Hashtbl.t;  (** discovered (function, context) pairs *)
   warnings : (Loc.t * string, Report.warning) Hashtbl.t;
-  cdgs : (string, Ssair.Cdg.t) Hashtbl.t;
+  brinfos : (string, brinfo) Hashtbl.t;
+  fidx : (string, Ssair.Ir.func) Hashtbl.t;
+      (** function index — [Ssair.Ir.find_func] is a linear scan and the
+          legacy engine resolves callees at every call site of every
+          pass.  First occurrence wins, mirroring [find_func]. *)
   noncore_sockets : (string, unit) Hashtbl.t;
   mutable changed : bool;
   mutable passes : int;
@@ -101,13 +119,65 @@ let taint st table e ~parent ~why =
     st.changed <- true
   end
 
-let cdg_of st (f : Ssair.Ir.func) =
-  match Hashtbl.find_opt st.cdgs f.fname with
-  | Some c -> c
+(** Memoized {!brinfo} of [f].  Pure with respect to the taint state;
+    must first run on the main domain (it writes the memo tables) — the
+    sparse engine prewarms it before parallel pair builds, after which
+    worker domains read it through {!Vfgraph}'s finfo table. *)
+let branch_info st (f : Ssair.Ir.func) : brinfo =
+  match Hashtbl.find_opt st.brinfos f.fname with
+  | Some bi -> bi
   | None ->
-    let c = Ssair.Cdg.compute f in
-    Hashtbl.replace st.cdgs f.fname c;
-    c
+    let br_branches =
+      List.filter_map
+        (fun (b : Ssair.Ir.block) ->
+          (* decided branches exert no control dependence *)
+          if branch_decided st f b then None
+          else
+            match b.Ssair.Ir.termin with
+            | Ssair.Ir.Cbr (Ssair.Ir.Vreg id, _, _)
+            | Ssair.Ir.Switch (Ssair.Ir.Vreg id, _, _) ->
+              Some (b.Ssair.Ir.bbid, id)
+            | _ -> None)
+        f.Ssair.Ir.blocks
+    in
+    let br_branches =
+      match br_branches with
+      | [] -> []
+      | _ ->
+        (* the CDG is only consulted through the closures of undecided
+           branches, so a branch-free (or all-decided) function never
+           pays for post-dominator computation *)
+        let c = Ssair.Cdg.compute f in
+        (* per-function scratch; unmarked after each branch walk *)
+        let seen = Array.make (Array.length c.Ssair.Cdg.slot_bid) false in
+        List.map
+          (fun (bB, id) ->
+            (* transitive closure of the CDG "controls" relation from bB,
+               excluding bB itself unless it controls itself — a DFS on
+               the dense slot arrays (member order is irrelevant: every
+               consumer treats the closure as a set) *)
+            let acc = ref [] in
+            let s0 = c.Ssair.Cdg.slot_of bB in
+            (if s0 >= 0 then
+               let rec go s =
+                 List.iter
+                   (fun d ->
+                     if not seen.(d) then begin
+                       seen.(d) <- true;
+                       acc := d :: !acc;
+                       go d
+                     end)
+                   c.Ssair.Cdg.ctrl_slots.(s)
+               in
+               go s0);
+            let bids = List.map (fun s -> c.Ssair.Cdg.slot_bid.(s)) !acc in
+            List.iter (fun s -> seen.(s) <- false) !acc;
+            (bB, id, bids))
+          br_branches
+    in
+    let bi = { br_branches } in
+    Hashtbl.replace st.brinfos f.fname bi;
+    bi
 
 (* -- Resolving annotations ----------------------------------------------------- *)
 
@@ -142,42 +212,19 @@ let warn st (f : Ssair.Ir.func) ctx loc region =
 (* -- The per-(function, context) transfer ---------------------------------------- *)
 
 (** Blocks' tainted-control status: block → is any controlling branch
-    condition tainted (data or ctrl)? *)
+    condition tainted (data or ctrl)?  The closure of the "controls"
+    relation is static per function ({!branch_info}); only the branch
+    conditions' taint is dynamic, and the closure of a union of branch
+    sets equals the union of the per-branch closures. *)
 let block_control_taint st (f : Ssair.Ir.func) ctx : (Ssair.Ir.bid, unit) Hashtbl.t =
-  let cdg = cdg_of st f in
-  let tainted_blocks = Hashtbl.create 8 in
+  let bi = branch_info st f in
+  let closed = Hashtbl.create 8 in
   List.iter
-    (fun (b : Ssair.Ir.block) ->
-      let cond_val =
-        match b.Ssair.Ir.termin with
-        | Ssair.Ir.Cbr (v, _, _) -> Some v
-        | Ssair.Ir.Switch (v, _, _) -> Some v
-        | _ -> None
-      in
-      match cond_val with
-      | Some (Ssair.Ir.Vreg id) when not (branch_decided st f b) ->
-        let e = Eval (f.fname, ctx, id) in
-        if data_tainted st e || ctrl_tainted st e then
-          List.iter
-            (fun dep -> Hashtbl.replace tainted_blocks dep ())
-            (Option.value ~default:[]
-               (Hashtbl.find_opt (cdg_of st f).Ssair.Cdg.controls b.Ssair.Ir.bbid))
-      | _ -> ())
-    f.Ssair.Ir.blocks;
-  ignore cdg;
-  (* transitive closure over control dependence *)
-  let cdg = cdg_of st f in
-  let closed = Hashtbl.copy tainted_blocks in
-  let rec close bid =
-    List.iter
-      (fun controlled ->
-        if not (Hashtbl.mem closed controlled) then begin
-          Hashtbl.replace closed controlled ();
-          close controlled
-        end)
-      (Option.value ~default:[] (Hashtbl.find_opt cdg.Ssair.Cdg.controls bid))
-  in
-  Hashtbl.iter (fun bid () -> close bid) (Hashtbl.copy closed);
+    (fun (_bB, id, closure) ->
+      let e = Eval (f.fname, ctx, id) in
+      if data_tainted st e || ctrl_tainted st e then
+        List.iter (fun dep -> Hashtbl.replace closed dep ()) closure)
+    bi.br_branches;
   closed
 
 let value_entity fname ctx (v : Ssair.Ir.value) : entity option =
@@ -347,7 +394,7 @@ let analyze_pair st (f : Ssair.Ir.func) (ctx : Ctx.t) =
           | Ssair.Ir.Gep { base; idx; _ } -> flow_operands [ base; idx ] "address arithmetic"
           | Ssair.Ir.Annotation _ -> ()
           | Ssair.Ir.Call { callee; args; _ } -> (
-            match Ssair.Ir.find_func st.prog callee with
+            match Hashtbl.find_opt st.fidx callee with
             | Some g ->
               let gctx =
                 if st.config.Config.context_sensitive then
@@ -538,37 +585,68 @@ let collect_dependencies st : Report.dependency list =
               "critical site executes under a condition influenced by non-core values";
           ]
   in
+  (* sink sites are context-independent; collect them once per function
+     (in block/instruction order — the order of the [check_value] calls
+     below drives first-win dedup) and skip the control-taint closure
+     for the many pairs of functions with no sinks at all *)
+  let sites_memo : (string, (Ssair.Ir.bid * Loc.t * string * Ssair.Ir.value) list) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  (* the sink list is tiny but consulted once per call instruction *)
+  let sink_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (callee, indices) ->
+      if not (Hashtbl.mem sink_tbl callee) then Hashtbl.add sink_tbl callee indices)
+    st.config.Config.critical_sinks;
+  let sites_of (f : Ssair.Ir.func) =
+    match Hashtbl.find_opt sites_memo f.Ssair.Ir.fname with
+    | Some l -> l
+    | None ->
+      let acc = ref [] in
+      List.iter
+        (fun (b : Ssair.Ir.block) ->
+          List.iter
+            (fun (i : Ssair.Ir.instr) ->
+              match i.Ssair.Ir.idesc with
+              | Ssair.Ir.Annotation { clause = Annot.Assert_safe x; aval = Some v } ->
+                acc :=
+                  (b.Ssair.Ir.bbid, i.Ssair.Ir.iloc, Fmt.str "assert(safe(%s))" x, v)
+                  :: !acc
+              | Ssair.Ir.Call { callee; args; _ } -> (
+                match Hashtbl.find_opt sink_tbl callee with
+                | Some indices ->
+                  List.iter
+                    (fun k ->
+                      match List.nth_opt args k with
+                      | Some arg ->
+                        acc :=
+                          ( b.Ssair.Ir.bbid,
+                            i.Ssair.Ir.iloc,
+                            Fmt.str "argument %d of %s" k callee,
+                            arg )
+                          :: !acc
+                      | None -> ())
+                    indices
+                | None -> ())
+              | _ -> ())
+            b.Ssair.Ir.instrs)
+        f.Ssair.Ir.blocks;
+      let l = List.rev !acc in
+      Hashtbl.replace sites_memo f.Ssair.Ir.fname l;
+      l
+  in
   Hashtbl.iter
     (fun (fname, ctx) () ->
-      match Ssair.Ir.find_func st.prog fname with
+      match Hashtbl.find_opt st.fidx fname with
       | None -> ()
-      | Some f ->
-        let blk_ctrl = block_control_taint st f ctx in
-        List.iter
-          (fun (b : Ssair.Ir.block) ->
-            List.iter
-              (fun (i : Ssair.Ir.instr) ->
-                match i.Ssair.Ir.idesc with
-                | Ssair.Ir.Annotation { clause = Annot.Assert_safe x; aval = Some v } ->
-                  check_value f ctx blk_ctrl b.Ssair.Ir.bbid i.Ssair.Ir.iloc
-                    (Fmt.str "assert(safe(%s))" x)
-                    v
-                | Ssair.Ir.Call { callee; args; _ } -> (
-                  match List.assoc_opt callee st.config.Config.critical_sinks with
-                  | Some indices ->
-                    List.iter
-                      (fun k ->
-                        match List.nth_opt args k with
-                        | Some arg ->
-                          check_value f ctx blk_ctrl b.Ssair.Ir.bbid i.Ssair.Ir.iloc
-                            (Fmt.str "argument %d of %s" k callee)
-                            arg
-                        | None -> ())
-                      indices
-                  | None -> ())
-                | _ -> ())
-              b.Ssair.Ir.instrs)
-          f.Ssair.Ir.blocks)
+      | Some f -> (
+        match sites_of f with
+        | [] -> ()
+        | sites ->
+          let blk_ctrl = block_control_taint st f ctx in
+          List.iter
+            (fun (bid, loc, sink, v) -> check_value f ctx blk_ctrl bid loc sink v)
+            sites))
     st.pairs;
   (* deduplicate by (sink, loc, kind), then emit in the canonical
      (file, line, code) order — [st.pairs] is a hash table, so the raw
@@ -604,6 +682,11 @@ type result = {
     strategy. *)
 let make_state ~(config : Config.t) ?absint (prog : Ssair.Ir.program) (shm : Shm.t)
     (p1 : Phase1.t) (pts : Pointsto.t) : state =
+  let fidx = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Ssair.Ir.func) ->
+      if not (Hashtbl.mem fidx f.Ssair.Ir.fname) then Hashtbl.add fidx f.Ssair.Ir.fname f)
+    prog.Ssair.Ir.funcs;
   let st =
     {
       prog;
@@ -616,7 +699,8 @@ let make_state ~(config : Config.t) ?absint (prog : Ssair.Ir.program) (shm : Shm
       ctrl = Hashtbl.create 256;
       pairs = Hashtbl.create 32;
       warnings = Hashtbl.create 32;
-      cdgs = Hashtbl.create 16;
+      brinfos = Hashtbl.create 16;
+      fidx;
       noncore_sockets = Hashtbl.create 4;
       changed = false;
       passes = 0;
@@ -634,18 +718,21 @@ let root_pairs st : (Ssair.Ir.func * Ctx.t) list =
   let add_root (f : Ssair.Ir.func) =
     roots := (f, Ctx.make (own_assumptions st f)) :: !roots
   in
-  (match Ssair.Ir.find_func prog "main" with
+  (match Hashtbl.find_opt st.fidx "main" with
   | Some m -> add_root m
   | None -> ());
   let called = Hashtbl.create 32 in
   List.iter
     (fun (f : Ssair.Ir.func) ->
       List.iter
-        (fun i ->
-          match i.Ssair.Ir.idesc with
-          | Ssair.Ir.Call { callee; _ } -> Hashtbl.replace called callee ()
-          | _ -> ())
-        (Ssair.Ir.all_instrs f))
+        (fun (b : Ssair.Ir.block) ->
+          List.iter
+            (fun (i : Ssair.Ir.instr) ->
+              match i.Ssair.Ir.idesc with
+              | Ssair.Ir.Call { callee; _ } -> Hashtbl.replace called callee ()
+              | _ -> ())
+            b.Ssair.Ir.instrs)
+        f.Ssair.Ir.blocks)
     prog.Ssair.Ir.funcs;
   List.iter
     (fun (f : Ssair.Ir.func) ->
@@ -672,7 +759,7 @@ let run ?(config = Config.default) ?absint (prog : Ssair.Ir.program) (shm : Shm.
         let pairs = Hashtbl.fold (fun k () acc -> k :: acc) st.pairs [] in
         List.iter
           (fun (fname, ctx) ->
-            match Ssair.Ir.find_func prog fname with
+            match Hashtbl.find_opt st.fidx fname with
             | Some f when not (Phase1.is_exempt p1 fname) -> analyze_pair st f ctx
             | _ -> ())
           pairs

@@ -19,6 +19,7 @@ module Phase1 = Phase1
 module Phase2 = Phase2
 module Phase3 = Phase3
 module Intern = Intern
+module Bitset = Bitset
 module Digest_ir = Digest_ir
 module Cache = Cache
 module Vfgraph = Vfgraph

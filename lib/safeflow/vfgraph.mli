@@ -23,6 +23,28 @@
     that are also data-tainted, and data shadows control everywhere the
     report classifies, so classifications agree. *)
 
+(** CSR (compressed sparse row) adjacency over dense entity ids: the
+    flat edge list the replay appends to is finalized once — between the
+    last block replay and the worklist drain — into offset/target/info
+    arrays, so the drain walks each entity's successors as one array
+    slice.  Exposed for the property tests in [test/test_csr.ml]. *)
+module Csr : sig
+  type t = { off : int array; dst : int array; info : int array }
+
+  val build : n:int -> src:int array -> dst:int array -> info:int array -> len:int -> t
+  (** [build ~n ~src ~dst ~info ~len] sorts the first [len] edges
+      [(src.(i), dst.(i), info.(i))] (source ids in [0, n)) into
+      row-major adjacency.  Each row reads in {e reverse insertion
+      order}, reproducing the cons-list adjacency this layout replaced
+      (first-win taint origins depend on it). *)
+
+  val degree : t -> int -> int
+
+  val row : t -> int -> (int * int) list
+  (** [(dst, info)] successors of a source, in row (= iteration)
+      order *)
+end
+
 val run :
   ?config:Config.t ->
   ?cache:Cache.t ->

@@ -1,0 +1,148 @@
+(* Property and unit tests for the flat phase-3 engine layout
+   (lib/safeflow/vfgraph.ml Csr, lib/safeflow/bitset.ml):
+
+   - the CSR adjacency built from a random flat edge list is
+     edge-set-identical to a reference hashtable adjacency, and each row
+     reads in reverse insertion order (the cons-list order the drain's
+     first-win taint origins depend on);
+   - packed bitsets behave like a reference bool array across word
+     boundaries, growth and counting. *)
+
+open Safeflow
+
+(* -- CSR ≡ hashtable adjacency ---------------------------------------------- *)
+
+(* reference: the cons-list adjacency the CSR replaced — prepend each
+   edge under its source, so a bucket reads newest-first *)
+let reference_adjacency n edges =
+  let t : (int, (int * int) list) Hashtbl.t = Hashtbl.create (2 * n) in
+  List.iter
+    (fun (s, d, i) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt t s) in
+      Hashtbl.replace t s ((d, i) :: cur))
+    edges;
+  t
+
+let build_csr n edges =
+  let len = List.length edges in
+  let src = Array.make (max len 1) 0
+  and dst = Array.make (max len 1) 0
+  and info = Array.make (max len 1) 0 in
+  List.iteri
+    (fun k (s, d, i) ->
+      src.(k) <- s;
+      dst.(k) <- d;
+      info.(k) <- i)
+    edges;
+  Vfgraph.Csr.build ~n ~src ~dst ~info ~len
+
+let edges_gen =
+  QCheck.Gen.(
+    int_range 1 40 >>= fun n ->
+    list_size (int_range 0 200)
+      (map3 (fun s d i -> (s, d, i)) (int_range 0 (n - 1)) (int_range 0 (n - 1))
+         (int_range 0 1000))
+    >>= fun edges -> return (n, edges))
+
+let prop_csr_matches_reference =
+  let arb =
+    QCheck.make
+      ~print:(fun (n, edges) -> Fmt.str "n=%d edges=%d" n (List.length edges))
+      edges_gen
+  in
+  QCheck.Test.make ~name:"CSR rows = hashtable adjacency (reverse insertion order)"
+    ~count:300 arb (fun (n, edges) ->
+      let csr = build_csr n edges in
+      let reference = reference_adjacency n edges in
+      let ok = ref true in
+      for s = 0 to n - 1 do
+        let want = Option.value ~default:[] (Hashtbl.find_opt reference s) in
+        if Vfgraph.Csr.row csr s <> want then ok := false;
+        if Vfgraph.Csr.degree csr s <> List.length want then ok := false
+      done;
+      !ok)
+
+let test_csr_empty () =
+  let csr = build_csr 5 [] in
+  for s = 0 to 4 do
+    Alcotest.(check int) "empty graph has empty rows" 0 (Vfgraph.Csr.degree csr s);
+    Alcotest.(check (list (pair int int))) "row of empty graph" [] (Vfgraph.Csr.row csr s)
+  done
+
+let test_csr_duplicates () =
+  (* parallel edges must all be kept, newest first *)
+  let csr = build_csr 2 [ (0, 1, 7); (0, 1, 7); (0, 1, 9) ] in
+  Alcotest.(check (list (pair int int)))
+    "duplicate edges preserved in reverse insertion order"
+    [ (1, 9); (1, 7); (1, 7) ]
+    (Vfgraph.Csr.row csr 0)
+
+(* -- Bitset ------------------------------------------------------------------ *)
+
+let test_bitset_word_boundaries () =
+  let b = Bitset.create 128 in
+  (* exercise both sides of every plausible word size *)
+  let probes = [ 0; 1; 30; 31; 32; 33; 61; 62; 63; 64; 65; 66; 127 ] in
+  List.iter (fun i -> Bitset.set b i) probes;
+  for i = 0 to 127 do
+    Alcotest.(check bool) (Fmt.str "bit %d" i) (List.mem i probes) (Bitset.get b i)
+  done;
+  Alcotest.(check int) "count equals set bits" (List.length probes) (Bitset.count b);
+  (* clearing one side of a boundary must not disturb the other *)
+  Bitset.clear b 32;
+  Alcotest.(check bool) "cleared bit is absent" false (Bitset.get b 32);
+  Alcotest.(check bool) "neighbour below survives" true (Bitset.get b 31);
+  Alcotest.(check bool) "neighbour above survives" true (Bitset.get b 33);
+  Alcotest.(check int) "count tracks clear" (List.length probes - 1) (Bitset.count b)
+
+let test_bitset_growth () =
+  let b = Bitset.create 1 in
+  Bitset.set b 0;
+  Bitset.set b 1000;
+  Alcotest.(check bool) "bit set before growth survives" true (Bitset.get b 0);
+  Alcotest.(check bool) "bit set after growth present" true (Bitset.get b 1000);
+  Alcotest.(check bool) "untouched bit absent" false (Bitset.get b 500);
+  Alcotest.(check bool) "beyond capacity reads absent" false (Bitset.get b 100_000);
+  Alcotest.(check int) "count after growth" 2 (Bitset.count b);
+  Bitset.ensure b 5000;
+  Alcotest.(check bool) "ensure keeps contents" true (Bitset.get b 1000);
+  Alcotest.(check bool) "ensure grows capacity" true (Bitset.capacity b >= 5000)
+
+let prop_bitset_matches_bool_array =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 0 300) (pair (int_range 0 200) bool))
+  in
+  let arb =
+    QCheck.make ~print:(fun ops -> Fmt.str "%d ops" (List.length ops)) gen
+  in
+  QCheck.Test.make ~name:"bitset = reference bool array under random set/clear"
+    ~count:300 arb (fun ops ->
+      let b = Bitset.create 8 in
+      let reference = Array.make 201 false in
+      List.iter
+        (fun (i, set) ->
+          if set then begin
+            Bitset.set b i;
+            reference.(i) <- true
+          end
+          else begin
+            Bitset.clear b i;
+            reference.(i) <- false
+          end)
+        ops;
+      let ok = ref (Bitset.count b = Array.fold_left (fun a x -> if x then a + 1 else a) 0 reference) in
+      Array.iteri (fun i v -> if Bitset.get b i <> v then ok := false) reference;
+      !ok)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "csr"
+    [ ( "csr",
+        [ qt prop_csr_matches_reference;
+          Alcotest.test_case "empty" `Quick test_csr_empty;
+          Alcotest.test_case "parallel edges" `Quick test_csr_duplicates ] );
+      ( "bitset",
+        [ Alcotest.test_case "word boundaries" `Quick test_bitset_word_boundaries;
+          Alcotest.test_case "growth" `Quick test_bitset_growth;
+          qt prop_bitset_matches_bool_array ] ) ]
