@@ -8,6 +8,8 @@
      scale     - analysis time vs synthetic core-component size (B2)
      engines   - legacy dense engine vs sparse worklist engine (B1 + B2)
      cache     - content-addressed cache: cold vs warm vs one-function edit
+     fleet     - sharded multi-system analysis over a shared cache
+                 (analyses/sec cold vs warm, cross-system dedupe)
      ablation  - field/context/control-dependence toggles (B3)
      summary   - exact vs ESP-style summary engine (B4)
      sim       - closed-loop Simplex scenario outcomes (Figure 1 / §4 narrative)
@@ -19,7 +21,12 @@
      --iters N      samples per measurement (median is reported; default 5)
      --system NAME  restrict table rows to the named system (e.g. IP)
      --synth SIZES  engines: run only the synthetic grid at these
-                    comma-separated worker counts (CI perf smoke) *)
+                    comma-separated worker counts (CI perf smoke);
+                    fleet: member counts of the synthetic fleets
+     --seed N       seed for synthetic program generation (engines,
+                    fleet); same seed => byte-identical sources on
+                    every host
+     --jobs N       fleet: worker processes per fleet run (default 2) *)
 
 let find path =
   let candidates = [ path; "../" ^ path; "../../" ^ path; "../../../" ^ path ] in
@@ -70,10 +77,14 @@ type opts = {
   json : string option;
   iters : int;
   system : string option;
-  synth : int list option;  (* engines: restrict B2 to these sizes, skip B1 *)
+  synth : int list option;  (* engines: restrict B2 to these sizes, skip B1;
+                               fleet: member counts *)
+  seed : int;  (* synthetic-generation seed (engines, fleet) *)
+  jobs : int option;  (* fleet: worker processes *)
 }
 
-let default_opts = { json = None; iters = 5; system = None; synth = None }
+let default_opts =
+  { json = None; iters = 5; system = None; synth = None; seed = 0; jobs = None }
 
 let parse_args () : string * opts =
   let rec go cmd o = function
@@ -84,6 +95,8 @@ let parse_args () : string * opts =
     | "--synth" :: v :: rest ->
       let sizes = List.map int_of_string (String.split_on_char ',' v) in
       go cmd { o with synth = Some sizes } rest
+    | "--seed" :: v :: rest -> go cmd { o with seed = int_of_string v } rest
+    | "--jobs" :: v :: rest -> go cmd { o with jobs = Some (int_of_string v) } rest
     | a :: rest when cmd = None && String.length a > 0 && a.[0] <> '-' ->
       go (Some a) o rest
     | a :: _ -> failwith ("unknown argument " ^ a)
@@ -154,6 +167,7 @@ let jmeta ~benchmark ~engines =
     Jobj
       [ ("benchmark", Jstr benchmark);
         ("engines", Jarr (List.map (fun e -> Jstr e) engines));
+        ("tool_version", Jstr Safeflow.Version.tool);
         ("ocaml_version", Jstr Sys.ocaml_version);
         ("word_size", Jint Sys.word_size);
         ("config_fingerprint", Jstr (config_fingerprint Safeflow.Config.default));
@@ -489,7 +503,7 @@ let engines (o : opts) =
   let b2 =
     List.map
       (fun n ->
-        let src = Safeflow.Synth.of_size n in
+        let src = Safeflow.Synth.of_size ~seed:o.seed n in
         let rl = (Safeflow.Driver.analyze ~config:legacy_cfg src).report in
         let rw = (Safeflow.Driver.analyze ~config:worklist_cfg src).report in
         let el, wl, fl = counts rl and ew, ww, fw = counts rw in
@@ -521,6 +535,7 @@ let engines (o : opts) =
        [ ("benchmark", Jstr "phase3 engines: legacy dense fixpoint vs sparse worklist");
          jmeta ~benchmark:"engines" ~engines:[ "legacy"; "worklist" ];
          ("iters", Jint iters);
+         ("seed", Jint o.seed);
          ("b1_systems", Jarr b1);
          ("b2_synthetic", Jarr b2) ])
 
@@ -638,6 +653,163 @@ let cache_bench (o : opts) =
          ("identical_reports", Jbool all_identical);
          ("headline", Jobj (("input", Jstr "synth-384") :: headline));
          ("rows", Jarr (List.map snd rows)) ])
+
+(* ==================================================== fleet ============== *)
+
+(* Fleet mode (BENCH_fleet.json): synthetic fleets with controlled
+   cross-member function overlap and duplicate members, analyzed three
+   ways per fleet size — sequential with no cache (the baseline every
+   report is byte-compared against), cold through a fresh shared cache,
+   and warm through the populated cache — recording analyses/sec, the
+   warm/cold speedup and the cross-system hit rate, plus a jobs sweep
+   (worker-process scaling) on the largest fleet. *)
+let fleet_bench (o : opts) =
+  let seed = if o.seed = 0 then 1 else o.seed in
+  let sizes = match o.synth with Some s -> s | None -> [ 100; 500; 1000 ] in
+  let jobs = Option.value o.jobs ~default:2 in
+  let shard_domains = 2 in
+  let overlap = 0.5 and dup = 0.25 and workers = 4 in
+  let mkdtemp prefix =
+    let base = Filename.get_temp_dir_name () in
+    let rec go k =
+      let d = Filename.concat base (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) k) in
+      if Sys.file_exists d then go (k + 1)
+      else begin
+        try Sys.mkdir d 0o700; d with Sys_error _ -> go (k + 1)
+      end
+    in
+    go 0
+  in
+  let rm_rf dir =
+    if Sys.file_exists dir then begin
+      let rec go d =
+        Array.iter
+          (fun f ->
+            let p = Filename.concat d f in
+            if Sys.is_directory p then go p else Sys.remove p)
+          (Sys.readdir d);
+        Sys.rmdir d
+      in
+      try go dir with Sys_error _ -> ()
+    end
+  in
+  let write_members dir members =
+    List.map
+      (fun (name, src) ->
+        let path = Filename.concat dir name in
+        let oc = open_out_bin path in
+        output_string oc src;
+        close_out oc;
+        path)
+      members
+  in
+  let reports (r : Safeflow.Fleet.result) =
+    List.map (fun m -> m.Safeflow.Fleet.mr_report) r.Safeflow.Fleet.f_results
+  in
+  Fmt.pr "@.== Fleet: sharded multi-system analysis over a shared cache ==@.";
+  Fmt.pr "   (%d jobs x %d domains, overlap %.2f, dup %.2f, seed %d)@.@." jobs
+    shard_domains overlap dup seed;
+  Fmt.pr "%8s %10s %10s %10s %10s %9s %11s %10s@." "systems" "base(a/s)" "cold(a/s)"
+    "warm(a/s)" "speedup" "cross" "cross-rate" "identical";
+  let rows =
+    List.map
+      (fun n ->
+        let fp =
+          { Safeflow.Synth.fleet_n = n; fleet_workers = workers;
+            fleet_overlap = overlap; fleet_dup = dup }
+        in
+        let src_dir = mkdtemp "sf-fleet-src" in
+        let cache_dir = mkdtemp "sf-fleet-cache" in
+        let paths = write_members src_dir (Safeflow.Synth.fleet ~seed fp) in
+        (* sequential, no cache: the identity baseline *)
+        let base = Safeflow.Fleet.run paths in
+        let cold = Safeflow.Fleet.run ~cache_dir ~jobs ~shard_domains paths in
+        let warm = Safeflow.Fleet.run ~cache_dir ~jobs ~shard_domains paths in
+        let identical =
+          reports base = reports cold && reports base = reports warm
+        in
+        if not identical then
+          Fmt.failwith "fleet %d: sharded/cached reports differ from baseline" n;
+        let cc = cold.Safeflow.Fleet.f_cache and wc = warm.Safeflow.Fleet.f_cache in
+        let cross_rate =
+          let h = cc.Safeflow.Fleet.ct_hits in
+          if h = 0 then 0.0
+          else float_of_int cc.Safeflow.Fleet.ct_cross /. float_of_int h
+        in
+        let speedup =
+          warm.Safeflow.Fleet.f_analyses_per_sec
+          /. Float.max 0.001 cold.Safeflow.Fleet.f_analyses_per_sec
+        in
+        Fmt.pr "%8d %10.1f %10.1f %10.1f %9.1fx %9d %11.3f %10b@." n
+          base.Safeflow.Fleet.f_analyses_per_sec
+          cold.Safeflow.Fleet.f_analyses_per_sec
+          warm.Safeflow.Fleet.f_analyses_per_sec speedup cc.Safeflow.Fleet.ct_cross
+          cross_rate identical;
+        rm_rf cache_dir;
+        rm_rf src_dir;
+        Jobj
+          [ ("systems", Jint n);
+            ("jobs", Jint jobs);
+            ("shard_domains", Jint shard_domains);
+            ("workers_per_member", Jint workers);
+            ("overlap", Jfloat overlap);
+            ("dup", Jfloat dup);
+            ("baseline_s", Jfloat base.Safeflow.Fleet.f_elapsed_s);
+            ("cold_s", Jfloat cold.Safeflow.Fleet.f_elapsed_s);
+            ("warm_s", Jfloat warm.Safeflow.Fleet.f_elapsed_s);
+            ("baseline_analyses_per_sec", Jfloat base.Safeflow.Fleet.f_analyses_per_sec);
+            ("cold_analyses_per_sec", Jfloat cold.Safeflow.Fleet.f_analyses_per_sec);
+            ("warm_analyses_per_sec", Jfloat warm.Safeflow.Fleet.f_analyses_per_sec);
+            ("warm_speedup", Jfloat speedup);
+            ("cold_hits", Jint cc.Safeflow.Fleet.ct_hits);
+            ("cold_misses", Jint cc.Safeflow.Fleet.ct_misses);
+            ("cold_cross_hits", Jint cc.Safeflow.Fleet.ct_cross);
+            ("cold_cross_hit_rate", Jfloat cross_rate);
+            ("warm_hits", Jint wc.Safeflow.Fleet.ct_hits);
+            ("warm_misses", Jint wc.Safeflow.Fleet.ct_misses);
+            ("warm_cross_hits", Jint wc.Safeflow.Fleet.ct_cross);
+            ("stale", Jint (cc.Safeflow.Fleet.ct_stale + wc.Safeflow.Fleet.ct_stale));
+            ("corrupt", Jint (cc.Safeflow.Fleet.ct_corrupt + wc.Safeflow.Fleet.ct_corrupt));
+            ("identical_reports", Jbool identical) ])
+      sizes
+  in
+  (* worker-process scaling on the largest fleet, warm cache: isolates
+     the sharding machinery from analysis cost *)
+  let sweep_n = List.fold_left max 1 sizes in
+  let fp =
+    { Safeflow.Synth.fleet_n = sweep_n; fleet_workers = workers;
+      fleet_overlap = overlap; fleet_dup = dup }
+  in
+  let src_dir = mkdtemp "sf-fleet-src" in
+  let cache_dir = mkdtemp "sf-fleet-cache" in
+  let paths = write_members src_dir (Safeflow.Synth.fleet ~seed fp) in
+  ignore (Safeflow.Fleet.run ~cache_dir paths);
+  Fmt.pr "@.%8s %10s %12s@." "jobs" "warm(a/s)" "elapsed(s)";
+  let sweep =
+    List.map
+      (fun j ->
+        let r = Safeflow.Fleet.run ~cache_dir ~jobs:j ~shard_domains paths in
+        Fmt.pr "%8d %10.1f %12.2f@." j r.Safeflow.Fleet.f_analyses_per_sec
+          r.Safeflow.Fleet.f_elapsed_s;
+        Jobj
+          [ ("jobs", Jint j);
+            ("systems", Jint sweep_n);
+            ("warm_analyses_per_sec", Jfloat r.Safeflow.Fleet.f_analyses_per_sec);
+            ("elapsed_s", Jfloat r.Safeflow.Fleet.f_elapsed_s) ])
+      [ 1; 2; 4 ]
+  in
+  rm_rf cache_dir;
+  rm_rf src_dir;
+  Fmt.pr "@.(every fleet report above is byte-identical to its sequential@.";
+  Fmt.pr "no-cache baseline; cross = cache hits on entries another member wrote)@.";
+  write_json o
+    (Jobj
+       [ ("benchmark",
+          Jstr "fleet: sharded multi-system analysis over a shared content-addressed cache");
+         jmeta ~benchmark:"fleet" ~engines:[ "worklist" ];
+         ("seed", Jint seed);
+         ("fleet", Jarr rows);
+         ("jobs_sweep", Jarr sweep) ])
 
 (* ==================================================== ablation (B3) ====== *)
 
@@ -1018,9 +1190,9 @@ let micro (_o : opts) =
 let () =
   let which, opts = parse_args () in
   let all = [ ("table1", table1); ("phases", phases); ("scale", scale);
-              ("engines", engines); ("cache", cache_bench); ("ablation", ablation);
-              ("summary", summary); ("sim", sim); ("ranges", ranges_bench);
-              ("micro", micro) ] in
+              ("engines", engines); ("cache", cache_bench); ("fleet", fleet_bench);
+              ("ablation", ablation); ("summary", summary); ("sim", sim);
+              ("ranges", ranges_bench); ("micro", micro) ] in
   match List.assoc_opt which all with
   | Some f -> f opts
   | None ->

@@ -8,6 +8,10 @@
                              [--stats] [--trace out.json] [--stats-json out.json]
                              [--sarif out.sarif] [--save-findings out.findings]
                              [--baseline FILE] [--fail-on never|error|warning]
+     safeflow fleet DIR | --manifest FILE
+                             [--jobs N] [--shard-domains N] [--cache DIR]
+                             [--engine ...] [--absint on|off] [--print-reports]
+                             [--save-findings OUT] [--baseline FILE] [--fail-on ...]
      safeflow diff OLD NEW       (findings files or MiniC sources)
      safeflow explain file.c
      safeflow initcheck file.c
@@ -21,7 +25,7 @@
 
 open Cmdliner
 
-let tool_version = "1.0.0"
+let tool_version = Safeflow.Version.tool
 
 let config_of ~control_deps ~context_sensitive ~field_sensitive ~engine ~pair_domains =
   {
@@ -468,10 +472,177 @@ let diff_cmd =
           new findings, otherwise per $(b,--fail-on) applied to the new findings only.")
     Term.(const run $ old_arg $ new_arg $ engine $ fail_on_arg)
 
+let fleet_cmd =
+  let dir =
+    Arg.(
+      value
+      & pos 0 (some dir) None
+      & info [] ~docv:"DIR" ~doc:"directory whose $(b,*.c) files are the member systems")
+  in
+  let manifest =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "manifest" ] ~docv:"FILE"
+          ~doc:
+            "member list, one path per line ($(b,#) comments and blank lines skipped; \
+             relative paths resolve against the manifest's directory).  Alternative to \
+             the positional $(i,DIR).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "shard the fleet across $(docv) worker processes (member $(i,i) goes to \
+             shard $(i,i) mod $(docv)); every worker shares the same $(b,--cache) \
+             directory")
+  in
+  let shard_domains =
+    Arg.(
+      value & opt int 1
+      & info [ "shard-domains" ] ~docv:"N"
+          ~doc:"domains per worker process draining that worker's members")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "shared content-addressed cache directory (created if missing).  Safe under \
+             concurrent multi-process access; content-identical functions from \
+             different members are analyzed once fleet-wide (cross-system hits are \
+             reported in the summary line).")
+  in
+  let engine =
+    Arg.(
+      value
+      & opt engine_conv Safeflow.Config.default.Safeflow.Config.engine
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"phase-3 engine, as for $(b,analyze); reports are byte-identical under both")
+  in
+  let source_label =
+    Arg.(
+      value
+      & opt string "<system>"
+      & info [ "source-label" ] ~docv:"LABEL"
+          ~doc:
+            "normalized source label every member is analyzed under, so \
+             content-identical functions from different members key identically in the \
+             cache.  Findings and baselines still carry each member's real path.")
+  in
+  let print_reports =
+    Arg.(
+      value & flag
+      & info [ "print-reports" ]
+          ~doc:"print each member's full report instead of one summary line per member")
+  in
+  let save_findings =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-findings" ] ~docv:"OUT"
+          ~doc:
+            "write all members' findings as one fingerprinted baseline file for later \
+             $(b,--baseline) runs")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "suppression baseline across the whole fleet: the delta is printed and only \
+             new findings drive the exit code")
+  in
+  let run dir manifest jobs shard_domains cache_dir engine absint source_label
+      print_reports save_findings baseline fail_on tele =
+    try
+      telemetry_setup tele;
+      let members =
+        match (dir, manifest) with
+        | Some d, None -> Safeflow.Fleet.members_of_dir d
+        | None, Some m -> Safeflow.Fleet.members_of_manifest m
+        | Some _, Some _ ->
+          Fmt.epr "give either a DIR or --manifest, not both@.";
+          exit 2
+        | None, None ->
+          Fmt.epr "give a DIR of member systems or --manifest FILE@.";
+          exit 2
+      in
+      if members = [] then begin
+        Fmt.epr "no member systems found@.";
+        exit 2
+      end;
+      let config = { Safeflow.Config.default with engine; absint } in
+      let r =
+        Safeflow.Fleet.run ~config ?cache_dir ~jobs ~shard_domains ~source_label members
+      in
+      List.iter
+        (fun (m : Safeflow.Fleet.member_result) ->
+          if print_reports then
+            Fmt.pr "== %s ==@.%s@." m.Safeflow.Fleet.mr_path m.Safeflow.Fleet.mr_report
+          else
+            Fmt.pr "%-48s %3d errors  %3d warnings@." m.Safeflow.Fleet.mr_path
+              m.Safeflow.Fleet.mr_errors m.Safeflow.Fleet.mr_warnings)
+        r.Safeflow.Fleet.f_results;
+      Fmt.pr "fleet: %d systems on %d process(es) x %d domain(s) in %.2fs — %.1f analyses/sec@."
+        r.Safeflow.Fleet.f_systems r.Safeflow.Fleet.f_jobs r.Safeflow.Fleet.f_shard_domains
+        r.Safeflow.Fleet.f_elapsed_s r.Safeflow.Fleet.f_analyses_per_sec;
+      (if cache_dir <> None then
+         let c = r.Safeflow.Fleet.f_cache in
+         Fmt.pr "cache: %d hits (%d cross-system), %d misses, %d stale, %d corrupt@."
+           c.Safeflow.Fleet.ct_hits c.Safeflow.Fleet.ct_cross c.Safeflow.Fleet.ct_misses
+           c.Safeflow.Fleet.ct_stale c.Safeflow.Fleet.ct_corrupt);
+      telemetry_finish tele;
+      let entries =
+        List.concat_map
+          (fun (m : Safeflow.Fleet.member_result) -> m.Safeflow.Fleet.mr_entries)
+          r.Safeflow.Fleet.f_results
+      in
+      (match save_findings with
+      | Some path ->
+        Safeflow.Diffreport.save path entries;
+        Fmt.pr "findings written to %s@." path
+      | None -> ());
+      let gated =
+        match baseline with
+        | Some bl ->
+          let d =
+            Safeflow.Diffreport.diff ~baseline:(Safeflow.Diffreport.load bl)
+              ~current:entries
+          in
+          Fmt.pr "%a@." Safeflow.Diffreport.pp_diff d;
+          d.Safeflow.Diffreport.d_new
+        | None -> entries
+      in
+      exit (Safeflow.Diffreport.gate ~fail_on gated)
+    with
+    | Minic.Loc.Error (loc, msg) ->
+      Fmt.epr "%a: %s@." Minic.Loc.pp loc msg;
+      exit 3
+    | Failure msg ->
+      Fmt.epr "%s@." msg;
+      exit 3
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "analyze a fleet of member systems sharded across processes and domains over \
+          one shared content-addressed cache.  Content-identical functions from \
+          different members are analyzed once fleet-wide; reports are byte-identical to \
+          per-member sequential runs.  Exit codes as for $(b,analyze), applied to the \
+          union of all members' findings.")
+    Term.(const run $ dir $ manifest $ jobs $ shard_domains $ cache_dir $ engine
+          $ absint_arg $ source_label $ print_reports $ save_findings $ baseline
+          $ fail_on_arg $ telemetry_flags)
+
 let version_cmd =
   let run () =
     Fmt.pr "safeflow %s@." tool_version;
     Fmt.pr "cache format:      v%d@." Safeflow.Cache.format_version;
+    Fmt.pr "cache generation:  %s@." Safeflow.Cache.generation;
     Fmt.pr "telemetry schema:  %s@." Safeflow.Telemetry.stats_json_schema;
     Fmt.pr "findings format:   %s@." Safeflow.Diffreport.format_version;
     Fmt.pr "fingerprint:       %s@." Safeflow.Fingerprint.version;
@@ -496,5 +667,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ analyze_cmd; diff_cmd; explain_cmd; ranges_cmd; initcheck_cmd; dump_ir_cmd;
-            synth_cmd; version_cmd ]))
+          [ analyze_cmd; fleet_cmd; diff_cmd; explain_cmd; ranges_cmd; initcheck_cmd;
+            dump_ir_cmd; synth_cmd; version_cmd ]))

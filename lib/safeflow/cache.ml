@@ -8,24 +8,46 @@
    range summaries.
    Version 4: the "pair" namespace stores the flattened edge-block
    layout (packed int entity descriptors and op words plus local value
-   tables) instead of the symbolic op-variant arrays. *)
-let format_version = 4
+   tables) instead of the symbolic op-variant arrays.
+   Version 5: every entry header records the origin system that wrote it
+   (fleet-mode cross-system dedupe accounting), and on-disk entries live
+   under a generation-stamped subdirectory so concurrent processes built
+   against different cache formats or compiler versions never fight over
+   the same files. *)
+let format_version = 5
 
 let magic = "SAFEFLOW-CACHE"
 
-type ns_stats = { hits : int; misses : int; stale : int; corrupt : int }
+(* The generation stamp names everything that decides whether two
+   processes can share marshalled entries at all: the cache format and
+   the compiler that produced the [Marshal] encoding.  Processes with
+   different stamps write to disjoint subdirectories, so a version skew
+   across a fleet degrades to double-compute instead of stale-entry
+   churn (two generations repeatedly deleting each other's files). *)
+let generation = Printf.sprintf "v%d-ocaml%s" format_version Sys.ocaml_version
+
+let generation_dir_name =
+  "gen-" ^ String.sub (Digest.to_hex (Digest.string generation)) 0 12
+
+type ns_stats = { hits : int; misses : int; stale : int; corrupt : int; cross : int }
 
 type counters = {
   c_hits : int ref;
   c_misses : int ref;
   c_stale : int ref;
   c_corrupt : int ref;
+  c_cross : int ref;
+}
+
+type entry = {
+  e_v : Obj.t;
+  e_origin : string;  (** system that first computed it; "" when unknown *)
 }
 
 type t = {
-  dir : string option;
+  dir : string option;  (** generation subdirectory, entries live here *)
   verbose : bool;  (** one-line stderr note per discarded disk entry *)
-  tbl : (string, Obj.t) Hashtbl.t;  (** "ns:key" ↦ value *)
+  tbl : (string, entry) Hashtbl.t;  (** "ns:key" ↦ entry *)
   counters : (string, counters) Hashtbl.t;  (** per-namespace outcomes *)
   lock : Mutex.t;
 }
@@ -38,10 +60,30 @@ let tele_counter ns outcome = Telemetry.counter (Printf.sprintf "cache.%s.%s" ns
 
 let outcomes = [ "hits"; "misses"; "stale"; "corrupt" ]
 
+let c_cross_hits = Telemetry.counter "cache.cross_hits"
+
 let () =
   List.iter
     (fun ns -> List.iter (fun o -> ignore (tele_counter ns o)) outcomes)
-    [ "prepared"; "phase1"; "phase2"; "phase2fn"; "pointsto"; "phase3"; "pair" ]
+    [ "prepared"; "phase1"; "phase2"; "phase2fn"; "pointsto"; "phase3"; "pair"; "absint" ]
+
+(* -- origin tracking ------------------------------------------------------------
+
+   The current origin is the identity of the system whose analysis is
+   running on this domain ("" = unknown).  A hit on an entry recorded
+   under a different origin is a cross-system hit: work another system's
+   analysis already paid for.  Origins are domain-local so the
+   multi-system driver can analyze several systems concurrently over one
+   shared cache and still attribute hits correctly. *)
+
+let origin_dls : string Domain.DLS.key = Domain.DLS.new_key (fun () -> "")
+
+let current_origin () = Domain.DLS.get origin_dls
+
+let with_origin origin f =
+  let prev = Domain.DLS.get origin_dls in
+  Domain.DLS.set origin_dls origin;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set origin_dls prev) f
 
 let create ?dir ?(verbose = false) () =
   let dir =
@@ -50,8 +92,27 @@ let create ?dir ?(verbose = false) () =
     | Some d ->
       (try
          if not (Sys.file_exists d) then Sys.mkdir d 0o755;
-         if Sys.is_directory d then Some d else None
-       with Sys_error _ -> None)
+         if not (Sys.is_directory d) then None
+         else begin
+           (* entries live under the generation subdirectory; a sibling
+              generation left by another build is simply ignored *)
+           let gdir = Filename.concat d generation_dir_name in
+           if not (Sys.file_exists gdir) then Sys.mkdir gdir 0o755;
+           (* human-readable stamp; best-effort and write-once *)
+           let stamp = Filename.concat gdir "GENERATION" in
+           if not (Sys.file_exists stamp) then begin
+             let tmp =
+               Printf.sprintf "%s.%d.tmp" stamp (Unix.getpid ())
+             in
+             let oc = open_out tmp in
+             output_string oc (generation ^ "\n");
+             close_out oc;
+             (try Sys.rename tmp stamp
+              with Sys_error _ -> (try Sys.remove tmp with Sys_error _ -> ()))
+           end;
+           Some gdir
+         end
+       with Sys_error _ | Unix.Unix_error _ -> None)
   in
   {
     dir;
@@ -71,19 +132,24 @@ let locked t f =
    identically — drop and recompute — but are counted separately. *)
 type 'a outcome = Hit of 'a | Absent | Stale | Corrupt
 
-let count t ns (o : _ outcome) =
+let count t ns ~cross (o : _ outcome) =
   let c =
     match Hashtbl.find_opt t.counters ns with
     | Some c -> c
     | None ->
-      let c = { c_hits = ref 0; c_misses = ref 0; c_stale = ref 0; c_corrupt = ref 0 } in
+      let c =
+        { c_hits = ref 0; c_misses = ref 0; c_stale = ref 0; c_corrupt = ref 0;
+          c_cross = ref 0 }
+      in
       Hashtbl.replace t.counters ns c;
       c
   in
   (* [misses] keeps its historical meaning of "every lookup that was not
      a hit", so the (hits, misses) view is unchanged by the split *)
   (match o with
-  | Hit _ -> incr c.c_hits
+  | Hit _ ->
+    incr c.c_hits;
+    if cross then incr c.c_cross
   | Absent -> incr c.c_misses
   | Stale ->
     incr c.c_misses;
@@ -93,7 +159,9 @@ let count t ns (o : _ outcome) =
     incr c.c_corrupt);
   if Telemetry.enabled () then begin
     (match o with
-    | Hit _ -> Telemetry.incr (tele_counter ns "hits")
+    | Hit _ ->
+      Telemetry.incr (tele_counter ns "hits");
+      if cross then Telemetry.incr c_cross_hits
     | Absent | Stale | Corrupt -> Telemetry.incr (tele_counter ns "misses"));
     match o with
     | Stale -> Telemetry.incr (tele_counter ns "stale")
@@ -111,9 +179,10 @@ type header = {
   h_ocaml : string;
   h_ns : string;
   h_key : string;
+  h_origin : string;
 }
 
-let read_disk t ns key : Obj.t outcome =
+let read_disk t ns key : entry outcome =
   match t.dir with
   | None -> Absent
   | Some dir ->
@@ -132,14 +201,16 @@ let read_disk t ns key : Obj.t outcome =
                 && h.h_version = format_version
                 && String.equal h.h_ocaml Sys.ocaml_version
                 && String.equal h.h_ns ns && String.equal h.h_key key
-              then Hit v
+              then Hit { e_v = v; e_origin = h.h_origin }
               else Stale)
         with _ -> Corrupt
       in
       (match result with
       | Hit _ | Absent -> ()
       | Stale | Corrupt ->
-        (* drop the file so it is rewritten on the next store *)
+        (* drop the file so it is rewritten on the next store; unlink is
+           atomic, so a concurrent reader either sees the whole entry or
+           none of it *)
         if t.verbose then
           Printf.eprintf "safeflow: cache: discarding %s entry %s\n%!"
             (if result = Stale then "stale" else "corrupt")
@@ -148,53 +219,79 @@ let read_disk t ns key : Obj.t outcome =
       result
     end
 
-let write_disk t ns key (v : Obj.t) =
+(* Writers never touch the destination path directly: each write goes to
+   a temp name unique across processes AND within this process (pid +
+   atomic counter — two domains, or two forked workers of a fleet run,
+   storing the same key concurrently must not interleave into one temp
+   file), then rename(2) publishes it atomically.  Readers therefore
+   observe either no file or a complete entry, never a torn one. *)
+let tmp_seq = Atomic.make 0
+
+let write_disk t ns key (e : entry) =
   match t.dir with
   | None -> ()
   | Some dir ->
     let path = path_of dir ns key in
-    let tmp = path ^ ".tmp" in
-    (try
-       let oc = open_out_bin tmp in
-       Fun.protect
-         ~finally:(fun () -> close_out_noerr oc)
-         (fun () ->
-           let h =
-             {
-               h_magic = magic;
-               h_version = format_version;
-               h_ocaml = Sys.ocaml_version;
-               h_ns = ns;
-               h_key = key;
-             }
-           in
-           Marshal.to_channel oc (h, v) []);
-       Sys.rename tmp path
-     with _ -> (try Sys.remove tmp with Sys_error _ -> ()))
+    (* entries are content-addressed: same key ⇒ same value, so if some
+       process already published this entry there is nothing to add and
+       rewriting it would only churn the directory under concurrent
+       readers *)
+    if not (Sys.file_exists path) then begin
+      let tmp =
+        Printf.sprintf "%s.%d.%d.tmp" path (Unix.getpid ())
+          (Atomic.fetch_and_add tmp_seq 1)
+      in
+      try
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            let h =
+              {
+                h_magic = magic;
+                h_version = format_version;
+                h_ocaml = Sys.ocaml_version;
+                h_ns = ns;
+                h_key = key;
+                h_origin = e.e_origin;
+              }
+            in
+            Marshal.to_channel oc (h, e.e_v) []);
+        Sys.rename tmp path
+      with _ -> (try Sys.remove tmp with Sys_error _ -> ())
+    end
 
 let find t ~ns ~key : 'a option =
   Telemetry.span "cache.find" ~args:[ ("ns", ns) ] (fun () ->
+      let origin = current_origin () in
       locked t (fun () ->
+          let is_cross e_origin =
+            (not (String.equal origin ""))
+            && (not (String.equal e_origin ""))
+            && not (String.equal e_origin origin)
+          in
           let k = ns ^ ":" ^ key in
           match Hashtbl.find_opt t.tbl k with
-          | Some v ->
-            count t ns (Hit v);
-            Some (Obj.obj v)
+          | Some e ->
+            count t ns ~cross:(is_cross e.e_origin) (Hit ());
+            Some (Obj.obj e.e_v)
           | None -> (
             let o = read_disk t ns key in
-            count t ns o;
+            count t ns
+              ~cross:(match o with Hit e -> is_cross e.e_origin | _ -> false)
+              (match o with Hit _ -> Hit () | Absent -> Absent | Stale -> Stale | Corrupt -> Corrupt);
             match o with
-            | Hit v ->
-              Hashtbl.replace t.tbl k v;
-              Some (Obj.obj v)
+            | Hit e ->
+              Hashtbl.replace t.tbl k e;
+              Some (Obj.obj e.e_v)
             | Absent | Stale | Corrupt -> None)))
 
 let store t ~ns ~key v =
   Telemetry.span "cache.store" ~args:[ ("ns", ns) ] (fun () ->
+      let e = { e_v = Obj.repr v; e_origin = current_origin () } in
       locked t (fun () ->
-          let v = Obj.repr v in
-          Hashtbl.replace t.tbl (ns ^ ":" ^ key) v;
-          write_disk t ns key v))
+          Hashtbl.replace t.tbl (ns ^ ":" ^ key) e;
+          write_disk t ns key e))
 
 let stats t =
   locked t (fun () ->
@@ -214,8 +311,13 @@ let detailed_stats t =
                  misses = !(c.c_misses);
                  stale = !(c.c_stale);
                  corrupt = !(c.c_corrupt);
+                 cross = !(c.c_cross);
                } )
              :: acc)
            t.counters []))
+
+let cross_hits t =
+  locked t (fun () ->
+      Hashtbl.fold (fun _ c acc -> acc + !(c.c_cross)) t.counters 0)
 
 let reset_stats t = locked t (fun () -> Hashtbl.reset t.counters)

@@ -258,10 +258,20 @@ let cached (c : Cache.t) ~ns ~key (f : unit -> 'a) : 'a =
     Cache.store c ~ns ~key v;
     v
 
+(* Cross-system dedupe attribution: record which system's analysis
+   stored each cache entry.  An enclosing caller (the fleet driver) may
+   have set a more precise origin — the member's real path rather than
+   its normalized source label — so only fill in a default when none is
+   set. *)
+let with_default_origin label f =
+  if not (String.equal (Cache.current_origin ()) "") then f ()
+  else Cache.with_origin label f
+
 let analyze ?(config = Config.default) ?cache ?file (src : string) : analysis =
   Telemetry.span "analyze"
     ~args:[ ("file", Option.value file ~default:"<input>") ]
     (fun () ->
+  with_default_origin (Option.value file ~default:"<input>") (fun () ->
   let p =
     match cache with
     | Some c ->
@@ -332,7 +342,7 @@ let analyze ?(config = Config.default) ?cache ?file (src : string) : analysis =
         @ Coverage.stats coverage @ ph3.Phase3.engine_stats;
     }
   in
-  { report; phase3 = ph3; prepared = p; shm; phase1 = p1; pointsto = pts; coverage })
+  { report; phase3 = ph3; prepared = p; shm; phase1 = p1; pointsto = pts; coverage }))
 
 let analyze_file ?config ?cache path : analysis =
   let ic = open_in_bin path in

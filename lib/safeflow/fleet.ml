@@ -1,0 +1,309 @@
+(** Fleet mode: sharded analysis of many subject systems over one shared
+    content-addressed cache (see the interface). *)
+
+let c_fleet_systems = Telemetry.counter "fleet.systems"
+let c_fleet_shards = Telemetry.counter "fleet.shards"
+let c_fleet_aps = Telemetry.counter "fleet.analyses_per_sec"
+
+type member_result = {
+  mr_path : string;
+  mr_report : string;
+  mr_entries : Diffreport.entry list;
+  mr_errors : int;
+  mr_warnings : int;
+}
+
+type cache_totals = {
+  ct_hits : int;
+  ct_misses : int;
+  ct_stale : int;
+  ct_corrupt : int;
+  ct_cross : int;
+}
+
+let no_cache_totals = { ct_hits = 0; ct_misses = 0; ct_stale = 0; ct_corrupt = 0; ct_cross = 0 }
+
+let cache_totals_of (c : Cache.t) : cache_totals =
+  List.fold_left
+    (fun acc (_, (s : Cache.ns_stats)) ->
+      {
+        ct_hits = acc.ct_hits + s.Cache.hits;
+        ct_misses = acc.ct_misses + s.Cache.misses;
+        ct_stale = acc.ct_stale + s.Cache.stale;
+        ct_corrupt = acc.ct_corrupt + s.Cache.corrupt;
+        ct_cross = acc.ct_cross + s.Cache.cross;
+      })
+    no_cache_totals (Cache.detailed_stats c)
+
+let add_totals a b =
+  {
+    ct_hits = a.ct_hits + b.ct_hits;
+    ct_misses = a.ct_misses + b.ct_misses;
+    ct_stale = a.ct_stale + b.ct_stale;
+    ct_corrupt = a.ct_corrupt + b.ct_corrupt;
+    ct_cross = a.ct_cross + b.ct_cross;
+  }
+
+type result = {
+  f_results : member_result list;
+  f_systems : int;
+  f_jobs : int;
+  f_shard_domains : int;
+  f_elapsed_s : float;
+  f_analyses_per_sec : float;
+  f_cache : cache_totals;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  src
+
+(* One member: analyze under the normalized source label (so content
+   digests align across members and per-function entries dedupe
+   fleet-wide) but attribute cache traffic to the member's real path —
+   a later hit from a different member is a cross-system hit. *)
+let analyze_member ?config ?cache ~source_label path : member_result =
+  let src = read_file path in
+  Cache.with_origin path (fun () ->
+      let a = Driver.analyze ?config ?cache ~file:source_label src in
+      let r = a.Driver.report in
+      let ctx = Fingerprint.ctx_of_program a.Driver.prepared.Driver.ir in
+      (* finding locations come out under the normalized label; baselines
+         and gating should attribute them to the real member *)
+      let relabel (e : Diffreport.entry) =
+        let ll = String.length source_label in
+        if
+          String.length e.Diffreport.e_where >= ll
+          && String.equal (String.sub e.Diffreport.e_where 0 ll) source_label
+        then
+          {
+            e with
+            Diffreport.e_where =
+              path ^ String.sub e.Diffreport.e_where ll (String.length e.Diffreport.e_where - ll);
+          }
+        else e
+      in
+      {
+        mr_path = path;
+        mr_report = Fmt.str "%a" Report.pp r;
+        mr_entries =
+          List.map relabel (Diffreport.entries_of_report ctx ~file:path r);
+        mr_errors = List.length (Report.errors r);
+        mr_warnings = List.length r.Report.warnings;
+      })
+
+(* bounded domain pool over an index list; results in input order,
+   exceptions re-raised in input order *)
+let pool_map ~domains (f : 'a -> 'b) (items : 'a array) : 'b array =
+  let n = Array.length items in
+  let domains = max 1 (min domains n) in
+  if domains <= 1 || n <= 1 then Array.map f items
+  else begin
+    let results : ('b, exn) Stdlib.result option array = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (try Ok (f items.(i)) with e -> Error e);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let extra = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join extra;
+    Array.map
+      (function Some (Ok r) -> r | Some (Error e) -> raise e | None -> assert false)
+      results
+  end
+
+(* one shard: the members at [indices], analyzed on [shard_domains]
+   domains against a cache instance opened on the shared directory *)
+let run_shard ?config ?cache_dir ~shard_domains ~source_label (paths : string array)
+    (indices : int array) : (int * member_result) array * cache_totals =
+  let cache = Option.map (fun dir -> Cache.create ~dir ()) cache_dir in
+  let results =
+    pool_map ~domains:shard_domains
+      (fun i -> (i, analyze_member ?config ?cache ~source_label paths.(i)))
+      indices
+  in
+  (results, match cache with Some c -> cache_totals_of c | None -> no_cache_totals)
+
+(* round-robin striping: member i belongs to shard (i mod jobs), so
+   systems of similar generated size spread evenly across shards *)
+let shard_indices n jobs j =
+  Array.of_list (List.filter (fun i -> i mod jobs = j) (List.init n Fun.id))
+
+let mkdtemp prefix =
+  let base = Filename.get_temp_dir_name () in
+  let rec go k =
+    let d =
+      Filename.concat base (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) k)
+    in
+    if Sys.file_exists d then go (k + 1)
+    else begin
+      try
+        Sys.mkdir d 0o700;
+        d
+      with Sys_error _ -> go (k + 1)
+    end
+  in
+  go 0
+
+(* Fork-based sharding.  Each worker process opens its own cache
+   instance on the shared directory (the disk tier is the shared
+   medium; see Cache for the write/validate protocol), analyzes its
+   stripe, and marshals the per-member results back through a temp
+   file.  Results and exceptions are both round-tripped, so a failing
+   member fails the fleet run with its original message. *)
+let run_forked ?config ~cache_dir ~jobs ~shard_domains ~source_label
+    (paths : string array) : (int * member_result) array * cache_totals =
+  let n = Array.length paths in
+  let tmpdir = mkdtemp "safeflow-fleet" in
+  let shard_file j = Filename.concat tmpdir (Printf.sprintf "shard-%d.bin" j) in
+  (* buffered output duplicated into children would be flushed twice *)
+  flush stdout;
+  flush stderr;
+  let pids =
+    List.init jobs (fun j ->
+        match Unix.fork () with
+        | 0 ->
+          let status =
+            try
+              let shard =
+                run_shard ?config ?cache_dir ~shard_domains ~source_label paths
+                  (shard_indices n jobs j)
+              in
+              let oc = open_out_bin (shard_file j) in
+              Marshal.to_channel oc
+                (Ok shard
+                  : ((int * member_result) array * cache_totals, string) Stdlib.result)
+                [];
+              close_out oc;
+              0
+            with e ->
+              (try
+                 let oc = open_out_bin (shard_file j) in
+                 Marshal.to_channel oc
+                   (Error (Printexc.to_string e)
+                     : ((int * member_result) array * cache_totals, string)
+                       Stdlib.result)
+                   [];
+                 close_out oc
+               with _ -> ());
+              1
+          in
+          (* _exit: no at_exit handlers, no double-flushed buffers *)
+          Unix._exit status
+        | pid -> pid)
+  in
+  (* reap every worker before acting on failures — no zombies *)
+  let statuses =
+    List.map (fun pid -> snd (Unix.waitpid [] pid)) pids
+  in
+  let shards =
+    List.mapi
+      (fun j status ->
+        let fail fmt =
+          Fmt.kstr
+            (fun msg ->
+              failwith (Printf.sprintf "fleet shard %d/%d: %s" j jobs msg))
+            fmt
+        in
+        (match status with
+        | Unix.WEXITED (0 | 1) -> ()
+        | Unix.WEXITED c -> fail "worker exited with code %d" c
+        | Unix.WSIGNALED s -> fail "worker killed by signal %d" s
+        | Unix.WSTOPPED s -> fail "worker stopped by signal %d" s);
+        let path = shard_file j in
+        if not (Sys.file_exists path) then fail "worker produced no result file";
+        let ic = open_in_bin path in
+        let r =
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              (Marshal.from_channel ic
+                : ((int * member_result) array * cache_totals, string)
+                  Stdlib.result))
+        in
+        match r with Ok shard -> shard | Error msg -> fail "%s" msg)
+      statuses
+  in
+  (try
+     Array.iter
+       (fun f -> try Sys.remove (Filename.concat tmpdir f) with Sys_error _ -> ())
+       (Sys.readdir tmpdir);
+     Sys.rmdir tmpdir
+   with Sys_error _ -> ());
+  ( Array.concat (List.map fst shards),
+    List.fold_left (fun acc (_, t) -> add_totals acc t) no_cache_totals shards )
+
+let run ?config ?cache_dir ?(jobs = 1) ?(shard_domains = 1)
+    ?(source_label = "<system>") (paths : string list) : result =
+  let n = List.length paths in
+  let arr = Array.of_list paths in
+  let jobs = max 1 (min jobs (max 1 n)) in
+  let t0 = Unix.gettimeofday () in
+  let in_process () =
+    run_shard ?config ?cache_dir ~shard_domains ~source_label arr
+      (Array.init n Fun.id)
+  in
+  let tagged, totals =
+    (* The parent must stay domain-free: the OCaml 5 runtime forbids
+       Unix.fork forever after the first Domain.spawn in a process.  So
+       any run that wants domains forks (a single child hosts them when
+       [jobs = 1]), and only a fully sequential run stays in-process.
+       If fork is already off the table (some earlier code in this
+       process spawned a domain), degrade to in-process sequential
+       rather than fail. *)
+    if jobs <= 1 && shard_domains <= 1 then in_process ()
+    else
+      try run_forked ?config ~cache_dir ~jobs ~shard_domains ~source_label arr
+      with Failure msg
+        when String.length msg >= 9 && String.sub msg 0 9 = "Unix.fork" ->
+        in_process ()
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let by_index : member_result option array = Array.make n None in
+  Array.iter (fun (i, r) -> by_index.(i) <- Some r) tagged;
+  let results =
+    Array.to_list
+      (Array.map
+         (function Some r -> r | None -> failwith "fleet: missing member result")
+         by_index)
+  in
+  let aps = if elapsed > 0.0 then float_of_int n /. elapsed else 0.0 in
+  Telemetry.add c_fleet_systems n;
+  Telemetry.add c_fleet_shards jobs;
+  Telemetry.record_max c_fleet_aps (int_of_float (Float.round aps));
+  {
+    f_results = results;
+    f_systems = n;
+    f_jobs = jobs;
+    f_shard_domains = shard_domains;
+    f_elapsed_s = elapsed;
+    f_analyses_per_sec = aps;
+    f_cache = totals;
+  }
+
+(* -- input collection --------------------------------------------------------- *)
+
+let members_of_dir dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".c")
+  |> List.sort compare
+  |> List.map (Filename.concat dir)
+
+let members_of_manifest path =
+  read_file path |> String.split_on_char '\n'
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else if Filename.is_relative line then
+           Some (Filename.concat (Filename.dirname path) line)
+         else Some line)

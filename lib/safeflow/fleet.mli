@@ -1,0 +1,86 @@
+(** Fleet mode: analyze many subject systems — a directory or manifest of
+    independently-built core components — sharded across OS processes
+    ([jobs]) and OCaml 5 domains per process ([shard_domains]), all
+    sharing one content-addressed disk cache.
+
+    {2 Sharding model}
+
+    Member [i] of an [n]-member fleet belongs to shard [i mod jobs].
+    Each shard is one forked worker process; inside a worker the
+    members are drained by a work-stealing pool of [shard_domains]
+    domains.  Workers marshal their per-member results back to the
+    parent through temp files and exit with [Unix._exit], so parent
+    buffers are never double-flushed.  The parent never spawns domains
+    itself (the OCaml 5 runtime forbids [Unix.fork] in a process that
+    ever did): with [jobs = 1] but [shard_domains > 1] a single forked
+    child hosts the domains, and only a fully sequential run
+    ([jobs = 1], [shard_domains = 1]) stays in-process — the mode used
+    by tests that need deterministic single-process cache statistics.
+    If fork itself is unavailable because earlier code in the process
+    already spawned a domain, the run degrades to in-process.
+
+    {2 Shared cache and cross-system dedupe}
+
+    Every worker opens its own {!Cache.t} on the same directory; the
+    disk tier is the shared medium and is safe under concurrent
+    multi-process multi-domain access (atomic temp+rename writes,
+    read-validate, generation stamping — see {!Cache}).  To make
+    content-identical functions from {e different} members key
+    identically, all members are analyzed under one normalized
+    [source_label] (default ["<system>"]) while the member's real path
+    is installed as the {!Cache.with_origin} origin — so a hit whose
+    entry was written by a different member is counted as a
+    cross-system hit ([cache.cross_hits]).
+
+    Reports are unaffected by sharding, caching, or label choice: a
+    fleet run's reports are byte-identical to sequential no-cache
+    analyses of the same sources under the same label (asserted by
+    [bench fleet] and [test/test_fleet.ml]). *)
+
+type member_result = {
+  mr_path : string;  (** the member's real on-disk path *)
+  mr_report : string;  (** rendered {!Report.pp} output *)
+  mr_entries : Diffreport.entry list;
+      (** fingerprinted findings, located at [mr_path] (not the
+          normalized label), for baselines and gating *)
+  mr_errors : int;
+  mr_warnings : int;
+}
+
+type cache_totals = {
+  ct_hits : int;
+  ct_misses : int;
+  ct_stale : int;
+  ct_corrupt : int;
+  ct_cross : int;  (** hits on entries written by a different member *)
+}
+
+type result = {
+  f_results : member_result list;  (** in input order *)
+  f_systems : int;
+  f_jobs : int;
+  f_shard_domains : int;
+  f_elapsed_s : float;
+  f_analyses_per_sec : float;
+  f_cache : cache_totals;  (** summed over all shards and namespaces *)
+}
+
+val run :
+  ?config:Config.t ->
+  ?cache_dir:string ->
+  ?jobs:int ->
+  ?shard_domains:int ->
+  ?source_label:string ->
+  string list ->
+  result
+(** [run paths] analyzes every member and aggregates.  A member whose
+    analysis raises fails the whole run with the original message
+    (prefixed by its shard).  Cache totals are meaningful only with
+    [~cache_dir]; without it every member is analyzed cold. *)
+
+val members_of_dir : string -> string list
+(** the [.c] files of a directory, sorted by name *)
+
+val members_of_manifest : string -> string list
+(** one path per line, [#] comments and blank lines skipped; relative
+    paths resolve against the manifest's directory *)

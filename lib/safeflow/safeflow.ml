@@ -11,6 +11,7 @@
 
     The submodules expose each stage for tools and benchmarks. *)
 
+module Version = Version
 module Config = Config
 module Report = Report
 module Telemetry = Telemetry
@@ -25,6 +26,7 @@ module Cache = Cache
 module Vfgraph = Vfgraph
 module Vfg = Vfg
 module Driver = Driver
+module Fleet = Fleet
 module Synth = Synth
 module Dyntaint = Dyntaint
 module Summary = Summary

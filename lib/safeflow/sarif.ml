@@ -131,7 +131,7 @@ let results_of_input (i : input) =
 
 (* -- Top level ------------------------------------------------------------------- *)
 
-let to_string ?(tool_version = "1.0.0") (inputs : input list) =
+let to_string ?(tool_version = Version.tool) (inputs : input list) =
   let driver =
     obj
       [ field "name" (str "safeflow");

@@ -1,0 +1,1 @@
+let tool = "1.1.0"

@@ -1,0 +1,11 @@
+(** Single source of truth for the tool version.
+
+    Artifact format versions live next to the code that defines each
+    format ({!Cache.format_version}, {!Fingerprint.version},
+    {!Diffreport.format_version}, {!Telemetry.stats_json_schema},
+    {!Sarif.sarif_version}); everything that stamps an artifact with the
+    {e tool} version — the CLI, SARIF export, bench JSON [meta] blocks —
+    must read it from here rather than repeating the literal. *)
+
+val tool : string
+(** the SafeFlow tool version (semver) *)

@@ -55,16 +55,21 @@ let test_parallelism_invariance name () =
   in
   Alcotest.check slist "sequential = parallel" (fps 1) (fps 0)
 
+(* cache entries live under a generation subdirectory of the root *)
+let rec rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun e ->
+        let p = Filename.concat dir e in
+        if Sys.is_directory p then rm_rf p else Sys.remove p)
+      (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
 let with_temp_dir f =
   let dir = Filename.temp_file "safeflow_diag" "" in
   Sys.remove dir;
-  Fun.protect
-    ~finally:(fun () ->
-      if Sys.file_exists dir then begin
-        Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
-        Sys.rmdir dir
-      end)
-    (fun () -> f dir)
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
 
 let test_cache_invariance name () =
   let src = read_file (find_system name) in

@@ -70,9 +70,26 @@ let test_dirty_identity () =
         engines)
     systems
 
-let clear_dir dir =
+(* disk entries live under a generation subdirectory of the cache root *)
+let rec clear_dir dir =
   if Sys.file_exists dir then
-    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir)
+    Array.iter
+      (fun f ->
+        let p = Filename.concat dir f in
+        if Sys.is_directory p then begin
+          clear_dir p;
+          Sys.rmdir p
+        end
+        else Sys.remove p)
+      (Sys.readdir dir)
+
+let rec entry_files dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Array.to_list (Sys.readdir dir)
+    |> List.concat_map (fun f ->
+           let p = Filename.concat dir f in
+           if Sys.is_directory p then entry_files p else [ p ])
 
 let test_disk_roundtrip () =
   let dir = "tmp_cache_disk" in
@@ -81,7 +98,7 @@ let test_disk_roundtrip () =
   let baseline = report Config.default src in
   ignore (report ~cache:(Cache.create ~dir ()) Config.default src);
   Alcotest.(check bool) "entries were written to disk" true
-    (Array.length (Sys.readdir dir) > 0);
+    (List.exists (fun f -> Filename.basename f <> "GENERATION") (entry_files dir));
   (* a brand-new cache object must read them back *)
   let c2 = Cache.create ~dir () in
   check_report "report after disk round trip" baseline
@@ -96,12 +113,12 @@ let test_disk_corrupt () =
   let baseline = report Config.default src in
   ignore (report ~cache:(Cache.create ~dir ()) Config.default src);
   (* vandalize every entry: garbage in half, truncation to zero in half *)
-  Array.iteri
+  List.iteri
     (fun i f ->
-      let oc = open_out_bin (Filename.concat dir f) in
+      let oc = open_out_bin f in
       if i mod 2 = 0 then output_string oc "not a marshalled cache entry";
       close_out oc)
-    (Sys.readdir dir);
+    (entry_files dir);
   check_report "corrupt entries are silently recomputed" baseline
     (report ~cache:(Cache.create ~dir ()) Config.default src)
 
