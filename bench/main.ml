@@ -81,14 +81,17 @@ type opts = {
                                fleet: member counts *)
   seed : int;  (* synthetic-generation seed (engines, fleet) *)
   jobs : int option;  (* fleet: worker processes *)
+  threshold : float option;  (* diff: regression threshold, percent *)
+  rest : string list;  (* positionals after the command (diff: OLD NEW) *)
 }
 
 let default_opts =
-  { json = None; iters = 5; system = None; synth = None; seed = 0; jobs = None }
+  { json = None; iters = 5; system = None; synth = None; seed = 0; jobs = None;
+    threshold = None; rest = [] }
 
 let parse_args () : string * opts =
   let rec go cmd o = function
-    | [] -> (Option.value ~default:"all" cmd, o)
+    | [] -> (Option.value ~default:"all" cmd, { o with rest = List.rev o.rest })
     | "--json" :: v :: rest -> go cmd { o with json = Some v } rest
     | "--iters" :: v :: rest -> go cmd { o with iters = int_of_string v } rest
     | "--system" :: v :: rest -> go cmd { o with system = Some v } rest
@@ -97,8 +100,11 @@ let parse_args () : string * opts =
       go cmd { o with synth = Some sizes } rest
     | "--seed" :: v :: rest -> go cmd { o with seed = int_of_string v } rest
     | "--jobs" :: v :: rest -> go cmd { o with jobs = Some (int_of_string v) } rest
-    | a :: rest when cmd = None && String.length a > 0 && a.[0] <> '-' ->
-      go (Some a) o rest
+    | "--threshold" :: v :: rest ->
+      go cmd { o with threshold = Some (float_of_string v) } rest
+    | a :: rest when String.length a > 0 && a.[0] <> '-' ->
+      if cmd = None then go (Some a) o rest
+      else go cmd { o with rest = a :: o.rest } rest
     | a :: _ -> failwith ("unknown argument " ^ a)
   in
   go None default_opts (List.tl (Array.to_list Sys.argv))
@@ -170,6 +176,9 @@ let jmeta ~benchmark ~engines =
         ("tool_version", Jstr Safeflow.Version.tool);
         ("ocaml_version", Jstr Sys.ocaml_version);
         ("word_size", Jint Sys.word_size);
+        (* bench numbers only transfer between identical hosts; diff
+           treats a hostname mismatch as non-blocking *)
+        ("hostname", Jstr (try Unix.gethostname () with _ -> "unknown"));
         ("config_fingerprint", Jstr (config_fingerprint Safeflow.Config.default));
         ("cache_format_version", Jint Safeflow.Cache.format_version);
         ("telemetry_schema", Jstr Safeflow.Telemetry.stats_json_schema);
@@ -1185,10 +1194,43 @@ let micro (_o : opts) =
       | _ -> Fmt.pr "%-34s (no estimate)@." name)
     results
 
+(* ========================================= diff (regression gate) ======== *)
+
+(* bench diff OLD.json NEW.json [--threshold PCT]: compare two BENCH
+   files (Safeflow.Benchdiff: rows matched by identity key incl. the
+   semantic-config fingerprint, time metrics judged against the
+   threshold, hostname mismatch non-blocking) and exit non-zero on a
+   same-host regression.  Not part of "all": it needs positionals and
+   gates instead of measuring. *)
+let diff_cmd (o : opts) =
+  match o.rest with
+  | [ old_path; new_path ] ->
+    let read path =
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    in
+    let threshold = Option.map (fun pct -> pct /. 100.0) o.threshold in
+    (match
+       Safeflow.Benchdiff.diff ?threshold ~old_text:(read old_path)
+         ~new_text:(read new_path) ()
+     with
+    | Error msg ->
+      Fmt.epr "bench diff: %s@." msg;
+      exit 3
+    | Ok v ->
+      Safeflow.Benchdiff.print_report stdout v;
+      exit (Safeflow.Benchdiff.gate v))
+  | _ ->
+    Fmt.epr "usage: bench diff OLD.json NEW.json [--threshold PCT]@.";
+    exit 2
+
 (* ==================================================== driver ============= *)
 
 let () =
   let which, opts = parse_args () in
+  if which = "diff" then diff_cmd opts;
   let all = [ ("table1", table1); ("phases", phases); ("scale", scale);
               ("engines", engines); ("cache", cache_bench); ("fleet", fleet_bench);
               ("ablation", ablation); ("summary", summary); ("sim", sim);

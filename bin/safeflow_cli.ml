@@ -556,8 +556,36 @@ let fleet_cmd =
             "suppression baseline across the whole fleet: the delta is printed and only \
              new findings drive the exit code")
   in
+  let progress_flag =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:
+            "live stderr progress line (members done/total, analyses/sec, ETA, slowest \
+             worker), driven by the worker event stream; throttled, never changes \
+             reports")
+  in
+  let log_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log-json" ] ~docv:"OUT.ndjson"
+          ~doc:
+            "tee the raw worker event stream (newline-delimited JSON, schema \
+             $(b,safeflow-events/1): fleet/worker/member lifecycle, per-member cache \
+             deltas, heartbeats) to $(docv) for post-hoc analysis")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose" ]
+          ~doc:
+            "one-line stderr diagnostics for otherwise-silent recoveries (stale or \
+             corrupt cache entries), tagged $(b,[worker N]) so interleaved fleet output \
+             stays attributable; never changes reports")
+  in
   let run dir manifest jobs shard_domains cache_dir engine absint source_label
-      print_reports save_findings baseline fail_on tele =
+      print_reports save_findings baseline fail_on progress_flag log_json verbose tele =
     try
       telemetry_setup tele;
       let members =
@@ -575,10 +603,38 @@ let fleet_cmd =
         Fmt.epr "no member systems found@.";
         exit 2
       end;
-      let config = { Safeflow.Config.default with engine; absint } in
-      let r =
-        Safeflow.Fleet.run ~config ?cache_dir ~jobs ~shard_domains ~source_label members
+      let config = { Safeflow.Config.default with engine; absint; verbose } in
+      let log_oc = Option.map open_out log_json in
+      let progress =
+        if progress_flag then
+          Some (Safeflow.Progress.create ~total:(List.length members) ())
+        else None
       in
+      let on_event =
+        match (log_oc, progress) with
+        | None, None -> None
+        | _ ->
+          Some
+            (fun line ->
+              (match log_oc with
+              | Some oc ->
+                output_string oc line;
+                output_char oc '\n'
+              | None -> ());
+              match progress with
+              | Some p -> Safeflow.Progress.feed p line
+              | None -> ())
+      in
+      let r =
+        Safeflow.Fleet.run ~config ?cache_dir ~jobs ~shard_domains ~source_label
+          ?on_event members
+      in
+      (match progress with Some p -> Safeflow.Progress.finish p | None -> ());
+      (match (log_oc, log_json) with
+      | Some oc, Some path ->
+        close_out oc;
+        Fmt.epr "event log written to %s@." path
+      | _ -> ());
       List.iter
         (fun (m : Safeflow.Fleet.member_result) ->
           if print_reports then
@@ -636,7 +692,7 @@ let fleet_cmd =
           union of all members' findings.")
     Term.(const run $ dir $ manifest $ jobs $ shard_domains $ cache_dir $ engine
           $ absint_arg $ source_label $ print_reports $ save_findings $ baseline
-          $ fail_on_arg $ telemetry_flags)
+          $ fail_on_arg $ progress_flag $ log_json $ verbose $ telemetry_flags)
 
 let version_cmd =
   let run () =
@@ -644,6 +700,7 @@ let version_cmd =
     Fmt.pr "cache format:      v%d@." Safeflow.Cache.format_version;
     Fmt.pr "cache generation:  %s@." Safeflow.Cache.generation;
     Fmt.pr "telemetry schema:  %s@." Safeflow.Telemetry.stats_json_schema;
+    Fmt.pr "events schema:     %s@." Safeflow.Events.schema;
     Fmt.pr "findings format:   %s@." Safeflow.Diffreport.format_version;
     Fmt.pr "fingerprint:       %s@." Safeflow.Fingerprint.version;
     Fmt.pr "SARIF:             %s@." Safeflow.Sarif.sarif_version
@@ -657,9 +714,57 @@ let version_cmd =
 
 let synth_cmd =
   let n = Arg.(value & pos 0 int 8 & info [] ~docv:"N" ~doc:"worker count") in
-  let run n = print_string (Safeflow.Synth.of_size n) in
-  Cmd.v (Cmd.info "synth" ~doc:"emit a synthetic core component of the given size")
-    Term.(const run $ n)
+  let fleet_n =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fleet" ] ~docv:"N"
+          ~doc:
+            "instead of one component on stdout, write a deterministic $(docv)-member \
+             synthetic fleet (controlled cross-member overlap and duplicates) into \
+             $(b,--out); the input generator behind $(b,bench fleet) and the CI \
+             fleet-smoke job")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"S" ~doc:"generation seed (with $(b,--fleet)); same seed, same fleet")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"output directory for $(b,--fleet) members (created if missing)")
+  in
+  let run n fleet_n seed out =
+    match fleet_n with
+    | None -> print_string (Safeflow.Synth.of_size n)
+    | Some fn -> (
+      match out with
+      | None ->
+        Fmt.epr "--fleet needs --out DIR@.";
+        exit 2
+      | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        let members =
+          Safeflow.Synth.fleet ~seed
+            { Safeflow.Synth.default_fleet with Safeflow.Synth.fleet_n = fn }
+        in
+        List.iter
+          (fun (name, src) ->
+            let oc = open_out (Filename.concat dir name) in
+            output_string oc src;
+            close_out oc)
+          members;
+        Fmt.pr "wrote %d members to %s@." (List.length members) dir)
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:
+         "emit a synthetic core component of the given size, or with $(b,--fleet) a \
+          seeded deterministic fleet of member systems")
+    Term.(const run $ n $ fleet_n $ seed $ out)
 
 let () =
   let doc = "static analysis to enforce safe value flow in embedded control systems" in

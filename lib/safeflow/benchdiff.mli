@@ -1,0 +1,49 @@
+(** Perf-regression comparison over self-describing [BENCH_*.json]
+    files ([bench diff OLD NEW] in the bench harness, and the CI perf
+    gates).
+
+    Rows from every top-level array of objects are matched by an
+    identity key (array name + discriminating fields, including the
+    semantic-config fingerprint).  Only time-like metrics are judged —
+    [*_ms]/[*_s] lower-better (excluding the [_min]/[_mean]/[_stddev]
+    noise companions), [*analyses_per_sec] higher-better — and only
+    when at least one side is ≥ 0.5 ms, so sub-noise rows cannot gate.
+
+    Benchmark numbers only transfer between identical hosts: when the
+    [meta.hostname] fields are missing or differ, regressions are
+    reported but {!gate} stays 0 (non-blocking warn). *)
+
+type delta = {
+  d_row : string;  (** human-readable row label *)
+  d_metric : string;
+  d_old : float;
+  d_new : float;
+  d_change_pct : float;  (** signed; positive = value went up *)
+  d_regression : bool;  (** false = improvement past threshold *)
+}
+
+type verdict = {
+  v_threshold : float;  (** fraction, e.g. [0.10] *)
+  v_host_match : bool;
+  v_rows_matched : int;
+  v_rows_old_only : int;
+  v_rows_new_only : int;
+  v_deltas : delta list;  (** changes past threshold, file order *)
+  v_notes : string list;
+}
+
+val diff :
+  ?threshold:float -> old_text:string -> new_text:string -> unit ->
+  (verdict, string) result
+(** compare two bench JSON documents (contents, not paths);
+    [threshold] defaults to [0.10] (10 %).  [Error] only on malformed
+    JSON. *)
+
+val regressions : verdict -> delta list
+
+val print_report : out_channel -> verdict -> unit
+(** regression/improvement table plus notes *)
+
+val gate : verdict -> int
+(** process exit code: [1] iff there is at least one regression {e and}
+    the hosts match, else [0] *)

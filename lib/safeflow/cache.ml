@@ -212,7 +212,8 @@ let read_disk t ns key : entry outcome =
            atomic, so a concurrent reader either sees the whole entry or
            none of it *)
         if t.verbose then
-          Printf.eprintf "safeflow: cache: discarding %s entry %s\n%!"
+          Printf.eprintf "%ssafeflow: cache: discarding %s entry %s\n%!"
+            (Logctx.get ())
             (if result = Stale then "stale" else "corrupt")
             (Filename.basename path);
         (try Sys.remove path with Sys_error _ -> ()));

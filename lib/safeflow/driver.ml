@@ -352,7 +352,7 @@ let analyze_file ?config ?cache path : analysis =
   analyze ?config ?cache ~file:path src
 
 let c_file_tasks = Telemetry.counter "pool.file_tasks"
-let c_file_peak = Telemetry.counter "pool.file_peak"
+let c_file_peak = Telemetry.gauge "pool.file_peak"
 
 (** Analyze several systems concurrently, one domain per hardware thread
     (bounded by [Domain.recommended_domain_count]).  Analysis state is

@@ -1,0 +1,93 @@
+(* Structured fleet event stream: one JSON object per line
+   (schema "safeflow-events/1"), written by workers onto a dedicated
+   pipe and consumed by the parent for live progress and --log-json.
+
+   Lines stay far below PIPE_BUF, so a single Unix.write per line is
+   atomic across concurrently-writing workers — no framing or locking
+   needed.  Timestamps are wall-clock seconds (Unix.gettimeofday),
+   self-labelled "t"; they are for humans and post-hoc analysis, not
+   for correlating with telemetry spans (those use the monotonic
+   epoch). *)
+
+let schema = "safeflow-events/1"
+
+let esc = Jsonlite.escape
+
+let base ev fields =
+  let b = Buffer.create 128 in
+  Buffer.add_string b (Printf.sprintf "{\"ev\":\"%s\",\"t\":%.3f" ev (Unix.gettimeofday ()));
+  List.iter
+    (fun f ->
+      Buffer.add_char b ',';
+      Buffer.add_string b f)
+    fields;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let fleet_start ~systems ~jobs ~shard_domains =
+  base "fleet_start"
+    [
+      Printf.sprintf "\"schema\":\"%s\"" schema;
+      Printf.sprintf "\"systems\":%d" systems;
+      Printf.sprintf "\"jobs\":%d" jobs;
+      Printf.sprintf "\"shard_domains\":%d" shard_domains;
+    ]
+
+let worker_start ~worker ~pid ~members =
+  base "worker_start"
+    [
+      Printf.sprintf "\"worker\":%d" worker;
+      Printf.sprintf "\"pid\":%d" pid;
+      Printf.sprintf "\"members\":%d" members;
+    ]
+
+let member_start ~worker ~path =
+  base "member_start"
+    [ Printf.sprintf "\"worker\":%d" worker; Printf.sprintf "\"path\":\"%s\"" (esc path) ]
+
+let member_done ~worker ~path ~errors ~warnings ~findings ~cache_hits ~cache_misses
+    ~elapsed_ms =
+  base "member_done"
+    [
+      Printf.sprintf "\"worker\":%d" worker;
+      Printf.sprintf "\"path\":\"%s\"" (esc path);
+      Printf.sprintf "\"errors\":%d" errors;
+      Printf.sprintf "\"warnings\":%d" warnings;
+      Printf.sprintf "\"findings\":%d" findings;
+      Printf.sprintf "\"cache_hits\":%d" cache_hits;
+      Printf.sprintf "\"cache_misses\":%d" cache_misses;
+      Printf.sprintf "\"elapsed_ms\":%.3f" elapsed_ms;
+    ]
+
+let heartbeat ~worker ~done_ ~total =
+  base "heartbeat"
+    [
+      Printf.sprintf "\"worker\":%d" worker;
+      Printf.sprintf "\"done\":%d" done_;
+      Printf.sprintf "\"total\":%d" total;
+    ]
+
+let worker_done ~worker ~members ~errors ~warnings =
+  base "worker_done"
+    [
+      Printf.sprintf "\"worker\":%d" worker;
+      Printf.sprintf "\"members\":%d" members;
+      Printf.sprintf "\"errors\":%d" errors;
+      Printf.sprintf "\"warnings\":%d" warnings;
+    ]
+
+let fleet_done ~systems ~elapsed_s ~analyses_per_sec =
+  base "fleet_done"
+    [
+      Printf.sprintf "\"systems\":%d" systems;
+      Printf.sprintf "\"elapsed_s\":%.3f" elapsed_s;
+      Printf.sprintf "\"analyses_per_sec\":%.3f" analyses_per_sec;
+    ]
+
+let write_line fd line =
+  (* one write per line: atomic for lines < PIPE_BUF.  A closed read end
+     (parent gone) must not kill the worker — callers ignore SIGPIPE,
+     and we swallow the resulting EPIPE here. *)
+  let msg = line ^ "\n" in
+  try ignore (Unix.write_substring fd msg 0 (String.length msg))
+  with Unix.Unix_error ((EPIPE | EBADF), _, _) -> ()

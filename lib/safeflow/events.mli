@@ -1,0 +1,43 @@
+(** Structured fleet event stream: newline-delimited JSON
+    ([safeflow-events/1]).
+
+    Fleet workers emit these on a dedicated pipe; the parent tees them
+    to [--log-json FILE] and feeds {!Progress}.  Each constructor
+    returns one complete JSON object on one line (no trailing newline)
+    with an ["ev"] discriminator and a wall-clock ["t"] (seconds).
+    Lines are far below [PIPE_BUF], so one {!write_line} per line is
+    atomic across concurrently-writing workers. *)
+
+val schema : string
+(** ["safeflow-events/1"]; carried in the [fleet_start] event *)
+
+val fleet_start : systems:int -> jobs:int -> shard_domains:int -> string
+
+val worker_start : worker:int -> pid:int -> members:int -> string
+
+val member_start : worker:int -> path:string -> string
+
+val member_done :
+  worker:int ->
+  path:string ->
+  errors:int ->
+  warnings:int ->
+  findings:int ->
+  cache_hits:int ->
+  cache_misses:int ->
+  elapsed_ms:float ->
+  string
+(** [cache_hits]/[cache_misses] are the delta observed while analyzing
+    this member (approximate under concurrent domains in the same
+    worker) *)
+
+val heartbeat : worker:int -> done_:int -> total:int -> string
+
+val worker_done : worker:int -> members:int -> errors:int -> warnings:int -> string
+
+val fleet_done : systems:int -> elapsed_s:float -> analyses_per_sec:float -> string
+
+val write_line : Unix.file_descr -> string -> unit
+(** write [line ^ "\n"] with a single [Unix.write]; EPIPE/EBADF are
+    swallowed (callers in workers also ignore [SIGPIPE]) so a vanished
+    reader never kills an analysis *)

@@ -3,7 +3,7 @@
 
 let c_fleet_systems = Telemetry.counter "fleet.systems"
 let c_fleet_shards = Telemetry.counter "fleet.shards"
-let c_fleet_aps = Telemetry.counter "fleet.analyses_per_sec"
+let c_fleet_members = Telemetry.counter "fleet.members"
 
 type member_result = {
   mr_path : string;
@@ -123,15 +123,50 @@ let pool_map ~domains (f : 'a -> 'b) (items : 'a array) : 'b array =
   end
 
 (* one shard: the members at [indices], analyzed on [shard_domains]
-   domains against a cache instance opened on the shared directory *)
-let run_shard ?config ?cache_dir ~shard_domains ~source_label (paths : string array)
-    (indices : int array) : (int * member_result) array * cache_totals =
-  let cache = Option.map (fun dir -> Cache.create ~dir ()) cache_dir in
-  let results =
-    pool_map ~domains:shard_domains
-      (fun i -> (i, analyze_member ?config ?cache ~source_label paths.(i)))
-      indices
+   domains against a cache instance opened on the shared directory.
+   [emit], when present, receives one Events line per lifecycle point;
+   event emission is skipped entirely (not just dropped) when absent.
+   [worker] is the shard index, used as the event/worker tag. *)
+let run_shard ?config ?cache_dir ~shard_domains ~source_label ~worker
+    ~(emit : (string -> unit) option) (paths : string array) (indices : int array) :
+    (int * member_result) array * cache_totals =
+  let verbose = match config with Some c -> c.Config.verbose | None -> false in
+  let cache = Option.map (fun dir -> Cache.create ~dir ~verbose ()) cache_dir in
+  Telemetry.add c_fleet_members (Array.length indices);
+  let total = Array.length indices in
+  let done_count = Atomic.make 0 in
+  (* opportunistic heartbeat: whichever domain finishes a member first
+     after a quiet second wins the CAS and emits *)
+  let last_beat = Atomic.make (Int64.to_int (Telemetry.now_ns ())) in
+  let analyze_one i =
+    let path = paths.(i) in
+    match emit with
+    | None -> (i, analyze_member ?config ?cache ~source_label path)
+    | Some emit ->
+      emit (Events.member_start ~worker ~path);
+      let before =
+        match cache with Some c -> cache_totals_of c | None -> no_cache_totals
+      in
+      let t0 = Unix.gettimeofday () in
+      let r = analyze_member ?config ?cache ~source_label path in
+      let after =
+        match cache with Some c -> cache_totals_of c | None -> no_cache_totals
+      in
+      emit
+        (Events.member_done ~worker ~path ~errors:r.mr_errors
+           ~warnings:r.mr_warnings
+           ~findings:(List.length r.mr_entries)
+           ~cache_hits:(after.ct_hits - before.ct_hits)
+           ~cache_misses:(after.ct_misses - before.ct_misses)
+           ~elapsed_ms:((Unix.gettimeofday () -. t0) *. 1000.0));
+      let d = Atomic.fetch_and_add done_count 1 + 1 in
+      let now = Int64.to_int (Telemetry.now_ns ()) in
+      let last = Atomic.get last_beat in
+      if now - last > 1_000_000_000 && Atomic.compare_and_set last_beat last now
+      then emit (Events.heartbeat ~worker ~done_:d ~total);
+      (i, r)
   in
+  let results = pool_map ~domains:shard_domains analyze_one indices in
   (results, match cache with Some c -> cache_totals_of c | None -> no_cache_totals)
 
 (* round-robin striping: member i belongs to shard (i mod jobs), so
@@ -155,53 +190,119 @@ let mkdtemp prefix =
   in
   go 0
 
+(* what a worker marshals back: its tagged member results, its cache
+   totals, and — when telemetry is on — its telemetry snapshot *)
+type shard_payload =
+  ((int * member_result) array * cache_totals * Telemetry.snapshot option, string)
+  Stdlib.result
+
 (* Fork-based sharding.  Each worker process opens its own cache
    instance on the shared directory (the disk tier is the shared
    medium; see Cache for the write/validate protocol), analyzes its
-   stripe, and marshals the per-member results back through a temp
-   file.  Results and exceptions are both round-tripped, so a failing
-   member fails the fleet run with its original message. *)
+   stripe, and marshals the per-member results — plus its telemetry
+   snapshot — back through a temp file.  Results and exceptions are
+   both round-tripped, so a failing member fails the fleet run with its
+   original message.
+
+   Event streaming rides a dedicated pipe: workers write atomic NDJSON
+   lines (see Events), the parent drains to EOF — reached when the last
+   worker exits and the kernel drops its write end — and only then
+   reaps children, so draining cannot deadlock against a full pipe. *)
 let run_forked ?config ~cache_dir ~jobs ~shard_domains ~source_label
-    (paths : string array) : (int * member_result) array * cache_totals =
+    ~(on_event : (string -> unit) option) (paths : string array) :
+    (int * member_result) array * cache_totals =
   let n = Array.length paths in
   let tmpdir = mkdtemp "safeflow-fleet" in
   let shard_file j = Filename.concat tmpdir (Printf.sprintf "shard-%d.bin" j) in
   (* buffered output duplicated into children would be flushed twice *)
   flush stdout;
   flush stderr;
-  let pids =
-    List.init jobs (fun j ->
-        match Unix.fork () with
-        | 0 ->
-          let status =
-            try
-              let shard =
-                run_shard ?config ?cache_dir ~shard_domains ~source_label paths
-                  (shard_indices n jobs j)
-              in
-              let oc = open_out_bin (shard_file j) in
-              Marshal.to_channel oc
-                (Ok shard
-                  : ((int * member_result) array * cache_totals, string) Stdlib.result)
-                [];
-              close_out oc;
-              0
-            with e ->
-              (try
-                 let oc = open_out_bin (shard_file j) in
-                 Marshal.to_channel oc
-                   (Error (Printexc.to_string e)
-                     : ((int * member_result) array * cache_totals, string)
-                       Stdlib.result)
-                   [];
-                 close_out oc
-               with _ -> ());
-              1
+  let pipe = Option.map (fun _ -> Unix.pipe ()) on_event in
+  let fork_child j =
+    match Unix.fork () with
+    | 0 ->
+      (* fresh telemetry state on the parent's timeline; labelled
+         verbose output; a vanished event reader must not kill us *)
+      Telemetry.begin_worker ();
+      Logctx.set (Printf.sprintf "[worker %d] " j);
+      let emit =
+        match pipe with
+        | None -> None
+        | Some (rfd, wfd) ->
+          Unix.close rfd;
+          (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+           with Invalid_argument _ -> ());
+          Some (fun line -> Events.write_line wfd line)
+      in
+      let status =
+        try
+          let indices = shard_indices n jobs j in
+          (match emit with
+          | Some e ->
+            e
+              (Events.worker_start ~worker:j ~pid:(Unix.getpid ())
+                 ~members:(Array.length indices))
+          | None -> ());
+          let tagged, totals =
+            run_shard ?config ?cache_dir ~shard_domains ~source_label ~worker:j
+              ~emit paths indices
           in
-          (* _exit: no at_exit handlers, no double-flushed buffers *)
-          Unix._exit status
-        | pid -> pid)
+          (match emit with
+          | Some e ->
+            let errors, warnings =
+              Array.fold_left
+                (fun (es, ws) (_, r) -> (es + r.mr_errors, ws + r.mr_warnings))
+                (0, 0) tagged
+            in
+            e
+              (Events.worker_done ~worker:j ~members:(Array.length tagged)
+                 ~errors ~warnings)
+          | None -> ());
+          let snap = if Telemetry.enabled () then Some (Telemetry.snapshot ()) else None in
+          let oc = open_out_bin (shard_file j) in
+          Marshal.to_channel oc (Ok (tagged, totals, snap) : shard_payload) [];
+          close_out oc;
+          0
+        with e ->
+          (try
+             let oc = open_out_bin (shard_file j) in
+             Marshal.to_channel oc
+               (Error (Printexc.to_string e) : shard_payload)
+               [];
+             close_out oc
+           with _ -> ());
+          1
+      in
+      (* _exit: no at_exit handlers, no double-flushed buffers; also
+         drops our write end of the event pipe *)
+      Unix._exit status
+    | pid -> pid
   in
+  let pids =
+    try List.init jobs fork_child
+    with e ->
+      (* fork refused (a domain was spawned earlier in this process):
+         release the pipe before the caller degrades to in-process *)
+      (match pipe with
+      | Some (rfd, wfd) ->
+        (try Unix.close rfd with Unix.Unix_error _ -> ());
+        (try Unix.close wfd with Unix.Unix_error _ -> ())
+      | None -> ());
+      raise e
+  in
+  (* drain the event pipe to EOF before reaping: every worker holds a
+     write end until _exit, so EOF == all workers gone *)
+  (match (pipe, on_event) with
+  | Some (rfd, wfd), Some sink ->
+    Unix.close wfd;
+    let ic = Unix.in_channel_of_descr rfd in
+    (try
+       while true do
+         sink (input_line ic)
+       done
+     with End_of_file | Sys_error _ -> ());
+    close_in_noerr ic
+  | _ -> ());
   (* reap every worker before acting on failures — no zombies *)
   let statuses =
     List.map (fun pid -> snd (Unix.waitpid [] pid)) pids
@@ -226,10 +327,7 @@ let run_forked ?config ~cache_dir ~jobs ~shard_domains ~source_label
         let r =
           Fun.protect
             ~finally:(fun () -> close_in_noerr ic)
-            (fun () ->
-              (Marshal.from_channel ic
-                : ((int * member_result) array * cache_totals, string)
-                  Stdlib.result))
+            (fun () -> (Marshal.from_channel ic : shard_payload))
         in
         match r with Ok shard -> shard | Error msg -> fail "%s" msg)
       statuses
@@ -240,18 +338,33 @@ let run_forked ?config ~cache_dir ~jobs ~shard_domains ~source_label
        (Sys.readdir tmpdir);
      Sys.rmdir tmpdir
    with Sys_error _ -> ());
-  ( Array.concat (List.map fst shards),
-    List.fold_left (fun acc (_, t) -> add_totals acc t) no_cache_totals shards )
+  (* fold worker telemetry into the parent's fleet-wide view *)
+  List.iteri
+    (fun j (_, _, snap) ->
+      match snap with
+      | Some s ->
+        if not (Telemetry.merge_worker ~label:(Printf.sprintf "worker %d" j) s)
+        then
+          Printf.eprintf
+            "safeflow: fleet: dropping worker %d telemetry (snapshot version mismatch)\n%!"
+            j
+      | None -> ())
+    shards;
+  ( Array.concat (List.map (fun (tagged, _, _) -> tagged) shards),
+    List.fold_left (fun acc (_, t, _) -> add_totals acc t) no_cache_totals shards )
 
 let run ?config ?cache_dir ?(jobs = 1) ?(shard_domains = 1)
-    ?(source_label = "<system>") (paths : string list) : result =
+    ?(source_label = "<system>") ?on_event (paths : string list) : result =
+  Telemetry.span "fleet.run" @@ fun () ->
   let n = List.length paths in
   let arr = Array.of_list paths in
   let jobs = max 1 (min jobs (max 1 n)) in
+  let emit_parent line = match on_event with Some sink -> sink line | None -> () in
+  emit_parent (Events.fleet_start ~systems:n ~jobs ~shard_domains);
   let t0 = Unix.gettimeofday () in
   let in_process () =
-    run_shard ?config ?cache_dir ~shard_domains ~source_label arr
-      (Array.init n Fun.id)
+    run_shard ?config ?cache_dir ~shard_domains ~source_label ~worker:0
+      ~emit:on_event arr (Array.init n Fun.id)
   in
   let tagged, totals =
     (* The parent must stay domain-free: the OCaml 5 runtime forbids
@@ -263,7 +376,7 @@ let run ?config ?cache_dir ?(jobs = 1) ?(shard_domains = 1)
        rather than fail. *)
     if jobs <= 1 && shard_domains <= 1 then in_process ()
     else
-      try run_forked ?config ~cache_dir ~jobs ~shard_domains ~source_label arr
+      try run_forked ?config ~cache_dir ~jobs ~shard_domains ~source_label ~on_event arr
       with Failure msg
         when String.length msg >= 9 && String.sub msg 0 9 = "Unix.fork" ->
         in_process ()
@@ -280,7 +393,8 @@ let run ?config ?cache_dir ?(jobs = 1) ?(shard_domains = 1)
   let aps = if elapsed > 0.0 then float_of_int n /. elapsed else 0.0 in
   Telemetry.add c_fleet_systems n;
   Telemetry.add c_fleet_shards jobs;
-  Telemetry.record_max c_fleet_aps (int_of_float (Float.round aps));
+  Telemetry.record_float_max "fleet.analyses_per_sec" aps;
+  emit_parent (Events.fleet_done ~systems:n ~elapsed_s:elapsed ~analyses_per_sec:aps);
   {
     f_results = results;
     f_systems = n;

@@ -35,7 +35,30 @@
     Reports are unaffected by sharding, caching, or label choice: a
     fleet run's reports are byte-identical to sequential no-cache
     analyses of the same sources under the same label (asserted by
-    [bench fleet] and [test/test_fleet.ml]). *)
+    [bench fleet] and [test/test_fleet.ml]).
+
+    {2 Observability}
+
+    Two side channels, both strictly write-only with respect to
+    analysis results (reports are byte-identical with them on or off):
+
+    - {b Events} ([?on_event]): workers write {!Events} NDJSON lines
+      (worker/member lifecycle, cache deltas, heartbeats) to a
+      dedicated pipe; single writes below [PIPE_BUF] keep concurrent
+      lines atomic.  The parent drains the pipe to EOF {e before}
+      reaping workers (every worker holds a write end until [_exit],
+      so EOF means all workers are gone — draining cannot deadlock
+      against a full pipe) and hands each line to [on_event].  The CLI
+      tees these to [--log-json] and a live [--progress] line.
+    - {b Telemetry}: when {!Telemetry.enabled}, each worker calls
+      {!Telemetry.begin_worker} after the fork, records spans and
+      counters as usual, and ships a {!Telemetry.snapshot} back with
+      its results; the parent merges them ({!Telemetry.merge_worker})
+      into the fleet-wide view used by [--stats], [--stats-json]
+      (schema v3 [workers] section) and the multi-pid [--trace].
+
+    Workers also tag their verbose stderr notes with a
+    [\[worker N\]] {!Logctx} prefix. *)
 
 type member_result = {
   mr_path : string;  (** the member's real on-disk path *)
@@ -71,12 +94,16 @@ val run :
   ?jobs:int ->
   ?shard_domains:int ->
   ?source_label:string ->
+  ?on_event:(string -> unit) ->
   string list ->
   result
 (** [run paths] analyzes every member and aggregates.  A member whose
     analysis raises fails the whole run with the original message
     (prefixed by its shard).  Cache totals are meaningful only with
-    [~cache_dir]; without it every member is analyzed cold. *)
+    [~cache_dir]; without it every member is analyzed cold.
+    [on_event] receives each {!Events} line (no trailing newline) on
+    the parent, in arrival order; it is called from the parent's single
+    thread, never concurrently. *)
 
 val members_of_dir : string -> string list
 (** the [.c] files of a directory, sorted by name *)

@@ -1,0 +1,10 @@
+(* Process-wide stderr log prefix.  A forked fleet worker sets
+   "[worker N] " right after the fork; subsystems that print one-line
+   verbose notes (cache recovery, absint range proofs) prepend
+   [get ()] so interleaved fleet output stays attributable. *)
+
+let prefix = ref ""
+
+let set p = prefix := p
+
+let get () = !prefix

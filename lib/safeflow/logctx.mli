@@ -1,0 +1,12 @@
+(** Process-wide stderr log prefix for verbose notes.
+
+    Fleet workers set ["[worker N] "] immediately after forking;
+    subsystems printing one-line [--verbose] notes prepend {!get} so
+    output interleaved from several workers stays attributable.  Plain
+    mutable state: set once per process before any concurrent
+    printing. *)
+
+val set : string -> unit
+
+val get : unit -> string
+(** current prefix; [""] outside fleet workers *)

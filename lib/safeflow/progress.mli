@@ -1,0 +1,22 @@
+(** Throttled live progress line for fleet runs.
+
+    Consumes {!Events} NDJSON lines (via {!feed}) and renders a
+    carriage-return-overwritten status line — members done/total,
+    analyses/sec, ETA, slowest worker — at most every [interval_s]
+    seconds.  Malformed lines are ignored: progress is best-effort and
+    never affects analysis results. *)
+
+type t
+
+val create : ?out:out_channel -> ?interval_s:float -> total:int -> unit -> t
+(** [out] defaults to [stderr], [interval_s] to [0.2] *)
+
+val feed : t -> string -> unit
+(** consume one event line (without trailing newline) *)
+
+val finish : t -> unit
+(** render the final state and terminate the live line with a newline;
+    no-op if nothing was ever rendered *)
+
+val members_done : t -> int
+(** number of [member_done] events seen *)

@@ -15,6 +15,11 @@ module Version = Version
 module Config = Config
 module Report = Report
 module Telemetry = Telemetry
+module Jsonlite = Jsonlite
+module Events = Events
+module Progress = Progress
+module Logctx = Logctx
+module Benchdiff = Benchdiff
 module Shm = Shm
 module Phase1 = Phase1
 module Phase2 = Phase2

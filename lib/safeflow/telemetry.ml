@@ -4,7 +4,14 @@
     returns when telemetry is off, so instrumented code costs a load and
     a branch when disabled.  When enabled, span finish and counter
     registration take a global mutex; counter updates are lock-free
-    atomics. *)
+    atomics.
+
+    Fleet aggregation: a forked worker process records into its own
+    inherited copy of this state (cleared by {!begin_worker}), packages
+    it as a versioned {!snapshot} at exit, and the fleet parent merges
+    every worker snapshot back in with {!merge_worker} — counters
+    summed, gauges max'd, spans kept per worker for the multi-process
+    Chrome trace and merged by name into the aggregated tree. *)
 
 external now_ns : unit -> int64 = "safeflow_monotonic_ns"
 
@@ -38,7 +45,10 @@ let locked f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
-(* trace epoch: all exported timestamps are relative to this *)
+(* trace epoch: all exported timestamps are relative to this.  A forked
+   worker inherits the parent's epoch, and CLOCK_MONOTONIC is
+   system-wide, so parent and worker span timestamps share one timeline
+   in the merged trace. *)
 let epoch = Atomic.make (now_ns ())
 
 let next_span_id = Atomic.make 0
@@ -82,15 +92,19 @@ let span ?(args = []) name f =
       f
   end
 
-let spans () =
-  let l = locked (fun () -> !finished) in
+let sort_spans l =
   List.sort (fun a b -> compare (a.s_start_ns, a.s_id) (b.s_start_ns, b.s_id)) l
 
-(* -- Counters ------------------------------------------------------------------- *)
+let spans () = sort_spans (locked (fun () -> !finished))
+
+(* -- Counters and gauges --------------------------------------------------------- *)
 
 type counter = int Atomic.t
 
 let registry : (string, counter) Hashtbl.t = Hashtbl.create 64
+
+(* names with gauge semantics: merged across workers by max, not sum *)
+let gauge_set : (string, unit) Hashtbl.t = Hashtbl.create 8
 
 let counter name =
   locked (fun () ->
@@ -100,6 +114,13 @@ let counter name =
         let c = Atomic.make 0 in
         Hashtbl.replace registry name c;
         c)
+
+let gauge name =
+  let c = counter name in
+  locked (fun () -> Hashtbl.replace gauge_set name ());
+  c
+
+let is_gauge name = locked (fun () -> Hashtbl.mem gauge_set name)
 
 let incr c = if Atomic.get on then ignore (Atomic.fetch_and_add c 1)
 
@@ -118,6 +139,22 @@ let counters () =
       List.sort compare
         (Hashtbl.fold (fun name c acc -> (name, Atomic.get c) :: acc) registry []))
 
+(* float gauges: named floating-point measurements with max-retain
+   semantics (analyses/sec and friends, which an int counter would
+   truncate); guarded by [lock] *)
+let fgauges : (string, float) Hashtbl.t = Hashtbl.create 8
+
+let record_float_max name v =
+  if Atomic.get on then
+    locked (fun () ->
+        match Hashtbl.find_opt fgauges name with
+        | Some old when old >= v -> ()
+        | _ -> Hashtbl.replace fgauges name v)
+
+let float_gauges () =
+  locked (fun () ->
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) fgauges []))
+
 (* -- Sections -------------------------------------------------------------------- *)
 
 (* named raw-JSON fragments contributed by other subsystems (monitoring
@@ -131,6 +168,72 @@ let set_section name json =
 
 let sections () = locked (fun () -> List.rev !section_tbl)
 
+(* -- Worker snapshots -------------------------------------------------------------- *)
+
+let snapshot_version = 1
+
+type snapshot = {
+  sn_version : int;
+  sn_pid : int;
+  sn_counters : (string * int) list;
+  sn_gauge_names : string list;
+  sn_fgauges : (string * float) list;
+  sn_spans : span_record list;
+  sn_sections : (string * string) list;
+}
+
+let snapshot () =
+  {
+    sn_version = snapshot_version;
+    sn_pid = Unix.getpid ();
+    sn_counters = counters ();
+    sn_gauge_names =
+      locked (fun () ->
+          List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) gauge_set []));
+    sn_fgauges = float_gauges ();
+    sn_spans = spans ();
+    sn_sections = sections ();
+  }
+
+type worker_view = { w_label : string; w_snapshot : snapshot }
+
+let worker_views : worker_view list ref = ref []  (* newest first; guarded by [lock] *)
+
+let merge_worker ~label (s : snapshot) =
+  if s.sn_version <> snapshot_version then false
+  else begin
+    (* adopt the worker's gauge classification before merging, so a
+       gauge the parent never registered still merges by max *)
+    List.iter (fun n -> ignore (gauge n)) s.sn_gauge_names;
+    List.iter
+      (fun (name, v) ->
+        let c = counter name in
+        if List.mem name s.sn_gauge_names then record_max c v else add c v)
+      s.sn_counters;
+    List.iter (fun (n, v) -> record_float_max n v) s.sn_fgauges;
+    (* sections carry analysis-derived data, not timings: keep the
+       parent's value when both set the same name *)
+    List.iter
+      (fun (name, json) ->
+        locked (fun () ->
+            if not (List.mem_assoc name !section_tbl) then
+              section_tbl := (name, json) :: !section_tbl))
+      s.sn_sections;
+    locked (fun () ->
+        worker_views := { w_label = label; w_snapshot = s } :: !worker_views);
+    true
+  end
+
+let workers () = List.rev (locked (fun () -> !worker_views))
+
+let begin_worker () =
+  locked (fun () ->
+      finished := [];
+      section_tbl := [];
+      worker_views := [];
+      Hashtbl.reset fgauges;
+      Hashtbl.iter (fun _ c -> Atomic.set c 0) registry)
+
 (* -- Switch / reset -------------------------------------------------------------- *)
 
 let reset () =
@@ -138,6 +241,8 @@ let reset () =
   locked (fun () ->
       finished := [];
       section_tbl := [];
+      worker_views := [];
+      Hashtbl.reset fgauges;
       Hashtbl.iter (fun _ c -> Atomic.set c 0) registry)
 
 let set_enabled b =
@@ -169,26 +274,45 @@ let ms_of_ns ns = Int64.to_float ns /. 1_000_000.0
 
 let write_chrome_trace path =
   let b = Buffer.create 4096 in
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_char b ',' in
+  let meta ~pid name =
+    sep ();
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"%s\"}}"
+         pid (json_escape name))
+  in
+  let event ~pid s =
+    sep ();
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"name\":\"%s\",\"cat\":\"safeflow\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d"
+         (json_escape s.s_name) (us_of_ns s.s_start_ns) (us_of_ns s.s_dur_ns) pid
+         s.s_domain);
+    if s.s_args <> [] then begin
+      Buffer.add_string b ",\"args\":{";
+      List.iteri
+        (fun j (k, v) ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+        s.s_args;
+      Buffer.add_char b '}'
+    end;
+    Buffer.add_char b '}'
+  in
   Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  List.iteri
-    (fun i s ->
-      if i > 0 then Buffer.add_char b ',';
-      Buffer.add_string b
-        (Printf.sprintf
-           "{\"name\":\"%s\",\"cat\":\"safeflow\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d"
-           (json_escape s.s_name) (us_of_ns s.s_start_ns) (us_of_ns s.s_dur_ns) s.s_domain);
-      if s.s_args <> [] then begin
-        Buffer.add_string b ",\"args\":{";
-        List.iteri
-          (fun j (k, v) ->
-            if j > 0 then Buffer.add_char b ',';
-            Buffer.add_string b
-              (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
-          s.s_args;
-        Buffer.add_char b '}'
-      end;
-      Buffer.add_char b '}')
-    (spans ());
+  let self_pid = Unix.getpid () in
+  let ws = workers () in
+  meta ~pid:self_pid (if ws = [] then "safeflow" else "safeflow (fleet parent)");
+  List.iter (fun w -> meta ~pid:w.w_snapshot.sn_pid w.w_label) ws;
+  List.iter (event ~pid:self_pid) (spans ());
+  List.iter
+    (fun w ->
+      List.iter (event ~pid:w.w_snapshot.sn_pid) (sort_spans w.w_snapshot.sn_spans))
+    ws;
   Buffer.add_string b "]}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents b);
@@ -211,11 +335,12 @@ type agg = {
 let new_agg name =
   { g_name = name; g_count = 0; g_total_ns = 0L; g_children = Hashtbl.create 4; g_order = [] }
 
-let aggregate () =
-  let all = spans () in
+(* fold one span list (its own id space) into [root]; worker span lists
+   merge into the same tree by name, so the aggregated view is
+   fleet-wide *)
+let aggregate_into root (all : span_record list) =
   let by_id = Hashtbl.create (List.length all) in
   List.iter (fun s -> Hashtbl.replace by_id s.s_id s) all;
-  let root = new_agg "" in
   (* aggregate node for a span: walk its ancestor chain, descending from
      the root through one agg per (depth, name) *)
   let rec agg_of (s : span_record) : agg =
@@ -237,7 +362,14 @@ let aggregate () =
       let a = agg_of s in
       a.g_count <- a.g_count + 1;
       a.g_total_ns <- Int64.add a.g_total_ns s.s_dur_ns)
-    all;
+    all
+
+let aggregate () =
+  let root = new_agg "" in
+  aggregate_into root (spans ());
+  List.iter
+    (fun w -> aggregate_into root (sort_spans w.w_snapshot.sn_spans))
+    (workers ());
   root
 
 let rec iter_agg f depth (a : agg) =
@@ -251,19 +383,40 @@ let rec iter_agg f depth (a : agg) =
 (* -- Stats JSON ---------------------------------------------------------------------- *)
 
 (* v2: adds the "sections" object (raw JSON fragments from subsystems,
-   e.g. per-file monitoring coverage); counters and spans are unchanged *)
-let stats_json_schema = "safeflow-telemetry/2"
+   e.g. per-file monitoring coverage).
+   v3: adds "pid", the "gauges" object (float gauges such as
+   fleet.analyses_per_sec) and the "workers" array (per-worker counter/
+   gauge breakdown from merged fleet snapshots); "counters" and "spans"
+   are the merged fleet-wide view when workers are present. *)
+let stats_json_schema = "safeflow-telemetry/3"
 
-let write_stats_json path =
-  let b = Buffer.create 4096 in
-  Buffer.add_string b (Printf.sprintf "{\"schema\":\"%s\"" stats_json_schema);
-  Buffer.add_string b ",\"counters\":{";
+let buf_counters b (cs : (string * int) list) =
+  Buffer.add_char b '{';
   List.iteri
     (fun i (name, v) ->
       if i > 0 then Buffer.add_char b ',';
       Buffer.add_string b (Printf.sprintf "\"%s\":%d" (json_escape name) v))
-    (counters ());
-  Buffer.add_string b "},\"spans\":[";
+    cs;
+  Buffer.add_char b '}'
+
+let buf_fgauges b (gs : (string * float) list) =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%.6f" (json_escape name) v))
+    gs;
+  Buffer.add_char b '}'
+
+let write_stats_json path =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (Printf.sprintf "{\"schema\":\"%s\"" stats_json_schema);
+  Buffer.add_string b (Printf.sprintf ",\"pid\":%d" (Unix.getpid ()));
+  Buffer.add_string b ",\"counters\":";
+  buf_counters b (counters ());
+  Buffer.add_string b ",\"gauges\":";
+  buf_fgauges b (float_gauges ());
+  Buffer.add_string b ",\"spans\":[";
   let first = ref true in
   iter_agg
     (fun depth a ->
@@ -273,6 +426,19 @@ let write_stats_json path =
         (Printf.sprintf "{\"name\":\"%s\",\"depth\":%d,\"count\":%d,\"total_ms\":%.3f}"
            (json_escape a.g_name) depth a.g_count (ms_of_ns a.g_total_ns)))
     0 (aggregate ());
+  Buffer.add_string b "],\"workers\":[";
+  List.iteri
+    (fun i w ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"label\":\"%s\",\"pid\":%d,\"spans\":%d,\"counters\":"
+           (json_escape w.w_label) w.w_snapshot.sn_pid
+           (List.length w.w_snapshot.sn_spans));
+      buf_counters b w.w_snapshot.sn_counters;
+      Buffer.add_string b ",\"gauges\":";
+      buf_fgauges b w.w_snapshot.sn_fgauges;
+      Buffer.add_char b '}')
+    (workers ());
   Buffer.add_string b "],\"sections\":{";
   List.iteri
     (fun i (name, json) ->
@@ -288,6 +454,15 @@ let write_stats_json path =
 
 let pp_stats ppf () =
   Fmt.pf ppf "@[<v>== telemetry ==@,";
+  (match workers () with
+  | [] -> ()
+  | ws ->
+    Fmt.pf ppf "merged %d worker snapshot(s):%a@," (List.length ws)
+      (fun ppf ws ->
+        List.iter
+          (fun w -> Fmt.pf ppf " %s(pid %d)" w.w_label w.w_snapshot.sn_pid)
+          ws)
+      ws);
   Fmt.pf ppf "span tree (count, total wall time):@,";
   let any = ref false in
   iter_agg
@@ -299,5 +474,14 @@ let pp_stats ppf () =
     0 (aggregate ());
   if not !any then Fmt.pf ppf "  (no spans recorded)@,";
   Fmt.pf ppf "counters:@,";
-  List.iter (fun (name, v) -> Fmt.pf ppf "  %-40s %12d@," name v) (counters ());
+  List.iter
+    (fun (name, v) ->
+      Fmt.pf ppf "  %-40s %12d%s@," name v
+        (if is_gauge name then "  (gauge)" else ""))
+    (counters ());
+  (match float_gauges () with
+  | [] -> ()
+  | gs ->
+    Fmt.pf ppf "gauges:@,";
+    List.iter (fun (name, v) -> Fmt.pf ppf "  %-40s %12.3f@," name v) gs);
   Fmt.pf ppf "@]"

@@ -276,7 +276,7 @@ let c_csr_build_us = Telemetry.counter "vf.csr_build_us"
 let c_bitset_words = Telemetry.counter "vf.bitset_words"
 let c_drain_edges_per_sec = Telemetry.counter "vf.drain_edges_per_sec"
 let c_pair_tasks = Telemetry.counter "pool.pair_tasks"
-let c_pair_peak = Telemetry.counter "pool.pair_peak"
+let c_pair_peak = Telemetry.gauge "pool.pair_peak"
 
 let create st =
   let funcs_by_name = st.Phase3.fidx in

@@ -31,6 +31,12 @@ let mkdtemp prefix =
   in
   go 0
 
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
 let rec rm_rf d =
   if Sys.file_exists d then begin
     Array.iter
@@ -206,6 +212,128 @@ let test_fleet_identity () =
   rm_rf cache_dir;
   rm_rf src_dir
 
+(* -- fleet observability -------------------------------------------------------- *)
+
+(* A forked observed run (telemetry + events on) must produce a coherent
+   merged view — worker snapshot sums matching fleet totals, events for
+   every member, a multi-pid trace — while leaving reports byte-identical
+   to an unobserved run.  Forks, so must run before the multidomain
+   test. *)
+let test_fleet_observability () =
+  let fp =
+    { Synth.fleet_n = 8; fleet_workers = 4; fleet_overlap = 0.5; fleet_dup = 0.25 }
+  in
+  let src_dir = mkdtemp "sf-fleet-obs-src" in
+  let paths =
+    List.map
+      (fun (name, src) ->
+        let path = Filename.concat src_dir name in
+        let oc = open_out_bin path in
+        output_string oc src;
+        close_out oc;
+        path)
+      (Synth.fleet ~seed:11 fp)
+  in
+  let reports (r : Fleet.result) =
+    List.map (fun m -> m.Fleet.mr_report) r.Fleet.f_results
+  in
+  (* plain run: no telemetry, no events, no cache *)
+  let plain = Fleet.run ~jobs:2 ~shard_domains:2 paths in
+  (* observed run *)
+  Telemetry.set_enabled true;
+  Telemetry.reset ();
+  let cache_dir = mkdtemp "sf-fleet-obs-cache" in
+  let events = ref [] in
+  let parent_cross_before = Telemetry.value (Telemetry.counter "cache.cross_hits") in
+  let observed =
+    Fleet.run ~cache_dir ~jobs:2 ~shard_domains:2
+      ~on_event:(fun line -> events := line :: !events)
+      paths
+  in
+  let stats_path = Filename.temp_file "sf-obs-stats" ".json" in
+  let trace_path = Filename.temp_file "sf-obs-trace" ".json" in
+  Telemetry.write_stats_json stats_path;
+  Telemetry.write_chrome_trace trace_path;
+  let stats = Jsonlite.parse_exn (read_file stats_path) in
+  let trace = Jsonlite.parse_exn (read_file trace_path) in
+  Sys.remove stats_path;
+  Sys.remove trace_path;
+  let merged_cross = Telemetry.value (Telemetry.counter "cache.cross_hits") in
+  Telemetry.set_enabled false;
+  Telemetry.reset ();
+  (* observability is report-neutral *)
+  Alcotest.(check (list string)) "observed reports byte-identical to plain run"
+    (reports plain) (reports observed);
+  (* stats JSON: schema v3, one view per worker, consistent sums *)
+  Alcotest.(check (option string)) "schema v3" (Some "safeflow-telemetry/3")
+    (Option.bind (Jsonlite.member "schema" stats) Jsonlite.to_string);
+  let workers =
+    Option.get (Option.bind (Jsonlite.member "workers" stats) Jsonlite.to_list)
+  in
+  Alcotest.(check int) "one snapshot per forked worker" 2 (List.length workers);
+  let counter_in j name =
+    Option.value ~default:0
+      (Option.bind (Jsonlite.member "counters" j)
+         (fun c -> Option.bind (Jsonlite.member name c) Jsonlite.to_int))
+  in
+  let merged name = counter_in stats name in
+  let worker_sum name =
+    List.fold_left (fun acc w -> acc + counter_in w name) 0 workers
+  in
+  Alcotest.(check int) "sum of worker member counts = fleet total" 8
+    (worker_sum "fleet.members");
+  Alcotest.(check int) "merged members counter = worker sum" (worker_sum "fleet.members")
+    (merged "fleet.members");
+  List.iter
+    (fun ns ->
+      let hits = "cache." ^ ns ^ ".hits" and misses = "cache." ^ ns ^ ".misses" in
+      Alcotest.(check int)
+        ("merged " ^ hits ^ "+" ^ misses ^ " = sum over workers")
+        (worker_sum hits + worker_sum misses)
+        (merged hits + merged misses))
+    [ "prepared"; "phase1"; "phase2"; "phase3"; "pair" ];
+  Alcotest.(check int) "merged cross_hits = sum over workers"
+    (worker_sum "cache.cross_hits") (merged "cache.cross_hits");
+  Alcotest.(check bool) "merged cross_hits above parent-only value" true
+    (merged_cross > parent_cross_before);
+  Alcotest.(check int) "telemetry cross_hits agrees with fleet result"
+    observed.Fleet.f_cache.Fleet.ct_cross merged_cross;
+  (* float gauge replaced the truncated counter *)
+  let gauges = Option.bind (Jsonlite.member "gauges" stats) Jsonlite.to_obj in
+  (match Option.bind gauges (fun g -> List.assoc_opt "fleet.analyses_per_sec" g) with
+  | Some (Jsonlite.Num aps) ->
+    Alcotest.(check bool) "analyses_per_sec is a positive float" true (aps > 0.0)
+  | _ -> Alcotest.fail "fleet.analyses_per_sec gauge missing");
+  Alcotest.(check (option int)) "truncated counter gone" None
+    (Option.bind (Jsonlite.member "counters" stats) (fun c ->
+         Option.map (fun _ -> 0) (Jsonlite.member "fleet.analyses_per_sec" c)));
+  (* chrome trace: spans from parent and both workers *)
+  let pids =
+    Option.get (Option.bind (Jsonlite.member "traceEvents" trace) Jsonlite.to_list)
+    |> List.filter_map (fun e ->
+           if Option.bind (Jsonlite.member "ph" e) Jsonlite.to_string = Some "X" then
+             Option.bind (Jsonlite.member "pid" e) Jsonlite.to_int
+           else None)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check bool) "trace spans from >= 2 distinct pids" true
+    (List.length pids >= 2);
+  (* event stream: one start and one done per member, fleet framing *)
+  let events = List.rev !events in
+  let ev_of line =
+    Option.bind (Jsonlite.member "ev" (Jsonlite.parse_exn line)) Jsonlite.to_string
+  in
+  let count e = List.length (List.filter (fun l -> ev_of l = Some e) events) in
+  Alcotest.(check int) "member_start per member" 8 (count "member_start");
+  Alcotest.(check int) "member_done per member" 8 (count "member_done");
+  Alcotest.(check int) "worker lifecycle" 2 (count "worker_start");
+  Alcotest.(check (option string)) "fleet_start first" (Some "fleet_start")
+    (ev_of (List.hd events));
+  Alcotest.(check (option string)) "fleet_done last" (Some "fleet_done")
+    (ev_of (List.nth events (List.length events - 1)));
+  rm_rf cache_dir;
+  rm_rf src_dir
+
 (* -- multi-domain (must stay last: spawning a domain forbids fork) ------------ *)
 
 let test_multidomain () =
@@ -237,7 +365,9 @@ let () =
         [ Alcotest.test_case "cross-origin hit accounting" `Quick test_cross_origin;
           Alcotest.test_case "member collection (dir, manifest)" `Quick test_members;
           Alcotest.test_case "sharded+cached reports identical to baseline" `Quick
-            test_fleet_identity ] );
+            test_fleet_identity;
+          Alcotest.test_case "observed run: merged telemetry, events, neutral reports"
+            `Quick test_fleet_observability ] );
       ( "multidomain",
         [ Alcotest.test_case "4 domains hammer one disk cache" `Quick test_multidomain ] )
     ]

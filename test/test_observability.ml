@@ -1,0 +1,394 @@
+(* Observability-layer tests:
+
+   - Jsonlite round-trips of the JSON the tool itself emits;
+   - Telemetry worker-snapshot merging: counters summed, gauges max'd,
+     float gauges max'd, empty and version-mismatched snapshots,
+     deep span trees aggregated fleet-wide in the stats JSON;
+   - Events: every constructor yields one parseable line with the
+     expected fields;
+   - Progress: event lines drive the members-done accounting and the
+     rendered line;
+   - Benchdiff: identical files gate 0, an injected 25 % slowdown on
+     the same host gates 1, a host mismatch is non-blocking, a
+     throughput drop counts as a regression, sub-noise rows and
+     _stddev companions never gate.
+
+   These tests mutate the process-global telemetry state; each one
+   resets it and the file ends with telemetry disabled. *)
+
+open Safeflow
+
+let tmpfile suffix =
+  Filename.temp_file "sf-obs" suffix
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* -- Jsonlite ----------------------------------------------------------------- *)
+
+let test_jsonlite_basics () =
+  let doc = {|{"a":1,"b":[true,null,"x\ny"],"c":{"d":-2.5,"e":""}}|} in
+  match Jsonlite.parse doc with
+  | Error e -> Alcotest.fail e
+  | Ok j ->
+    Alcotest.(check (option int)) "int member" (Some 1)
+      (Option.bind (Jsonlite.member "a" j) Jsonlite.to_int);
+    let b = Option.bind (Jsonlite.member "b" j) Jsonlite.to_list in
+    (match b with
+    | Some [ Jsonlite.Bool true; Jsonlite.Null; Jsonlite.Str s ] ->
+      Alcotest.(check string) "escaped string decoded" "x\ny" s
+    | _ -> Alcotest.fail "array shape");
+    Alcotest.(check (option (float 1e-9))) "nested float" (Some (-2.5))
+      (Option.bind (Jsonlite.member "c" j) (fun c ->
+           Option.bind (Jsonlite.member "d" c) Jsonlite.to_float))
+
+let test_jsonlite_errors () =
+  let bad s =
+    match Jsonlite.parse s with Ok _ -> Alcotest.fail ("accepted " ^ s) | Error _ -> ()
+  in
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\":1} trailing";
+  bad "tru";
+  bad "";
+  (* escape must survive a round-trip through parse *)
+  let tricky = "a\"b\\c\nd\te\r" ^ String.make 1 (Char.chr 7) in
+  let doc = "{\"k\":\"" ^ Jsonlite.escape tricky ^ "\"}" in
+  match Jsonlite.parse doc with
+  | Ok j ->
+    Alcotest.(check (option string)) "escape round-trip" (Some tricky)
+      (Option.bind (Jsonlite.member "k" j) Jsonlite.to_string)
+  | Error e -> Alcotest.fail e
+
+(* -- Telemetry snapshot merge -------------------------------------------------- *)
+
+let fresh () =
+  Telemetry.set_enabled true;
+  Telemetry.reset ()
+
+let counter_value name = Telemetry.value (Telemetry.counter name)
+
+let mk_snapshot ?(pid = 4242) ?(version = Telemetry.snapshot_version)
+    ?(counters = []) ?(gauge_names = []) ?(fgauges = []) ?(spans = [])
+    ?(sections = []) () =
+  {
+    Telemetry.sn_version = version;
+    sn_pid = pid;
+    sn_counters = counters;
+    sn_gauge_names = gauge_names;
+    sn_fgauges = fgauges;
+    sn_spans = spans;
+    sn_sections = sections;
+  }
+
+let test_merge_counters () =
+  fresh ();
+  Telemetry.add (Telemetry.counter "obs.a") 5;
+  let w1 = mk_snapshot ~counters:[ ("obs.a", 3); ("obs.b", 7) ] () in
+  let w2 = mk_snapshot ~counters:[ ("obs.a", 2); ("obs.b", 1) ] () in
+  Alcotest.(check bool) "merge w1" true (Telemetry.merge_worker ~label:"w1" w1);
+  Alcotest.(check bool) "merge w2" true (Telemetry.merge_worker ~label:"w2" w2);
+  Alcotest.(check int) "duplicate names summed across workers" 10 (counter_value "obs.a");
+  Alcotest.(check int) "worker-only counter adopted" 8 (counter_value "obs.b");
+  Alcotest.(check int) "both snapshots retained" 2 (List.length (Telemetry.workers ()))
+
+let test_merge_empty_and_mismatch () =
+  fresh ();
+  Telemetry.add (Telemetry.counter "obs.a") 5;
+  Alcotest.(check bool) "empty snapshot merges" true
+    (Telemetry.merge_worker ~label:"empty" (mk_snapshot ()));
+  Alcotest.(check int) "empty worker is a no-op on counters" 5 (counter_value "obs.a");
+  Alcotest.(check bool) "version mismatch rejected" false
+    (Telemetry.merge_worker ~label:"bad"
+       (mk_snapshot ~version:(Telemetry.snapshot_version + 1)
+          ~counters:[ ("obs.a", 100) ] ()));
+  Alcotest.(check int) "rejected snapshot merged nothing" 5 (counter_value "obs.a");
+  Alcotest.(check int) "rejected snapshot not retained" 1
+    (List.length (Telemetry.workers ()))
+
+let test_merge_gauges () =
+  fresh ();
+  Telemetry.record_max (Telemetry.gauge "obs.peak") 4;
+  let w1 = mk_snapshot ~counters:[ ("obs.peak", 9) ] ~gauge_names:[ "obs.peak" ] () in
+  let w2 = mk_snapshot ~counters:[ ("obs.peak", 6) ] ~gauge_names:[ "obs.peak" ] () in
+  ignore (Telemetry.merge_worker ~label:"w1" w1);
+  ignore (Telemetry.merge_worker ~label:"w2" w2);
+  Alcotest.(check int) "gauge max'd, not summed" 9 (counter_value "obs.peak");
+  (* a gauge the parent never registered is adopted as a gauge *)
+  let w3 = mk_snapshot ~counters:[ ("obs.other_peak", 3) ] ~gauge_names:[ "obs.other_peak" ] () in
+  let w4 = mk_snapshot ~counters:[ ("obs.other_peak", 2) ] ~gauge_names:[ "obs.other_peak" ] () in
+  ignore (Telemetry.merge_worker ~label:"w3" w3);
+  ignore (Telemetry.merge_worker ~label:"w4" w4);
+  Alcotest.(check bool) "adopted as gauge" true (Telemetry.is_gauge "obs.other_peak");
+  Alcotest.(check int) "adopted gauge max'd" 3 (counter_value "obs.other_peak");
+  (* float gauges *)
+  Telemetry.record_float_max "obs.rate" 10.5;
+  ignore
+    (Telemetry.merge_worker ~label:"w5" (mk_snapshot ~fgauges:[ ("obs.rate", 99.25) ] ()));
+  ignore
+    (Telemetry.merge_worker ~label:"w6" (mk_snapshot ~fgauges:[ ("obs.rate", 50.0) ] ()));
+  Alcotest.(check (list (pair string (float 1e-9)))) "float gauge max'd"
+    [ ("obs.rate", 99.25) ]
+    (Telemetry.float_gauges ())
+
+(* worker span lists keep their own id space; merging must still fold
+   same-named spans at the same depth into one aggregate node *)
+let test_merge_deep_span_trees () =
+  fresh ();
+  (* parent records root > mid > leaf once, for real *)
+  Telemetry.span "root" (fun () ->
+      Telemetry.span "mid" (fun () -> Telemetry.span "leaf" (fun () -> ())));
+  (* a worker saw the same tree twice, under clashing span ids *)
+  let span ~id ~parent name =
+    {
+      Telemetry.s_id = id;
+      s_parent = parent;
+      s_name = name;
+      s_args = [];
+      s_domain = 0;
+      s_start_ns = Int64.of_int (id * 10);
+      s_dur_ns = 1000L;
+    }
+  in
+  let wspans =
+    [
+      span ~id:0 ~parent:(-1) "root";
+      span ~id:1 ~parent:0 "mid";
+      span ~id:2 ~parent:1 "leaf";
+      span ~id:3 ~parent:(-1) "root";
+      span ~id:4 ~parent:3 "mid";
+      span ~id:5 ~parent:4 "leaf";
+    ]
+  in
+  ignore (Telemetry.merge_worker ~label:"w" (mk_snapshot ~spans:wspans ()));
+  let path = tmpfile ".json" in
+  Telemetry.write_stats_json path;
+  let j = Jsonlite.parse_exn (read_file path) in
+  Sys.remove path;
+  Alcotest.(check (option string)) "schema v3" (Some "safeflow-telemetry/3")
+    (Option.bind (Jsonlite.member "schema" j) Jsonlite.to_string);
+  let spans = Option.get (Option.bind (Jsonlite.member "spans" j) Jsonlite.to_list) in
+  let find name depth =
+    List.find_opt
+      (fun s ->
+        Option.bind (Jsonlite.member "name" s) Jsonlite.to_string = Some name
+        && Option.bind (Jsonlite.member "depth" s) Jsonlite.to_int = Some depth)
+      spans
+  in
+  let count name depth =
+    Option.bind (find name depth) (fun s ->
+        Option.bind (Jsonlite.member "count" s) Jsonlite.to_int)
+  in
+  Alcotest.(check (option int)) "root: 1 parent + 2 worker" (Some 3) (count "root" 0);
+  Alcotest.(check (option int)) "mid under root" (Some 3) (count "mid" 1);
+  Alcotest.(check (option int)) "leaf at depth 2" (Some 3) (count "leaf" 2);
+  Alcotest.(check bool) "leaf not misplaced at root" true (find "leaf" 0 = None);
+  (* workers section carries the snapshot verbatim *)
+  let workers = Option.get (Option.bind (Jsonlite.member "workers" j) Jsonlite.to_list) in
+  (match workers with
+  | [ w ] ->
+    Alcotest.(check (option string)) "worker label" (Some "w")
+      (Option.bind (Jsonlite.member "label" w) Jsonlite.to_string);
+    Alcotest.(check (option int)) "worker pid" (Some 4242)
+      (Option.bind (Jsonlite.member "pid" w) Jsonlite.to_int)
+  | _ -> Alcotest.fail "expected exactly one worker view")
+
+let test_trace_multi_pid () =
+  fresh ();
+  Telemetry.span "parent.work" (fun () -> ());
+  let wspan =
+    {
+      Telemetry.s_id = 0;
+      s_parent = -1;
+      s_name = "worker.work";
+      s_args = [];
+      s_domain = 0;
+      s_start_ns = 0L;
+      s_dur_ns = 500L;
+    }
+  in
+  ignore (Telemetry.merge_worker ~label:"w0" (mk_snapshot ~pid:777 ~spans:[ wspan ] ()));
+  let path = tmpfile ".json" in
+  Telemetry.write_chrome_trace path;
+  let j = Jsonlite.parse_exn (read_file path) in
+  Sys.remove path;
+  let events = Option.get (Option.bind (Jsonlite.member "traceEvents" j) Jsonlite.to_list) in
+  let pids_of ph =
+    List.filter_map
+      (fun e ->
+        if Option.bind (Jsonlite.member "ph" e) Jsonlite.to_string = Some ph then
+          Option.bind (Jsonlite.member "pid" e) Jsonlite.to_int
+        else None)
+      events
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check int) "two distinct span pids" 2 (List.length (pids_of "X"));
+  Alcotest.(check bool) "worker pid present" true (List.mem 777 (pids_of "X"));
+  Alcotest.(check bool) "process_name metadata for both" true
+    (List.length (pids_of "M") = 2)
+
+(* -- Events --------------------------------------------------------------------- *)
+
+let test_events_parse () =
+  let str name j = Option.bind (Jsonlite.member name j) Jsonlite.to_string in
+  let int name j = Option.bind (Jsonlite.member name j) Jsonlite.to_int in
+  let lines =
+    [
+      Events.fleet_start ~systems:64 ~jobs:2 ~shard_domains:2;
+      Events.worker_start ~worker:1 ~pid:123 ~members:32;
+      Events.member_start ~worker:1 ~path:"m\"quoted\".c";
+      Events.member_done ~worker:1 ~path:"m.c" ~errors:1 ~warnings:2 ~findings:3
+        ~cache_hits:4 ~cache_misses:5 ~elapsed_ms:6.5;
+      Events.heartbeat ~worker:1 ~done_:10 ~total:32;
+      Events.worker_done ~worker:1 ~members:32 ~errors:4 ~warnings:8;
+      Events.fleet_done ~systems:64 ~elapsed_s:1.5 ~analyses_per_sec:42.7;
+    ]
+  in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) "single line" false (String.contains line '\n');
+      match Jsonlite.parse line with
+      | Error e -> Alcotest.fail (e ^ ": " ^ line)
+      | Ok j ->
+        Alcotest.(check bool) ("ev field: " ^ line) true (str "ev" j <> None);
+        Alcotest.(check bool) "wall clock" true
+          (Option.bind (Jsonlite.member "t" j) Jsonlite.to_float <> None))
+    lines;
+  let first = Jsonlite.parse_exn (List.nth lines 0) in
+  Alcotest.(check (option string)) "schema on fleet_start" (Some Events.schema)
+    (str "schema" first);
+  let md = Jsonlite.parse_exn (List.nth lines 3) in
+  Alcotest.(check (option int)) "findings" (Some 3) (int "findings" md);
+  Alcotest.(check (option int)) "cache delta" (Some 4) (int "cache_hits" md);
+  let quoted = Jsonlite.parse_exn (List.nth lines 2) in
+  Alcotest.(check (option string)) "path with quotes survives" (Some "m\"quoted\".c")
+    (str "path" quoted)
+
+(* -- Progress -------------------------------------------------------------------- *)
+
+let test_progress () =
+  let path = tmpfile ".txt" in
+  let oc = open_out path in
+  let p = Progress.create ~out:oc ~interval_s:0.0 ~total:4 () in
+  Progress.feed p (Events.fleet_start ~systems:4 ~jobs:2 ~shard_domains:1);
+  for w = 0 to 1 do
+    Progress.feed p (Events.worker_start ~worker:w ~pid:(100 + w) ~members:2)
+  done;
+  for i = 0 to 3 do
+    let w = i mod 2 in
+    Progress.feed p (Events.member_start ~worker:w ~path:(Printf.sprintf "m%d.c" i));
+    Progress.feed p
+      (Events.member_done ~worker:w ~path:(Printf.sprintf "m%d.c" i) ~errors:0
+         ~warnings:0 ~findings:0 ~cache_hits:0 ~cache_misses:0 ~elapsed_ms:1.0)
+  done;
+  Progress.feed p "not json at all";  (* must not raise *)
+  Progress.finish p;
+  close_out oc;
+  let out = read_file path in
+  Sys.remove path;
+  Alcotest.(check int) "all members counted" 4 (Progress.members_done p);
+  Alcotest.(check bool) "final state rendered" true
+    (Astring.String.is_infix ~affix:"4/4 members" out)
+
+(* -- Benchdiff ------------------------------------------------------------------- *)
+
+let bench_doc ?(host = Some "ci-host") ?(ms = 10.0) ?(aps = 100.0) ?(noise = 1.0) () =
+  let hostfield =
+    match host with
+    | Some h -> Printf.sprintf {|"hostname":"%s",|} h
+    | None -> ""
+  in
+  Printf.sprintf
+    {|{"benchmark":"t","meta":{%s"config_fingerprint":"f1"},
+      "rows":[{"system":"S1","engine":"worklist","run_ms":%f,"run_stddev_ms":%f,
+               "warm_analyses_per_sec":%f,"hits":12},
+              {"system":"tiny","engine":"worklist","run_ms":0.01}]}|}
+    hostfield ms noise aps
+
+let diff_docs ?threshold a b =
+  match Benchdiff.diff ?threshold ~old_text:a ~new_text:b () with
+  | Ok v -> v
+  | Error e -> Alcotest.fail e
+
+let test_benchdiff_identical () =
+  let d = bench_doc () in
+  let v = diff_docs d d in
+  Alcotest.(check int) "rows matched" 2 v.Benchdiff.v_rows_matched;
+  Alcotest.(check bool) "host match" true v.Benchdiff.v_host_match;
+  Alcotest.(check int) "no deltas" 0 (List.length v.Benchdiff.v_deltas);
+  Alcotest.(check int) "gate 0" 0 (Benchdiff.gate v)
+
+let test_benchdiff_slowdown () =
+  (* 25 % slower on the same host: must gate non-zero *)
+  let v = diff_docs (bench_doc ()) (bench_doc ~ms:12.5 ()) in
+  (match Benchdiff.regressions v with
+  | [ r ] ->
+    Alcotest.(check string) "metric" "run_ms" r.Benchdiff.d_metric;
+    Alcotest.(check bool) "~+25%" true (abs_float (r.Benchdiff.d_change_pct -. 25.0) < 0.01)
+  | rs -> Alcotest.fail (Printf.sprintf "expected 1 regression, got %d" (List.length rs)));
+  Alcotest.(check int) "gate 1" 1 (Benchdiff.gate v);
+  (* same slowdown within threshold: no gate *)
+  let v = diff_docs ~threshold:0.30 (bench_doc ()) (bench_doc ~ms:12.5 ()) in
+  Alcotest.(check int) "inside custom threshold" 0 (Benchdiff.gate v)
+
+let test_benchdiff_throughput_drop () =
+  let v = diff_docs (bench_doc ()) (bench_doc ~aps:70.0 ()) in
+  (match Benchdiff.regressions v with
+  | [ r ] -> Alcotest.(check string) "metric" "warm_analyses_per_sec" r.Benchdiff.d_metric
+  | rs -> Alcotest.fail (Printf.sprintf "expected 1 regression, got %d" (List.length rs)));
+  Alcotest.(check int) "gate 1" 1 (Benchdiff.gate v)
+
+let test_benchdiff_host_mismatch () =
+  let v = diff_docs (bench_doc ()) (bench_doc ~host:(Some "other") ~ms:20.0 ()) in
+  Alcotest.(check bool) "regression still reported" true (Benchdiff.regressions v <> []);
+  Alcotest.(check int) "but non-blocking" 0 (Benchdiff.gate v);
+  (* missing hostnames are not a match either *)
+  let v = diff_docs (bench_doc ~host:None ()) (bench_doc ~host:None ~ms:20.0 ()) in
+  Alcotest.(check bool) "no hostname, no match" false v.Benchdiff.v_host_match;
+  Alcotest.(check int) "gate 0" 0 (Benchdiff.gate v)
+
+let test_benchdiff_noise_immune () =
+  (* stddev companion doubling and a 10x change on a 0.01 ms row: neither gates *)
+  let v = diff_docs (bench_doc ()) (bench_doc ~noise:2.0 ()) in
+  Alcotest.(check int) "stddev excluded" 0 (List.length v.Benchdiff.v_deltas);
+  let tiny_old = {|{"meta":{"hostname":"h"},"rows":[{"system":"t","run_ms":0.01}]}|} in
+  let tiny_new = {|{"meta":{"hostname":"h"},"rows":[{"system":"t","run_ms":0.1}]}|} in
+  let v = diff_docs tiny_old tiny_new in
+  Alcotest.(check int) "sub-noise row ignored" 0 (List.length v.Benchdiff.v_deltas)
+
+let () =
+  let cleanup f () =
+    Fun.protect
+      ~finally:(fun () ->
+        Telemetry.set_enabled false;
+        Telemetry.reset ())
+      f
+  in
+  Alcotest.run "observability"
+    [ ( "jsonlite",
+        [ Alcotest.test_case "basics" `Quick test_jsonlite_basics;
+          Alcotest.test_case "errors and escapes" `Quick test_jsonlite_errors ] );
+      ( "telemetry-merge",
+        [ Alcotest.test_case "counters summed" `Quick (cleanup test_merge_counters);
+          Alcotest.test_case "empty and version mismatch" `Quick
+            (cleanup test_merge_empty_and_mismatch);
+          Alcotest.test_case "gauges max'd" `Quick (cleanup test_merge_gauges);
+          Alcotest.test_case "deep span trees aggregated" `Quick
+            (cleanup test_merge_deep_span_trees);
+          Alcotest.test_case "multi-pid chrome trace" `Quick
+            (cleanup test_trace_multi_pid) ] );
+      ( "events",
+        [ Alcotest.test_case "constructors parse" `Quick test_events_parse ] );
+      ( "progress",
+        [ Alcotest.test_case "event stream drives rendering" `Quick test_progress ] );
+      ( "benchdiff",
+        [ Alcotest.test_case "identical files" `Quick test_benchdiff_identical;
+          Alcotest.test_case "25% slowdown gates" `Quick test_benchdiff_slowdown;
+          Alcotest.test_case "throughput drop gates" `Quick test_benchdiff_throughput_drop;
+          Alcotest.test_case "host mismatch non-blocking" `Quick
+            test_benchdiff_host_mismatch;
+          Alcotest.test_case "noise immunity" `Quick test_benchdiff_noise_immune ] )
+    ]
