@@ -188,14 +188,34 @@ let jmeta ~benchmark ~engines =
 
 (* Counter snapshot from one dedicated instrumented run of [f] — never
    from the timed samples, which run with telemetry off so the recorded
-   times stay comparable with older BENCH files. *)
+   times stay comparable with older BENCH files.  Latency histograms ride
+   along under "histograms": count plus bucket-ceiling p50/p90/p99 in µs
+   for every populated histogram (omega.query, absint.summary, ...). *)
 let jtelemetry f =
   Safeflow.Telemetry.set_enabled true;
   Safeflow.Telemetry.reset ();
   ignore (f ());
   let counters = Safeflow.Telemetry.counters () in
+  let hists = Safeflow.Telemetry.histograms () in
   Safeflow.Telemetry.set_enabled false;
-  ("telemetry", Jobj (List.map (fun (k, v) -> (k, Jint v)) counters))
+  let us ns = float_of_int ns /. 1000.0 in
+  let jhist (h : Safeflow.Telemetry.hist_view) =
+    ( h.Safeflow.Telemetry.hv_name,
+      Jobj
+        [ ("count", Jint h.Safeflow.Telemetry.hv_count);
+          ("total_ms", Jfloat (float_of_int h.Safeflow.Telemetry.hv_sum_ns /. 1e6));
+          ("p50_us", Jfloat (us h.Safeflow.Telemetry.hv_p50_ns));
+          ("p90_us", Jfloat (us h.Safeflow.Telemetry.hv_p90_ns));
+          ("p99_us", Jfloat (us h.Safeflow.Telemetry.hv_p99_ns)) ] )
+  in
+  let populated =
+    List.filter (fun (h : Safeflow.Telemetry.hist_view) -> h.Safeflow.Telemetry.hv_count > 0)
+      hists
+  in
+  ( "telemetry",
+    Jobj
+      (List.map (fun (k, v) -> (k, Jint v)) counters
+      @ [ ("histograms", Jobj (List.map jhist populated)) ]) )
 
 (* -- parallel map over independent work items (one domain per core) ---------- *)
 

@@ -14,6 +14,9 @@
                              [--save-findings OUT] [--baseline FILE] [--fail-on ...]
      safeflow diff OLD NEW       (findings files or MiniC sources)
      safeflow explain file.c
+     safeflow audit file.c       [--audit-json out.json] [--failed-only]
+     safeflow hotspots PATH | --manifest FILE
+                             [--top N] [--regions] [--json] [--jobs N] [--cache DIR]
      safeflow initcheck file.c
      safeflow dump-ir file.c
      safeflow synth N
@@ -193,15 +196,17 @@ let analyze_cmd =
         Option.map (fun dir -> Safeflow.Cache.create ~dir ~verbose ()) cache_dir
       in
       (* one row per input: report + fingerprint context (+ coverage for
-         the exact engines; the summary engine has no pair universe) *)
-      let rows =
+         the exact engines; the summary engine has no pair universe or
+         obligation ledger) *)
+      let rows, ledgers =
         if use_summary then
-          List.map
-            (fun file ->
-              let r, _ = Safeflow.Driver.analyze_summary ~config ~file (read_file file) in
-              Fmt.pr "%a@." Safeflow.Report.pp r;
-              (file, r, Safeflow.Fingerprint.ctx_empty, None))
-            files
+          ( List.map
+              (fun file ->
+                let r, _ = Safeflow.Driver.analyze_summary ~config ~file (read_file file) in
+                Fmt.pr "%a@." Safeflow.Report.pp r;
+                (file, r, Safeflow.Fingerprint.ctx_empty, None))
+              files,
+            [] )
         else begin
           let analyses = Safeflow.Driver.analyze_files_par ~config ?cache files in
           List.iter2
@@ -215,14 +220,18 @@ let analyze_cmd =
             Fmt.pr "value-flow graph written to %s@." path
           | Some _, _ -> Fmt.epr "--vfg ignored: more than one input file@."
           | None, _ -> ());
-          List.map2
-            (fun file (a : Safeflow.Driver.analysis) ->
-              ( file,
-                a.Safeflow.Driver.report,
-                Safeflow.Fingerprint.ctx_of_program
-                  a.Safeflow.Driver.prepared.Safeflow.Driver.ir,
-                Some a.Safeflow.Driver.coverage ))
-            files analyses
+          ( List.map2
+              (fun file (a : Safeflow.Driver.analysis) ->
+                ( file,
+                  a.Safeflow.Driver.report,
+                  Safeflow.Fingerprint.ctx_of_program
+                    a.Safeflow.Driver.prepared.Safeflow.Driver.ir,
+                  Some a.Safeflow.Driver.coverage ))
+              files analyses,
+            List.map2
+              (fun file (a : Safeflow.Driver.analysis) ->
+                (file, a.Safeflow.Driver.ledger))
+              files analyses )
         end
       in
       (match sarif with
@@ -255,6 +264,12 @@ let analyze_cmd =
                 (Safeflow.Coverage.to_json cov)
           | None -> ())
         rows;
+      if stats_json <> None then
+        List.iter
+          (fun (file, ledger) ->
+            Safeflow.Telemetry.set_section ("ledger:" ^ file)
+              (Safeflow.Ledger.summary_json ledger))
+          ledgers;
       telemetry_finish tele;
       let gated =
         match baseline with
@@ -330,6 +345,293 @@ let explain_cmd =
           aid, not a gate).")
     Term.(const run $ file $ no_control $ ctx_insensitive $ field_insensitive $ engine
           $ absint_arg $ cache_dir)
+
+(* -- audit: render the phase-2 obligation ledger -------------------------------- *)
+
+let audit_schema = "safeflow-audit/1"
+
+let audit_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniC source file")
+  in
+  let audit_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "audit-json" ] ~docv:"OUT.json"
+          ~doc:
+            "write the full ledger as machine-readable JSON (schema \
+             $(b,safeflow-audit/1)): per-entry discharge facts, the per-discharge \
+             summary, and the phase-2 bounds counters the ledger must reconcile with")
+  in
+  let failed_only =
+    Arg.(
+      value & flag
+      & info [ "failed-only" ]
+          ~doc:"show only obligations that produced a violation (with their witness)")
+  in
+  let engine =
+    Arg.(
+      value
+      & opt engine_conv Safeflow.Config.default.Safeflow.Config.engine
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"phase-3 engine (the ledger is a phase-2 artifact and identical under both)")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "content-addressed analysis cache directory; ledger entries ride the \
+             per-function cache, so a warm audit reconciles exactly like a cold one")
+  in
+  let pp_entry ppf (e : Safeflow.Ledger.entry) =
+    Fmt.pf ppf "%-7s %-24s %-12s %-12s" e.Safeflow.Ledger.l_rule
+      (Fmt.str "%a" Minic.Loc.pp e.Safeflow.Ledger.l_loc)
+      (if String.equal e.Safeflow.Ledger.l_region "" then "-"
+       else e.Safeflow.Ledger.l_region)
+      (Safeflow.Ledger.discharge_name e.Safeflow.Ledger.l_discharge);
+    (match e.Safeflow.Ledger.l_itv with
+    | Some (lo, hi) -> Fmt.pf ppf " itv=[%d,%d]" lo hi
+    | None -> ());
+    if e.Safeflow.Ledger.l_bound >= 0 then Fmt.pf ppf " bound=%d" e.Safeflow.Ledger.l_bound;
+    if e.Safeflow.Ledger.l_queries > 0 then
+      Fmt.pf ppf " queries=%d" e.Safeflow.Ledger.l_queries;
+    if e.Safeflow.Ledger.l_avoided > 0 then
+      Fmt.pf ppf " avoided=%d" e.Safeflow.Ledger.l_avoided;
+    if e.Safeflow.Ledger.l_cstrs > 0 then Fmt.pf ppf " cstrs=%d" e.Safeflow.Ledger.l_cstrs;
+    if e.Safeflow.Ledger.l_hyps > 0 then Fmt.pf ppf " hyps=%d" e.Safeflow.Ledger.l_hyps;
+    if e.Safeflow.Ledger.l_ns > 0 then
+      Fmt.pf ppf " %.3fms" (float_of_int e.Safeflow.Ledger.l_ns /. 1e6)
+  in
+  let run file audit_json failed_only engine absint cache_dir =
+    try
+      let config = { Safeflow.Config.default with engine; absint } in
+      let cache = Option.map (fun dir -> Safeflow.Cache.create ~dir ()) cache_dir in
+      let a = Safeflow.Driver.analyze_file ~config ?cache file in
+      let ledger = Safeflow.Ledger.sort a.Safeflow.Driver.ledger in
+      let shown =
+        if failed_only then
+          List.filter
+            (fun (e : Safeflow.Ledger.entry) ->
+              e.Safeflow.Ledger.l_discharge = Safeflow.Ledger.Failed)
+            ledger
+        else ledger
+      in
+      (* one group per function, entries in stable ledger order; failed
+         obligations drill down into the violation they produced *)
+      let by_func = Hashtbl.create 16 in
+      let order = ref [] in
+      List.iter
+        (fun (e : Safeflow.Ledger.entry) ->
+          let f = e.Safeflow.Ledger.l_func in
+          if not (Hashtbl.mem by_func f) then begin
+            Hashtbl.replace by_func f [];
+            order := f :: !order
+          end;
+          Hashtbl.replace by_func f (e :: Hashtbl.find by_func f))
+        shown;
+      Fmt.pr "== %s ==@." file;
+      List.iter
+        (fun f ->
+          Fmt.pr "function %s@." f;
+          List.iter
+            (fun (e : Safeflow.Ledger.entry) ->
+              Fmt.pr "  %a@." pp_entry e;
+              if e.Safeflow.Ledger.l_discharge = Safeflow.Ledger.Failed then
+                List.iter
+                  (fun (v : Safeflow.Report.violation) ->
+                    if
+                      String.equal v.Safeflow.Report.v_func e.Safeflow.Ledger.l_func
+                      && v.Safeflow.Report.v_loc = e.Safeflow.Ledger.l_loc
+                    then
+                      Fmt.pr "      -> %a: %s@." Safeflow.Report.pp_restriction
+                        v.Safeflow.Report.v_rule v.Safeflow.Report.v_msg)
+                  a.Safeflow.Driver.report.Safeflow.Report.violations)
+            (List.rev (Hashtbl.find by_func f)))
+        (List.rev !order);
+      let r = Safeflow.Ledger.reconcile ledger in
+      let b = a.Safeflow.Driver.coverage.Safeflow.Coverage.cov_bounds in
+      Fmt.pr
+        "ledger: %d entries; bounds obligations %d = %d ranges + %d omega + %d failed; \
+         %d queries issued, %d avoided@."
+        (List.length ledger) r.Safeflow.Ledger.r_total r.Safeflow.Ledger.r_ranges
+        r.Safeflow.Ledger.r_omega r.Safeflow.Ledger.r_failed r.Safeflow.Ledger.r_queries
+        r.Safeflow.Ledger.r_avoided;
+      if
+        r.Safeflow.Ledger.r_total <> b.Safeflow.Phase2.bs_total
+        || r.Safeflow.Ledger.r_ranges <> b.Safeflow.Phase2.bs_ranges
+        || r.Safeflow.Ledger.r_omega <> b.Safeflow.Phase2.bs_omega
+        || r.Safeflow.Ledger.r_failed <> b.Safeflow.Phase2.bs_failed
+      then begin
+        Fmt.epr
+          "RECONCILIATION FAILURE: phase-2 summary says %d = %d ranges + %d omega + %d \
+           failed@."
+          b.Safeflow.Phase2.bs_total b.Safeflow.Phase2.bs_ranges
+          b.Safeflow.Phase2.bs_omega b.Safeflow.Phase2.bs_failed;
+        exit 1
+      end;
+      match audit_json with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        Printf.fprintf oc
+          "{\"schema\":\"%s\",\"tool_version\":\"%s\",\"file\":\"%s\",\"summary\":%s,\"phase2_bounds\":{\"total\":%d,\"ranges\":%d,\"omega\":%d,\"failed\":%d,\"avoided\":%d},\"entries\":%s}\n"
+          audit_schema tool_version
+          (Safeflow.Jsonlite.escape file)
+          (Safeflow.Ledger.summary_json ledger)
+          b.Safeflow.Phase2.bs_total b.Safeflow.Phase2.bs_ranges
+          b.Safeflow.Phase2.bs_omega b.Safeflow.Phase2.bs_failed
+          b.Safeflow.Phase2.bs_omega_avoided
+          (Safeflow.Ledger.entries_json ledger);
+        close_out oc;
+        Fmt.pr "audit JSON written to %s@." path
+    with Minic.Loc.Error (loc, msg) ->
+      Fmt.epr "%a: %s@." Minic.Loc.pp loc msg;
+      exit 3
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "render the per-obligation ledger: every A1/A2 bounds obligation and P1-P3 \
+          restriction-check site with the prover that discharged it (value ranges, \
+          Omega, range-hypothesis-assisted Omega), the facts used (interval bounds, \
+          constraint counts) and the time spent.  The ledger totals are verified \
+          against the phase-2 discharge summary; a mismatch exits 1.  Exits 0 \
+          otherwise regardless of findings (a review aid, not a gate).")
+    Term.(const run $ file $ audit_json $ failed_only $ engine $ absint_arg $ cache_dir)
+
+(* -- hotspots: rank functions/regions by ledger cost ----------------------------- *)
+
+let hotspots_schema = "safeflow-hotspots/1"
+
+let hotspots_cmd =
+  let path =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"PATH"
+          ~doc:"a MiniC source file, or a directory whose $(b,*.c) files are the member systems")
+  in
+  let manifest =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "manifest" ] ~docv:"FILE"
+          ~doc:"member list, one path per line; alternative to the positional $(i,PATH)")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N" ~doc:"worker processes, as for $(b,fleet)")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR" ~doc:"shared content-addressed cache directory")
+  in
+  let engine =
+    Arg.(
+      value
+      & opt engine_conv Safeflow.Config.default.Safeflow.Config.engine
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"phase-3 engine (the ledger is a phase-2 artifact and identical under both)")
+  in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"rows per table (0 = all); default 10")
+  in
+  let regions =
+    Arg.(
+      value & flag
+      & info [ "regions" ] ~doc:"also rank shared-memory regions, not just functions")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "print machine-readable JSON (schema $(b,safeflow-hotspots/1)) instead of \
+             tables")
+  in
+  let run path manifest jobs cache_dir engine absint top regions json =
+    try
+      let members =
+        match (path, manifest) with
+        | Some p, None ->
+          if Sys.is_directory p then Safeflow.Fleet.members_of_dir p else [ p ]
+        | None, Some m -> Safeflow.Fleet.members_of_manifest m
+        | Some _, Some _ ->
+          Fmt.epr "give either a PATH or --manifest, not both@.";
+          exit 2
+        | None, None ->
+          Fmt.epr "give a MiniC file, a DIR of member systems, or --manifest FILE@.";
+          exit 2
+      in
+      if members = [] then begin
+        Fmt.epr "no member systems found@.";
+        exit 2
+      end;
+      (* histograms (Omega query / absint summary latency) want telemetry
+         on; it never changes reports or the ledger *)
+      Safeflow.Telemetry.set_enabled true;
+      let config = { Safeflow.Config.default with engine; absint } in
+      let r = Safeflow.Fleet.run ~config ?cache_dir ~jobs members in
+      let pairs =
+        List.map
+          (fun (m : Safeflow.Fleet.member_result) ->
+            ( (if List.length members = 1 then "" else m.Safeflow.Fleet.mr_path),
+              m.Safeflow.Fleet.mr_ledger ))
+          r.Safeflow.Fleet.f_results
+      in
+      let funcs = Safeflow.Hotspots.rank ~top pairs in
+      let regs = Safeflow.Hotspots.rank_regions ~top pairs in
+      if json then
+        Fmt.pr "{\"schema\":\"%s\",\"functions\":%s,\"regions\":%s}@." hotspots_schema
+          (Safeflow.Hotspots.rows_json funcs)
+          (Safeflow.Hotspots.rows_json regs)
+      else begin
+        Fmt.pr "hot functions (analysis time x obligations x failure rate):@.%a@."
+          Safeflow.Hotspots.pp_rows funcs;
+        if regions then
+          Fmt.pr "hot regions:@.%a@." Safeflow.Hotspots.pp_rows regs;
+        (* solver/absint latency footer from the run's histograms *)
+        List.iter
+          (fun (hv : Safeflow.Telemetry.hist_view) ->
+            if
+              hv.Safeflow.Telemetry.hv_count > 0
+              && List.mem hv.Safeflow.Telemetry.hv_name
+                   [ "omega.query"; "absint.summary"; "pair.build"; "cache.disk_read" ]
+            then
+              Fmt.pr "%-16s %8d x  p50/p90/p99 %8.1f/%8.1f/%8.1f us@."
+                hv.Safeflow.Telemetry.hv_name hv.Safeflow.Telemetry.hv_count
+                (float_of_int hv.Safeflow.Telemetry.hv_p50_ns /. 1e3)
+                (float_of_int hv.Safeflow.Telemetry.hv_p90_ns /. 1e3)
+                (float_of_int hv.Safeflow.Telemetry.hv_p99_ns /. 1e3))
+          (Safeflow.Telemetry.histograms ())
+      end
+    with
+    | Minic.Loc.Error (loc, msg) ->
+      Fmt.epr "%a: %s@." Minic.Loc.pp loc msg;
+      exit 3
+    | Failure msg ->
+      Fmt.epr "%s@." msg;
+      exit 3
+  in
+  Cmd.v
+    (Cmd.info "hotspots"
+       ~doc:
+         "rank functions (and with $(b,--regions), shared-memory regions) by where the \
+          analysis budget goes: phase-2 time x obligation count x failure rate, \
+          attributed from the obligation ledger.  Works on one file or fleet-wide, \
+          where every member's ledger arrives over the worker result channel.  A \
+          latency footer shows Omega-query and absint-summary percentiles.  Exits 0 \
+          regardless of findings (a review aid, not a gate).")
+    Term.(const run $ path $ manifest $ jobs $ cache_dir $ engine $ absint_arg $ top
+          $ regions $ json)
 
 let ranges_cmd =
   let file =
@@ -561,9 +863,16 @@ let fleet_cmd =
       value & flag
       & info [ "progress" ]
           ~doc:
-            "live stderr progress line (members done/total, analyses/sec, ETA, slowest \
-             worker), driven by the worker event stream; throttled, never changes \
-             reports")
+            "force the live stderr progress line on (members done/total, analyses/sec, \
+             ETA, slowest worker), driven by the worker event stream; throttled, never \
+             changes reports.  On by default when stderr is a terminal; automatically \
+             off when piped or redirected (CI logs stay clean).")
+  in
+  let no_progress =
+    Arg.(
+      value & flag
+      & info [ "no-progress" ]
+          ~doc:"force the progress line off, even on a terminal")
   in
   let log_json =
     Arg.(
@@ -585,7 +894,8 @@ let fleet_cmd =
              stays attributable; never changes reports")
   in
   let run dir manifest jobs shard_domains cache_dir engine absint source_label
-      print_reports save_findings baseline fail_on progress_flag log_json verbose tele =
+      print_reports save_findings baseline fail_on progress_flag no_progress log_json
+      verbose tele =
     try
       telemetry_setup tele;
       let members =
@@ -605,8 +915,14 @@ let fleet_cmd =
       end;
       let config = { Safeflow.Config.default with engine; absint; verbose } in
       let log_oc = Option.map open_out log_json in
+      (* progress defaults to the terminal: forced on by --progress,
+         forced off by --no-progress, otherwise on iff stderr is a TTY
+         (so piped/redirected CI logs stay clean without any flag) *)
+      let progress_on =
+        (not no_progress) && (progress_flag || Unix.isatty Unix.stderr)
+      in
       let progress =
-        if progress_flag then
+        if progress_on then
           Some (Safeflow.Progress.create ~total:(List.length members) ())
         else None
       in
@@ -692,7 +1008,8 @@ let fleet_cmd =
           union of all members' findings.")
     Term.(const run $ dir $ manifest $ jobs $ shard_domains $ cache_dir $ engine
           $ absint_arg $ source_label $ print_reports $ save_findings $ baseline
-          $ fail_on_arg $ progress_flag $ log_json $ verbose $ telemetry_flags)
+          $ fail_on_arg $ progress_flag $ no_progress $ log_json $ verbose
+          $ telemetry_flags)
 
 let version_cmd =
   let run () =
@@ -772,5 +1089,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ analyze_cmd; fleet_cmd; diff_cmd; explain_cmd; ranges_cmd; initcheck_cmd;
-            dump_ir_cmd; synth_cmd; version_cmd ]))
+          [ analyze_cmd; fleet_cmd; diff_cmd; explain_cmd; audit_cmd; hotspots_cmd;
+            ranges_cmd; initcheck_cmd; dump_ir_cmd; synth_cmd; version_cmd ]))

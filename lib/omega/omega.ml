@@ -249,14 +249,33 @@ let rec ineq_feasible budget (cs : cstr list) : bool =
     end
 
 (** Decide feasibility of a conjunction of constraints. *)
+(* Query probe (PR 9): an observability hook wrapped around every
+   [feasible] call.  The start callback receives the constraint-system
+   size and distinct-variable count and returns a finish callback that
+   sees the verdict — enough for a caller to time queries (this library
+   has no clock of its own) and histogram them by outcome.  The probe
+   must not raise; it is invisible to solving. *)
+let query_probe : (cstrs:int -> vars:int -> result -> unit) option ref = ref None
+
+let set_query_probe p = query_probe := p
+
 let feasible ?(fuel = 200_000) (cs : cstr list) : result =
+  let finish =
+    match !query_probe with
+    | None -> None
+    | Some probe -> Some (probe ~cstrs:(List.length cs) ~vars:(List.length (vars_of cs)))
+  in
   let budget = { fuel } in
-  try
-    let ineqs = eliminate_equalities budget (normalize_all cs) in
-    if ineq_feasible budget ineqs then Sat else Unsat
-  with
-  | Infeasible -> Unsat
-  | Give_up | Linexpr.Overflow -> Unknown
+  let r =
+    try
+      let ineqs = eliminate_equalities budget (normalize_all cs) in
+      if ineq_feasible budget ineqs then Sat else Unsat
+    with
+    | Infeasible -> Unsat
+    | Give_up | Linexpr.Overflow -> Unknown
+  in
+  (match finish with None -> () | Some f -> f r);
+  r
 
 (* -- Convenience constructors -------------------------------------------- *)
 

@@ -27,6 +27,15 @@ val feasible : ?fuel:int -> cstr list -> result
 (** Decide the conjunction.  [fuel] bounds the total work (default
     200_000 abstract steps); exhaustion returns [Unknown]. *)
 
+val set_query_probe : (cstrs:int -> vars:int -> result -> unit) option -> unit
+(** Observability hook around every {!feasible} call.  The probe is
+    applied to the constraint count and distinct-variable count when the
+    query starts; the closure it returns is called with the verdict when
+    the query finishes — so a client that wants latency reads its own
+    clock in the outer application (this library has none).  The probe
+    runs on the solver's thread and must not raise.  [None] (the
+    default) disables it. *)
+
 (** {1 Constraint constructors} *)
 
 val le : Linexpr.t -> Linexpr.t -> cstr

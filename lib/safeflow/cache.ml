@@ -13,8 +13,11 @@
    (fleet-mode cross-system dedupe accounting), and on-disk entries live
    under a generation-stamped subdirectory so concurrent processes built
    against different cache formats or compiler versions never fight over
-   the same files. *)
-let format_version = 5
+   the same files.
+   Version 6: the "phase2"/"phase2fn" results carry the obligation
+   ledger (one audit entry per A1/A2 obligation and P1-P3 site), so a
+   warm run reconciles discharge counts exactly like a cold one. *)
+let format_version = 6
 
 let magic = "SAFEFLOW-CACHE"
 
@@ -182,6 +185,8 @@ type header = {
   h_origin : string;
 }
 
+let h_disk_read = Telemetry.histogram "cache.disk_read"
+
 let read_disk t ns key : entry outcome =
   match t.dir with
   | None -> Absent
@@ -190,6 +195,7 @@ let read_disk t ns key : entry outcome =
     if not (Sys.file_exists path) then Absent
     else begin
       let result =
+        Telemetry.time_hist h_disk_read @@ fun () ->
         try
           let ic = open_in_bin path in
           Fun.protect

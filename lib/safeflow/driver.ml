@@ -81,6 +81,25 @@ let stage_pointsto (p : prepared) : Pointsto.t = Pointsto.analyze p.ir
 let c_absint_iters = Telemetry.counter "absint.iterations"
 let c_absint_widenings = Telemetry.counter "absint.widenings"
 
+(* Latency histograms for the solver stack (PR 9).  The Omega library
+   has no clock of its own, so the query probe reads ours: the outer
+   application fires at query start, the returned closure at the
+   verdict.  When telemetry is off the probe costs one atomic load and
+   never touches the clock. *)
+let h_omega_query = Telemetry.histogram "omega.query"
+let h_absint_summary = Telemetry.histogram "absint.summary"
+
+let () =
+  Omega.set_query_probe
+    (Some
+       (fun ~cstrs:_ ~vars:_ ->
+         if not (Telemetry.enabled ()) then fun _ -> ()
+         else begin
+           let t0 = Telemetry.now_ns () in
+           fun _verdict ->
+             Telemetry.observe_ns h_omega_query (Int64.sub (Telemetry.now_ns ()) t0)
+         end))
+
 (** Interprocedural value-range analysis, or [None] when disabled by
     [Config.absint] (phases 2/3 then behave exactly as without it).
     With [~cache], per-function summaries are memoized in the ["absint"]
@@ -91,18 +110,28 @@ let stage_absint ?(config = Config.default) ?cache (p : prepared) : Absint.t opt
   if not config.Config.absint then None
   else
     Telemetry.span "absint" (fun () ->
+        (* the memo hook wraps every per-function fixpoint, so it is
+           also where the summary latency histogram lives: with a cache
+           only true recomputations are timed (hits are disk reads,
+           already histogrammed by Cache), without one every summary is *)
         let memo =
-          Option.map
-            (fun c ~fname:_ ~inputs_digest (compute : unit -> Absint.func_summary) ->
-              match
-                (Cache.find c ~ns:"absint" ~key:inputs_digest : Absint.func_summary option)
-              with
-              | Some s -> s
-              | None ->
-                let s = compute () in
-                Cache.store c ~ns:"absint" ~key:inputs_digest s;
-                s)
-            cache
+          match cache with
+          | Some c ->
+            Some
+              (fun ~fname:_ ~inputs_digest (compute : unit -> Absint.func_summary) ->
+                match
+                  (Cache.find c ~ns:"absint" ~key:inputs_digest
+                    : Absint.func_summary option)
+                with
+                | Some s -> s
+                | None ->
+                  let s = Telemetry.time_hist h_absint_summary compute in
+                  Cache.store c ~ns:"absint" ~key:inputs_digest s;
+                  s)
+          | None ->
+            Some
+              (fun ~fname:_ ~inputs_digest:_ (compute : unit -> Absint.func_summary) ->
+                Telemetry.time_hist h_absint_summary compute)
         in
         let ai = Absint.analyze ?memo p.ir in
         Telemetry.add c_absint_iters (Absint.iterations ai);
@@ -200,6 +229,9 @@ type analysis = {
   phase1 : Phase1.t;
   pointsto : Pointsto.t;
   coverage : Coverage.t;
+  ledger : Ledger.entry list;
+      (* phase-2 obligation audit trail; observability only, never
+         consulted when building [report] *)
 }
 
 (* -- Canonical report order ------------------------------------------------------ *)
@@ -342,7 +374,8 @@ let analyze ?(config = Config.default) ?cache ?file (src : string) : analysis =
         @ Coverage.stats coverage @ ph3.Phase3.engine_stats;
     }
   in
-  { report; phase3 = ph3; prepared = p; shm; phase1 = p1; pointsto = pts; coverage }))
+  { report; phase3 = ph3; prepared = p; shm; phase1 = p1; pointsto = pts; coverage;
+    ledger = ph2.Phase2.ledger }))
 
 let analyze_file ?config ?cache path : analysis =
   let ic = open_in_bin path in

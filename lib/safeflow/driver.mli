@@ -63,6 +63,10 @@ type analysis = {
   phase1 : Phase1.t;
   pointsto : Pointsto.t;
   coverage : Coverage.t;  (** monitoring-coverage metrics *)
+  ledger : Ledger.entry list;
+      (** phase-2 obligation audit trail ([safeflow audit] /
+          [safeflow hotspots]); observability only — never consulted
+          when building [report] *)
 }
 
 val analyzed_functions : Phase3.result -> Phase1.t -> string list

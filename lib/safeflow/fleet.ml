@@ -11,6 +11,7 @@ type member_result = {
   mr_entries : Diffreport.entry list;
   mr_errors : int;
   mr_warnings : int;
+  mr_ledger : Ledger.entry list;
 }
 
 type cache_totals = {
@@ -93,6 +94,9 @@ let analyze_member ?config ?cache ~source_label path : member_result =
           List.map relabel (Diffreport.entries_of_report ctx ~file:path r);
         mr_errors = List.length (Report.errors r);
         mr_warnings = List.length r.Report.warnings;
+        (* pure data, so it marshals over the worker result channel
+           unchanged — the fleet parent gets every member's audit trail *)
+        mr_ledger = a.Driver.ledger;
       })
 
 (* bounded domain pool over an index list; results in input order,

@@ -68,6 +68,10 @@ type member_result = {
           normalized label), for baselines and gating *)
   mr_errors : int;
   mr_warnings : int;
+  mr_ledger : Ledger.entry list;
+      (** the member's phase-2 obligation audit trail, shipped verbatim
+          over the worker result channel ([safeflow hotspots] ranks
+          fleet-wide from these) *)
 }
 
 type cache_totals = {

@@ -67,22 +67,53 @@ let parse_string st =
         | 'r' -> Buffer.add_char b '\r'
         | 't' -> Buffer.add_char b '\t'
         | 'u' ->
-          if st.pos + 4 > String.length st.src then fail st "truncated \\u escape";
-          let hex = String.sub st.src st.pos 4 in
-          st.pos <- st.pos + 4;
-          let code =
-            try int_of_string ("0x" ^ hex)
-            with _ -> fail st "bad \\u escape"
+          let hex4 () =
+            if st.pos + 4 > String.length st.src then fail st "truncated \\u escape";
+            let hex = String.sub st.src st.pos 4 in
+            st.pos <- st.pos + 4;
+            let ok =
+              String.for_all
+                (function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false)
+                hex
+            in
+            if not ok then fail st "bad \\u escape";
+            int_of_string ("0x" ^ hex)
           in
-          (* UTF-8 encode the BMP code point; enough for our own output,
-             which only \u-escapes control characters *)
+          let code = hex4 () in
+          (* surrogate pairs: a high surrogate must be followed by
+             [\uDC00-\uDFFF]; together they name one supplementary-plane
+             code point.  An unpaired surrogate is malformed input. *)
+          let code =
+            if code >= 0xD800 && code <= 0xDBFF then begin
+              if
+                not
+                  (st.pos + 2 <= String.length st.src
+                  && st.src.[st.pos] = '\\'
+                  && st.src.[st.pos + 1] = 'u')
+              then fail st "unpaired high surrogate";
+              st.pos <- st.pos + 2;
+              let low = hex4 () in
+              if low < 0xDC00 || low > 0xDFFF then fail st "invalid low surrogate";
+              0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00)
+            end
+            else if code >= 0xDC00 && code <= 0xDFFF then
+              fail st "unpaired low surrogate"
+            else code
+          in
+          (* UTF-8 encode the code point (1-4 bytes) *)
           if code < 0x80 then Buffer.add_char b (Char.chr code)
           else if code < 0x800 then begin
             Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
             Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
           end
-          else begin
+          else if code < 0x10000 then begin
             Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+            Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+            Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+          end
+          else begin
+            Buffer.add_char b (Char.chr (0xF0 lor (code lsr 18)));
+            Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
             Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
             Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
           end

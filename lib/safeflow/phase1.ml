@@ -60,6 +60,12 @@ let value_shm t (f : Ssair.Ir.func) (v : Ssair.Ir.value) : Rset.t =
 
 let is_exempt t fname = Hashtbl.mem t.exempt fname
 
+(** Every exempt (initializing) function, sorted — the functions whose
+    phase-2 obligations are suspended and appear in the audit ledger as
+    "assumed". *)
+let exempt_functions t =
+  List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) t.exempt [])
+
 let coarsen t s =
   if t.config.Config.field_sensitive then s
   else Rset.map (fun x -> { x with Rtgt.off = Offset.Top }) s

@@ -27,6 +27,9 @@ type affine_ctx = {
   dom : Ssair.Dom.tree;
   memo : (Ssair.Ir.vid, Omega.Linexpr.t option) Hashtbl.t;
   mutable visiting : Ssair.Ir.vid list;  (* cycle guard: phis under expansion *)
+  unknowns : (Ssair.Ir.value, string) Hashtbl.t;
+      (* distinct unresolvable values -> fresh "u<n>" symbols *)
+  mutable n_unknowns : int;
 }
 
 let mk_affine_ctx f =
@@ -36,10 +39,30 @@ let mk_affine_ctx f =
     dom = Ssair.Dom.compute f;
     memo = Hashtbl.create 32;
     visiting = [];
+    unknowns = Hashtbl.create 4;
+    n_unknowns = 0;
   }
 
 let sym_of_vid id = Fmt.str "v%d" id
 let sym_of_param p = "p_" ^ p
+
+(* Unresolvable values (floats, globals, strings, undef) become fresh
+   unconstrained Omega symbols.  These live in their own "u<n>"
+   namespace, disjoint from the "v<id>" vid symbols and the "p_<name>"
+   parameter symbols: the previous scheme hashed the value into the vid
+   space ([sym_of_vid (Hashtbl.hash v land 0xffffff)]), which could
+   collide with a real vid — or two distinct unknowns with each other —
+   and silently merge independent values into one solver variable.
+   Symbols are memoized per value within one [affine_ctx], so repeated
+   uses of the same global still share one symbol. *)
+let sym_of_unknown ctx (v : Ssair.Ir.value) =
+  match Hashtbl.find_opt ctx.unknowns v with
+  | Some s -> s
+  | None ->
+    let s = Fmt.str "u%d" ctx.n_unknowns in
+    ctx.n_unknowns <- ctx.n_unknowns + 1;
+    Hashtbl.replace ctx.unknowns v s;
+    s
 
 (** Affine view of a value: [Some e] when expressible, [None] otherwise
     (opaque values become fresh unconstrained symbols, so the result is
@@ -50,7 +73,7 @@ let rec affine_of_value ctx (v : Ssair.Ir.value) : Omega.Linexpr.t =
   | Ssair.Ir.Vparam p -> Omega.Linexpr.var (sym_of_param p)
   | Ssair.Ir.Vreg id -> affine_of_vid ctx id
   | Ssair.Ir.Vfloat _ | Ssair.Ir.Vglobal _ | Ssair.Ir.Vstr _ | Ssair.Ir.Vundef _ ->
-    Omega.Linexpr.var (sym_of_vid (Hashtbl.hash v land 0xffffff))
+    Omega.Linexpr.var (sym_of_unknown ctx v)
 
 and affine_of_vid ctx id : Omega.Linexpr.t =
   if List.mem id ctx.visiting then Omega.Linexpr.var (sym_of_vid id)
@@ -289,7 +312,38 @@ type state = {
   mutable violations : Report.violation list;
   mutable infos : Report.info list;
   mutable bounds : bounds_stats;
+  mutable ledger : Ledger.entry list;  (* newest first; audit trail only *)
 }
+
+(* The obligation ledger is collected unconditionally (like Telemetry
+   sections): it rides the phase-2 result through the cache, so a warm
+   run reconciles exactly like a cold one, and it never feeds into
+   [Report.t].  [Telemetry.now_ns] is a raw CLOCK_MONOTONIC read, cheap
+   enough to pay per obligation rather than per instruction. *)
+let ledger_add st (e : Ledger.entry) = st.ledger <- e :: st.ledger
+
+(* representative region name for a P1-P3 site touching shm *)
+let region_name targets =
+  match Phase1.Rset.min_elt_opt targets with
+  | Some tgt -> tgt.Phase1.Rtgt.region
+  | None -> ""
+
+let site_entry ~rule ~func ~loc ~region ~(discharge : Ledger.discharge) =
+  {
+    Ledger.l_rule = rule;
+    l_func = func;
+    l_loc = loc;
+    l_region = region;
+    l_discharge = discharge;
+    l_counted = false;
+    l_queries = 0;
+    l_avoided = 0;
+    l_cstrs = 0;
+    l_hyps = 0;
+    l_itv = None;
+    l_bound = -1;
+    l_ns = 0;
+  }
 
 let violate st rule (f : Ssair.Ir.func) loc fmt =
   Fmt.kstr
@@ -352,15 +406,23 @@ let check_p1 st (f : Ssair.Ir.func) accessors =
         (fun pos i ->
           match i.Ssair.Ir.idesc with
           | Ssair.Ir.Call { callee; args; _ } when List.mem callee dealloc_functions ->
-            let on_shm =
-              List.exists
-                (fun a -> not (Phase1.Rset.is_empty (Phase1.shm_targets st.p1 f a)))
-                args
+            let arg_targets =
+              List.fold_left
+                (fun acc a -> Phase1.Rset.union acc (Phase1.shm_targets st.p1 f a))
+                Phase1.Rset.empty args
+            in
+            let on_shm = not (Phase1.Rset.is_empty arg_targets) in
+            let p1_entry discharge =
+              ledger_add st
+                (site_entry ~rule:"P1" ~func:f.fname ~loc:i.Ssair.Ir.iloc
+                   ~region:(region_name arg_targets) ~discharge)
             in
             if on_shm then
-              if not (String.equal f.fname "main") then
+              if not (String.equal f.fname "main") then begin
+                p1_entry Ledger.Failed;
                 violate st Report.P1 f i.Ssair.Ir.iloc
                   "shared memory deallocated outside main"
+              end
               else begin
                 (* allowed only at the end of main: no shared-memory access
                    may follow on any path *)
@@ -396,9 +458,12 @@ let check_p1 st (f : Ssair.Ir.func) accessors =
                       | None -> false)
                     seen false
                 in
-                if later_same_block || later_other_blocks then
+                if later_same_block || later_other_blocks then begin
+                  p1_entry Ledger.Failed;
                   violate st Report.P1 f i.Ssair.Ir.iloc
                     "shared memory deallocated before the end of main"
+                end
+                else p1_entry Ledger.Site_ok
               end
           | _ -> ())
         b.Ssair.Ir.instrs)
@@ -410,21 +475,36 @@ let check_p2_p3 st (f : Ssair.Ir.func) =
     (fun (i : Ssair.Ir.instr) ->
       match i.Ssair.Ir.idesc with
       | Ssair.Ir.Store { sval; _ } ->
-        if not (Phase1.Rset.is_empty (Phase1.shm_targets st.p1 f sval)) then
+        let targets = Phase1.shm_targets st.p1 f sval in
+        if not (Phase1.Rset.is_empty targets) then begin
+          ledger_add st
+            (site_entry ~rule:"P2" ~func:f.fname ~loc:i.Ssair.Ir.iloc
+               ~region:(region_name targets) ~discharge:Ledger.Failed);
           violate st Report.P2 f i.Ssair.Ir.iloc
             "shared-memory pointer stored into memory (aliasing through memory)"
+        end
       | Ssair.Ir.Cast { from_ty; to_ty; cval } -> (
-        if not (Phase1.Rset.is_empty (Phase1.shm_targets st.p1 f cval)) then
+        let targets = Phase1.shm_targets st.p1 f cval in
+        if not (Phase1.Rset.is_empty targets) then
+          let p3_entry discharge =
+            ledger_add st
+              (site_entry ~rule:"P3" ~func:f.fname ~loc:i.Ssair.Ir.iloc
+                 ~region:(region_name targets) ~discharge)
+          in
           match (Ty.resolve env from_ty, Ty.resolve env to_ty) with
           | Ty.Ptr a, Ty.Ptr b ->
-            if not (Ty.compatible env a b) then
+            if not (Ty.compatible env a b) then begin
+              p3_entry Ledger.Failed;
               violate st Report.P3 f i.Ssair.Ir.iloc
                 "shared-memory pointer cast to incompatible pointer type (%a to %a)"
                 Ty.pp from_ty Ty.pp to_ty
+            end
+            else p3_entry Ledger.Site_ok
           | Ty.Ptr _, t when Ty.is_integer t ->
+            p3_entry Ledger.Failed;
             violate st Report.P3 f i.Ssair.Ir.iloc
               "shared-memory pointer cast to integer"
-          | _ -> ())
+          | _ -> p3_entry Ledger.Site_ok)
       | _ -> ())
     (Ssair.Ir.all_instrs f)
 
@@ -475,22 +555,51 @@ let check_bounds st ctx aq (f : Ssair.Ir.func) (i : Ssair.Ir.instr) bid base kin
           | Some r -> (
             match tgt.Phase1.Rtgt.off with
             | Offset.Top ->
+              ledger_add st
+                (site_entry ~rule:"A2" ~func:f.fname ~loc:i.Ssair.Ir.iloc
+                   ~region:r.Shm.r_name ~discharge:Ledger.Failed);
               violate st Report.A2 f i.Ssair.Ir.iloc
                 "indexing shared array in region %s from a statically unknown base offset"
                 r.Shm.r_name
             | Offset.Byte base_off -> (
               let avail = r.Shm.r_size - base_off in
               let nelems = avail / elsize in
+              let bounds_entry ~rule ~discharge ~counted ~queries ~avoided ~cstrs
+                  ~hyps ~itv ~ns =
+                ledger_add st
+                  {
+                    Ledger.l_rule = rule;
+                    l_func = f.fname;
+                    l_loc = i.Ssair.Ir.iloc;
+                    l_region = r.Shm.r_name;
+                    l_discharge = discharge;
+                    l_counted = counted;
+                    l_queries = queries;
+                    l_avoided = avoided;
+                    l_cstrs = cstrs;
+                    l_hyps = hyps;
+                    l_itv = itv;
+                    l_bound = nelems;
+                    l_ns = ns;
+                  }
+              in
               match idx with
               | Ssair.Ir.Vint (n, _) ->
                 let n = Int64.to_int n in
-                if n < 0 || n >= nelems then
+                if n < 0 || n >= nelems then begin
+                  bounds_entry ~rule:"A1" ~discharge:Ledger.Failed ~counted:false
+                    ~queries:0 ~avoided:0 ~cstrs:0 ~hyps:0 ~itv:None ~ns:0;
                   violate st Report.A1 f i.Ssair.Ir.iloc
                     "constant index %d outside region %s (%d elements of %d bytes)" n
                     r.Shm.r_name nelems elsize
+                end
+                else
+                  bounds_entry ~rule:"A1" ~discharge:Ledger.Const ~counted:false
+                    ~queries:0 ~avoided:0 ~cstrs:0 ~hyps:0 ~itv:None ~ns:0
               | _ ->
                 let tick d = st.bounds <- bounds_add st.bounds d in
                 tick { bounds_zero with bs_total = 1 };
+                let t0 = Telemetry.now_ns () in
                 (* range verdicts first: each side an interval proves in
                    bounds skips its Omega query outright *)
                 let rng = Option.map (fun q -> Absint.range_of_value q ~at:bid idx) aq in
@@ -511,8 +620,19 @@ let check_bounds st ctx aq (f : Ssair.Ir.func) (i : Ssair.Ir.instr) bid base kin
                     | None -> false)
                   | None -> false
                 in
+                let itv_fact =
+                  match rng with
+                  | Some rg -> (
+                    match (Absint.Itv.finite_lo rg, Absint.Itv.finite_hi rg) with
+                    | Some l, Some h -> Some (l, h)
+                    | _ -> None)
+                  | None -> None
+                in
                 if lo_proved && hi_proved then begin
                   tick { bounds_zero with bs_ranges = 1; bs_omega_avoided = 2 };
+                  bounds_entry ~rule:"A1" ~discharge:Ledger.Ranges ~counted:true
+                    ~queries:0 ~avoided:2 ~cstrs:0 ~hyps:0 ~itv:itv_fact
+                    ~ns:(Int64.to_int (Int64.sub (Telemetry.now_ns ()) t0));
                   note st f i.Ssair.Ir.iloc
                     "index into region %s proven within [0,%d) by value-range analysis"
                     r.Shm.r_name nelems
@@ -543,22 +663,28 @@ let check_bounds st ctx aq (f : Ssair.Ir.func) (i : Ssair.Ir.instr) bid base kin
                     dominating_constraints ctx bid @ induction_constraints ctx idx_e
                   in
                   let hyps = range_hypotheses aq ~bid idx_e in
+                  (* per-obligation solver accounting for the ledger *)
+                  let n_queries = ref 0 in
+                  let max_cstrs = ref 0 in
+                  let hyp_settled = ref false in
+                  let feas cs =
+                    incr n_queries;
+                    max_cstrs := max !max_cstrs (List.length cs);
+                    Omega.feasible ~fuel:st.config.Config.omega_fuel cs
+                  in
                   (* hypotheses may only strengthen a query towards Unsat: a
                      query they do not settle falls back to the baseline
                      verdict, so a run with ranges reports a subset of the
                      findings of a run without *)
                   let query goal =
                     match hyps with
-                    | [] ->
-                      Omega.feasible ~fuel:st.config.Config.omega_fuel (goal :: constraints)
+                    | [] -> feas (goal :: constraints)
                     | _ -> (
-                      match
-                        Omega.feasible ~fuel:st.config.Config.omega_fuel
-                          ((goal :: hyps) @ constraints)
-                      with
-                      | Omega.Unsat -> Omega.Unsat
-                      | Omega.Sat | Omega.Unknown ->
-                        Omega.feasible ~fuel:st.config.Config.omega_fuel (goal :: constraints))
+                      match feas ((goal :: hyps) @ constraints) with
+                      | Omega.Unsat ->
+                        hyp_settled := true;
+                        Omega.Unsat
+                      | Omega.Sat | Omega.Unknown -> feas (goal :: constraints))
                   in
                   let low_q =
                     if lo_proved then begin
@@ -599,7 +725,19 @@ let check_bounds st ctx aq (f : Ssair.Ir.func) (i : Ssair.Ir.instr) bid base kin
                       r.Shm.r_name nelems);
                   tick
                     (if !clean then { bounds_zero with bs_omega = 1 }
-                     else { bounds_zero with bs_failed = 1 })
+                     else { bounds_zero with bs_failed = 1 });
+                  let discharge =
+                    if not !clean then Ledger.Failed
+                    else if !hyp_settled then Ledger.Omega_hyp
+                    else Ledger.Omega_unsat
+                  in
+                  bounds_entry
+                    ~rule:(if opaque then "A2" else "A1")
+                    ~discharge ~counted:true ~queries:!n_queries
+                    ~avoided:
+                      ((if lo_proved then 1 else 0) + if hi_proved then 1 else 0)
+                    ~cstrs:!max_cstrs ~hyps:(List.length hyps) ~itv:itv_fact
+                    ~ns:(Int64.to_int (Int64.sub (Telemetry.now_ns ()) t0))
                 end)))
         targets
 
@@ -626,22 +764,27 @@ let check_arrays st (f : Ssair.Ir.func) =
     per-function lists in program order reproduces exactly the order the
     original single-accumulator pass emitted. *)
 let check_function ~config ~prog ~p1 ~absint accessors (f : Ssair.Ir.func) :
-    Report.violation list * Report.info list * bounds_stats =
-  let st = { prog; p1; config; absint; violations = []; infos = []; bounds = bounds_zero } in
+    Report.violation list * Report.info list * bounds_stats * Ledger.entry list =
+  let st =
+    { prog; p1; config; absint; violations = []; infos = []; bounds = bounds_zero;
+      ledger = [] }
+  in
   check_p1 st f accessors;
   check_p2_p3 st f;
   check_arrays st f;
-  (List.rev st.violations, List.rev st.infos, st.bounds)
+  (List.rev st.violations, List.rev st.infos, st.bounds, List.rev st.ledger)
 
 (** Everything phase 2 produces in one pass: restriction verdicts, the
-    [I-RANGE-PROVED] audit notes, and the A1/A2 discharge accounting. *)
+    [I-RANGE-PROVED] audit notes, the A1/A2 discharge accounting, and
+    the per-obligation audit ledger (PR 9; never part of the report). *)
 type result = {
   violations : Report.violation list;
   infos : Report.info list;
   bounds : bounds_stats;
+  ledger : Ledger.entry list;
 }
 
-let empty_result = { violations = []; infos = []; bounds = bounds_zero }
+let empty_result = { violations = []; infos = []; bounds = bounds_zero; ledger = [] }
 
 (** Run phase 2.  Returns restriction violations (empty when the program
     adheres to the MiniC shared-memory discipline) together with range
@@ -704,13 +847,38 @@ let run ?(config = Config.default) ?cache ?digests ?absint (prog : Ssair.Ir.prog
       let per_func =
         List.map
           (fun (f : Ssair.Ir.func) ->
-            if Phase1.is_exempt p1 f.Ssair.Ir.fname then ([], [], bounds_zero)
+            if Phase1.is_exempt p1 f.Ssair.Ir.fname then
+              (* obligation suspended under the initializing-function
+                 exemption (§3.2.1): one "assumed" ledger entry marks the
+                 whole function as unexamined by phases 2's provers *)
+              ( [],
+                [],
+                bounds_zero,
+                [
+                  {
+                    Ledger.l_rule = "EXEMPT";
+                    l_func = f.Ssair.Ir.fname;
+                    l_loc = f.Ssair.Ir.floc;
+                    l_region = "";
+                    l_discharge = Ledger.Assumed;
+                    l_counted = false;
+                    l_queries = 0;
+                    l_avoided = 0;
+                    l_cstrs = 0;
+                    l_hyps = 0;
+                    l_itv = None;
+                    l_bound = -1;
+                    l_ns = 0;
+                  };
+                ] )
             else
               match (cache, func_key f.Ssair.Ir.fname) with
               | Some c, Some key -> (
                 match
                   (Cache.find c ~ns:"phase2fn" ~key
-                    : (Report.violation list * Report.info list * bounds_stats) option)
+                    : (Report.violation list * Report.info list * bounds_stats
+                      * Ledger.entry list)
+                      option)
                 with
                 | Some r -> r
                 | None ->
@@ -720,15 +888,18 @@ let run ?(config = Config.default) ?cache ?digests ?absint (prog : Ssair.Ir.prog
               | _ -> check_function ~config ~prog ~p1 ~absint accessors f)
           prog.Ssair.Ir.funcs
       in
-      let violations = List.concat_map (fun (vs, _, _) -> vs) per_func in
-      let infos = List.concat_map (fun (_, is, _) -> is) per_func in
-      let bounds = List.fold_left (fun acc (_, _, b) -> bounds_add acc b) bounds_zero per_func in
+      let violations = List.concat_map (fun (vs, _, _, _) -> vs) per_func in
+      let infos = List.concat_map (fun (_, is, _, _) -> is) per_func in
+      let bounds =
+        List.fold_left (fun acc (_, _, b, _) -> bounds_add acc b) bounds_zero per_func
+      in
+      let ledger = Ledger.sort (List.concat_map (fun (_, _, _, l) -> l) per_func) in
       (* canonical (file, line, code) order: emission follows program
          order, so sorting here makes the cached whole-program entry and
          a fresh run byte-identical regardless of function layout *)
       let violations = List.stable_sort Report.compare_violation violations in
       let infos = List.stable_sort Report.compare_info infos in
-      let result = { violations; infos; bounds } in
+      let result = { violations; infos; bounds; ledger } in
       (match (cache, whole_key) with
       | Some c, Some key -> Cache.store c ~ns:"phase2" ~key result
       | _ -> ());

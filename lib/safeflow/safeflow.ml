@@ -15,6 +15,8 @@ module Version = Version
 module Config = Config
 module Report = Report
 module Telemetry = Telemetry
+module Ledger = Ledger
+module Hotspots = Hotspots
 module Jsonlite = Jsonlite
 module Events = Events
 module Progress = Progress

@@ -155,6 +155,123 @@ let float_gauges () =
   locked (fun () ->
       List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) fgauges []))
 
+(* -- Histograms ------------------------------------------------------------------ *)
+
+(* log2-bucketed latency histograms: bucket [i] counts observations with
+   duration in [2^i, 2^(i+1)) ns (bucket 0 additionally absorbs 0 and
+   1 ns).  64 buckets cover the full non-negative int63 range, so no
+   observation is ever clipped.  Updates are lock-free atomics, same
+   discipline as counters; percentiles are recomputed from the buckets
+   on export, which makes the representation mergeable bucket-wise
+   across fleet workers. *)
+let hist_buckets = 64
+
+type histogram = {
+  h_name : string;
+  h_count : int Atomic.t;
+  h_sum : int Atomic.t;  (* total observed ns *)
+  h_b : int Atomic.t array;
+}
+
+let hist_registry : (string, histogram) Hashtbl.t = Hashtbl.create 8
+
+let histogram name =
+  locked (fun () ->
+      match Hashtbl.find_opt hist_registry name with
+      | Some h -> h
+      | None ->
+        let h =
+          {
+            h_name = name;
+            h_count = Atomic.make 0;
+            h_sum = Atomic.make 0;
+            h_b = Array.init hist_buckets (fun _ -> Atomic.make 0);
+          }
+        in
+        Hashtbl.replace hist_registry name h;
+        h)
+
+let bucket_of_ns ns =
+  if ns <= 1 then 0
+  else begin
+    let i = ref 0 in
+    let v = ref ns in
+    while !v > 1 do
+      i := !i + 1;
+      v := !v lsr 1
+    done;
+    min (hist_buckets - 1) !i
+  end
+
+(* inclusive upper bound of bucket [i], used as the deterministic
+   percentile estimate (pessimistic: reports the bucket ceiling) *)
+let bucket_upper_ns i =
+  if i >= 62 then max_int else (1 lsl (i + 1)) - 1
+
+let observe_ns h ns =
+  if Atomic.get on then begin
+    let ns = if Int64.compare ns 0L < 0 then 0 else Int64.to_int ns in
+    ignore (Atomic.fetch_and_add h.h_count 1);
+    ignore (Atomic.fetch_and_add h.h_sum ns);
+    ignore (Atomic.fetch_and_add h.h_b.(bucket_of_ns ns) 1)
+  end
+
+let time_hist h f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let t0 = now_ns () in
+    Fun.protect ~finally:(fun () -> observe_ns h (Int64.sub (now_ns ()) t0)) f
+  end
+
+type hist_view = {
+  hv_name : string;
+  hv_count : int;
+  hv_sum_ns : int;
+  hv_buckets : int array;
+  hv_p50_ns : int;
+  hv_p90_ns : int;
+  hv_p99_ns : int;
+}
+
+let percentile_ns buckets count q =
+  if count = 0 then 0
+  else begin
+    let target = max 1 (min count (int_of_float (ceil (q *. float_of_int count)))) in
+    let acc = ref 0 in
+    let res = ref 0 in
+    (try
+       Array.iteri
+         (fun i n ->
+           acc := !acc + n;
+           if n > 0 then res := bucket_upper_ns i;
+           if !acc >= target then raise Exit)
+         buckets
+     with Exit -> ());
+    !res
+  end
+
+let view_of_buckets name count sum buckets =
+  {
+    hv_name = name;
+    hv_count = count;
+    hv_sum_ns = sum;
+    hv_buckets = buckets;
+    hv_p50_ns = percentile_ns buckets count 0.50;
+    hv_p90_ns = percentile_ns buckets count 0.90;
+    hv_p99_ns = percentile_ns buckets count 0.99;
+  }
+
+let histograms () =
+  let hs =
+    locked (fun () -> Hashtbl.fold (fun _ h acc -> h :: acc) hist_registry [])
+  in
+  List.sort compare
+    (List.map
+       (fun h ->
+         view_of_buckets h.h_name (Atomic.get h.h_count) (Atomic.get h.h_sum)
+           (Array.map Atomic.get h.h_b))
+       hs)
+
 (* -- Sections -------------------------------------------------------------------- *)
 
 (* named raw-JSON fragments contributed by other subsystems (monitoring
@@ -170,7 +287,9 @@ let sections () = locked (fun () -> List.rev !section_tbl)
 
 (* -- Worker snapshots -------------------------------------------------------------- *)
 
-let snapshot_version = 1
+(* v2: adds [sn_hists] (log-bucketed latency histograms, merged
+   bucket-wise) *)
+let snapshot_version = 2
 
 type snapshot = {
   sn_version : int;
@@ -178,6 +297,8 @@ type snapshot = {
   sn_counters : (string * int) list;
   sn_gauge_names : string list;
   sn_fgauges : (string * float) list;
+  sn_hists : (string * int * int * int array) list;
+      (* name, count, sum_ns, buckets *)
   sn_spans : span_record list;
   sn_sections : (string * string) list;
 }
@@ -191,6 +312,10 @@ let snapshot () =
       locked (fun () ->
           List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) gauge_set []));
     sn_fgauges = float_gauges ();
+    sn_hists =
+      List.map
+        (fun hv -> (hv.hv_name, hv.hv_count, hv.hv_sum_ns, hv.hv_buckets))
+        (histograms ());
     sn_spans = spans ();
     sn_sections = sections ();
   }
@@ -211,6 +336,20 @@ let merge_worker ~label (s : snapshot) =
         if List.mem name s.sn_gauge_names then record_max c v else add c v)
       s.sn_counters;
     List.iter (fun (n, v) -> record_float_max n v) s.sn_fgauges;
+    (* histograms merge bucket-wise: counts, sums and every bucket are
+       plain sums, and percentiles are recomputed from the merged
+       buckets on export *)
+    List.iter
+      (fun (name, count, sum, buckets) ->
+        let h = histogram name in
+        ignore (Atomic.fetch_and_add h.h_count count);
+        ignore (Atomic.fetch_and_add h.h_sum sum);
+        Array.iteri
+          (fun i n ->
+            if i < hist_buckets && n > 0 then
+              ignore (Atomic.fetch_and_add h.h_b.(i) n))
+          buckets)
+      s.sn_hists;
     (* sections carry analysis-derived data, not timings: keep the
        parent's value when both set the same name *)
     List.iter
@@ -226,12 +365,21 @@ let merge_worker ~label (s : snapshot) =
 
 let workers () = List.rev (locked (fun () -> !worker_views))
 
+let zero_hists () =
+  Hashtbl.iter
+    (fun _ h ->
+      Atomic.set h.h_count 0;
+      Atomic.set h.h_sum 0;
+      Array.iter (fun b -> Atomic.set b 0) h.h_b)
+    hist_registry
+
 let begin_worker () =
   locked (fun () ->
       finished := [];
       section_tbl := [];
       worker_views := [];
       Hashtbl.reset fgauges;
+      zero_hists ();
       Hashtbl.iter (fun _ c -> Atomic.set c 0) registry)
 
 (* -- Switch / reset -------------------------------------------------------------- *)
@@ -243,6 +391,7 @@ let reset () =
       section_tbl := [];
       worker_views := [];
       Hashtbl.reset fgauges;
+      zero_hists ();
       Hashtbl.iter (fun _ c -> Atomic.set c 0) registry)
 
 let set_enabled b =
@@ -313,6 +462,23 @@ let write_chrome_trace path =
     (fun w ->
       List.iter (event ~pid:w.w_snapshot.sn_pid) (sort_spans w.w_snapshot.sn_spans))
     ws;
+  (* latency histograms as trace counter events ("ph":"C"): one sample
+     per histogram at the current trace time, so Perfetto renders a
+     counter track with the percentile series next to the span rows *)
+  let now_ts = us_of_ns (Int64.sub (now_ns ()) (Atomic.get epoch)) in
+  List.iter
+    (fun hv ->
+      if hv.hv_count > 0 then begin
+        sep ();
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"name\":\"hist:%s\",\"cat\":\"safeflow\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":%d,\"tid\":0,\"args\":{\"count\":%d,\"p50_us\":%.3f,\"p90_us\":%.3f,\"p99_us\":%.3f}}"
+             (json_escape hv.hv_name) now_ts self_pid hv.hv_count
+             (float_of_int hv.hv_p50_ns /. 1_000.0)
+             (float_of_int hv.hv_p90_ns /. 1_000.0)
+             (float_of_int hv.hv_p99_ns /. 1_000.0))
+      end)
+    (histograms ());
   Buffer.add_string b "]}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents b);
@@ -387,8 +553,12 @@ let rec iter_agg f depth (a : agg) =
    v3: adds "pid", the "gauges" object (float gauges such as
    fleet.analyses_per_sec) and the "workers" array (per-worker counter/
    gauge breakdown from merged fleet snapshots); "counters" and "spans"
-   are the merged fleet-wide view when workers are present. *)
-let stats_json_schema = "safeflow-telemetry/3"
+   are the merged fleet-wide view when workers are present.
+   v4: adds the "histograms" object (log2-bucketed latency histograms
+   with count / total_ms / p50_us / p90_us / p99_us and sparse
+   [bucket, count] pairs), both at top level (fleet-merged) and inside
+   each "workers" entry. *)
+let stats_json_schema = "safeflow-telemetry/4"
 
 let buf_counters b (cs : (string * int) list) =
   Buffer.add_char b '{';
@@ -408,6 +578,37 @@ let buf_fgauges b (gs : (string * float) list) =
     gs;
   Buffer.add_char b '}'
 
+let buf_hists b (hs : hist_view list) =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i hv ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "\"%s\":{\"count\":%d,\"total_ms\":%.3f,\"p50_us\":%.3f,\"p90_us\":%.3f,\"p99_us\":%.3f,\"buckets\":["
+           (json_escape hv.hv_name) hv.hv_count
+           (float_of_int hv.hv_sum_ns /. 1_000_000.0)
+           (float_of_int hv.hv_p50_ns /. 1_000.0)
+           (float_of_int hv.hv_p90_ns /. 1_000.0)
+           (float_of_int hv.hv_p99_ns /. 1_000.0));
+      let first = ref true in
+      Array.iteri
+        (fun j n ->
+          if n > 0 then begin
+            if not !first then Buffer.add_char b ',';
+            first := false;
+            Buffer.add_string b (Printf.sprintf "[%d,%d]" j n)
+          end)
+        hv.hv_buckets;
+      Buffer.add_string b "]}")
+    hs;
+  Buffer.add_char b '}'
+
+let worker_hist_views (s : snapshot) =
+  List.map
+    (fun (name, count, sum, buckets) -> view_of_buckets name count sum buckets)
+    s.sn_hists
+
 let write_stats_json path =
   let b = Buffer.create 4096 in
   Buffer.add_string b (Printf.sprintf "{\"schema\":\"%s\"" stats_json_schema);
@@ -416,6 +617,8 @@ let write_stats_json path =
   buf_counters b (counters ());
   Buffer.add_string b ",\"gauges\":";
   buf_fgauges b (float_gauges ());
+  Buffer.add_string b ",\"histograms\":";
+  buf_hists b (histograms ());
   Buffer.add_string b ",\"spans\":[";
   let first = ref true in
   iter_agg
@@ -437,6 +640,8 @@ let write_stats_json path =
       buf_counters b w.w_snapshot.sn_counters;
       Buffer.add_string b ",\"gauges\":";
       buf_fgauges b w.w_snapshot.sn_fgauges;
+      Buffer.add_string b ",\"histograms\":";
+      buf_hists b (worker_hist_views w.w_snapshot);
       Buffer.add_char b '}')
     (workers ());
   Buffer.add_string b "],\"sections\":{";
@@ -484,4 +689,17 @@ let pp_stats ppf () =
   | gs ->
     Fmt.pf ppf "gauges:@,";
     List.iter (fun (name, v) -> Fmt.pf ppf "  %-40s %12.3f@," name v) gs);
+  (match List.filter (fun hv -> hv.hv_count > 0) (histograms ()) with
+  | [] -> ()
+  | hs ->
+    Fmt.pf ppf "histograms (count, p50/p90/p99, total):@,";
+    List.iter
+      (fun hv ->
+        Fmt.pf ppf "  %-28s %8d x  %8.1f/%8.1f/%8.1f us %10.2f ms@,"
+          hv.hv_name hv.hv_count
+          (float_of_int hv.hv_p50_ns /. 1_000.0)
+          (float_of_int hv.hv_p90_ns /. 1_000.0)
+          (float_of_int hv.hv_p99_ns /. 1_000.0)
+          (float_of_int hv.hv_sum_ns /. 1_000_000.0))
+      hs);
   Fmt.pf ppf "@]"

@@ -104,7 +104,47 @@ val record_float_max : string -> float -> unit
 
 val float_gauges : unit -> (string * float) list
 (** recorded float gauges, sorted by name; the [gauges] object of the
-    v3 stats JSON *)
+    stats JSON *)
+
+(** {1 Latency histograms}
+
+    Log2-bucketed latency histograms (PR 9): bucket [i] counts
+    observations with duration in [2^i, 2^(i+1)) ns, 64 buckets.  Like
+    counters they are process-global, lock-free to update, and no-ops
+    when telemetry is off.  Unlike a single span total, a histogram
+    keeps the full latency distribution, and because the representation
+    is pure bucket counts it merges across fleet workers bucket-wise —
+    percentiles are recomputed from the merged buckets, never averaged. *)
+
+type histogram
+
+val histogram : string -> histogram
+(** registered process-global histogram; idempotent by name, like
+    {!counter} *)
+
+val observe_ns : histogram -> int64 -> unit
+(** record one observation (nanoseconds; negative values clamp to 0).
+    No-op when disabled. *)
+
+val time_hist : histogram -> (unit -> 'a) -> 'a
+(** [time_hist h f] runs [f ()] and records its wall time into [h].
+    Exceptions propagate; the observation is recorded either way.  When
+    disabled this is [f ()]. *)
+
+type hist_view = {
+  hv_name : string;
+  hv_count : int;
+  hv_sum_ns : int;
+  hv_buckets : int array;  (** [hist] bucket counts, length 64 *)
+  hv_p50_ns : int;  (** bucket-ceiling estimate of the 50th percentile *)
+  hv_p90_ns : int;
+  hv_p99_ns : int;
+}
+
+val histograms : unit -> hist_view list
+(** every registered histogram with its current buckets and recomputed
+    percentiles, sorted by name; the [histograms] object of the v4
+    stats JSON *)
 
 (** {1 Sections} *)
 
@@ -135,6 +175,9 @@ type snapshot = {
   sn_counters : (string * int) list;
   sn_gauge_names : string list;  (** names with gauge (max-merge) semantics *)
   sn_fgauges : (string * float) list;
+  sn_hists : (string * int * int * int array) list;
+      (** per-histogram (name, count, sum_ns, buckets); merged
+          bucket-wise by {!merge_worker} *)
   sn_spans : span_record list;
   sn_sections : (string * string) list;
 }

@@ -1,1 +1,1 @@
-let tool = "1.1.0"
+let tool = "1.2.0"

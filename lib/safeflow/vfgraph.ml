@@ -277,6 +277,7 @@ let c_bitset_words = Telemetry.counter "vf.bitset_words"
 let c_drain_edges_per_sec = Telemetry.counter "vf.drain_edges_per_sec"
 let c_pair_tasks = Telemetry.counter "pool.pair_tasks"
 let c_pair_peak = Telemetry.gauge "pool.pair_peak"
+let h_pair_build = Telemetry.histogram "pair.build"
 
 let create st =
   let funcs_by_name = st.Phase3.fidx in
@@ -1297,7 +1298,7 @@ let build_many g (todo : (Ssair.Ir.func * Phase3.Ctx.t) array) : block array =
   let build (f : Ssair.Ir.func) ctx =
     Telemetry.span "pair.build"
       ~args:[ ("function", f.Ssair.Ir.fname) ]
-      (fun () -> build_pair_block g f ctx)
+      (fun () -> Telemetry.time_hist h_pair_build (fun () -> build_pair_block g f ctx))
   in
   Telemetry.add c_pair_tasks n;
   if n <= 1 || domains <= 1 then Array.map (fun (f, ctx) -> build f ctx) todo
@@ -1362,7 +1363,9 @@ let run ?(config = Config.default) ?cache ?digests ?absint (prog : Ssair.Ir.prog
       if Telemetry.enabled () then
         Telemetry.span "pair.build"
           ~args:[ ("function", f.Ssair.Ir.fname) ]
-          (fun () -> walk_pair g sk f (Intern.Ctx.get g.ctxs cid) ~self_cid:cid)
+          (fun () ->
+            Telemetry.time_hist h_pair_build (fun () ->
+                walk_pair g sk f (Intern.Ctx.get g.ctxs cid) ~self_cid:cid))
       else walk_pair g sk f (Intern.Ctx.get g.ctxs cid) ~self_cid:cid
     done;
     Telemetry.add c_pair_built !n

@@ -125,21 +125,44 @@ let test_telemetry_invariance () =
      nothing at all is recorded while it is off *)
   let src = read_file (find_system "figure2.c") in
   let config = { Config.default with engine = Config.Worklist } in
-  let run () = (Driver.analyze ~config src).Driver.report in
+  let run () = Driver.analyze ~config src in
   Telemetry.set_enabled false;
   Telemetry.reset ();
   let off = run () in
   Alcotest.(check int) "no spans while off" 0 (List.length (Telemetry.spans ()));
   Alcotest.(check bool) "no counts while off" true
     (List.for_all (fun (_, v) -> v = 0) (Telemetry.counters ()));
+  Alcotest.(check bool) "no histogram observations while off" true
+    (List.for_all
+       (fun (h : Telemetry.hist_view) -> h.Telemetry.hv_count = 0)
+       (Telemetry.histograms ()));
   Telemetry.set_enabled true;
   Telemetry.reset ();
   let on = run () in
   let spans = Telemetry.spans () in
   let counters = Telemetry.counters () in
+  let hists = Telemetry.histograms () in
   Telemetry.set_enabled false;
   Telemetry.reset ();
-  Alcotest.(check bool) "reports identical on/off" true (off = on);
+  Alcotest.(check bool) "reports identical on/off" true
+    (off.Driver.report = on.Driver.report);
+  (* the obligation ledger is collected unconditionally and must be
+     byte-identical modulo wall-clock timings — it never influences (or
+     is influenced by) the telemetry switch *)
+  let norm (e : Ledger.entry) = { e with Ledger.l_ns = 0 } in
+  Alcotest.(check bool) "ledgers identical on/off (modulo timing)" true
+    (List.map norm off.Driver.ledger = List.map norm on.Driver.ledger);
+  Alcotest.(check bool) "ledger non-empty" true (off.Driver.ledger <> []);
+  (* histograms observed while on: pair blocks are always built *)
+  let hist_count name =
+    match
+      List.find_opt (fun (h : Telemetry.hist_view) -> h.Telemetry.hv_name = name) hists
+    with
+    | Some h -> h.Telemetry.hv_count
+    | None -> 0
+  in
+  Alcotest.(check bool) "pair.build histogram populated" true
+    (hist_count "pair.build" > 0);
   Alcotest.(check bool) "spans recorded while on" true (spans <> []);
   let names = List.map (fun (s : Telemetry.span_record) -> s.Telemetry.s_name) spans in
   List.iter

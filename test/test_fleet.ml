@@ -264,8 +264,8 @@ let test_fleet_observability () =
   (* observability is report-neutral *)
   Alcotest.(check (list string)) "observed reports byte-identical to plain run"
     (reports plain) (reports observed);
-  (* stats JSON: schema v3, one view per worker, consistent sums *)
-  Alcotest.(check (option string)) "schema v3" (Some "safeflow-telemetry/3")
+  (* stats JSON: schema v4, one view per worker, consistent sums *)
+  Alcotest.(check (option string)) "schema v4" (Some "safeflow-telemetry/4")
     (Option.bind (Jsonlite.member "schema" stats) Jsonlite.to_string);
   let workers =
     Option.get (Option.bind (Jsonlite.member "workers" stats) Jsonlite.to_list)

@@ -569,6 +569,51 @@ let test_figure2_vfg_export () =
   Alcotest.(check bool) "digraph syntax" true
     (Astring.String.is_prefix ~affix:"digraph" dot)
 
+(* -- Phase-2 symbol namespaces ------------------------------------------------------------------- *)
+
+(* Regression: opaque values (globals, string literals, undef) used to be
+   hashed into the "v<id>" vid namespace, where they could collide with a
+   real vid — or with each other — and silently alias independent solver
+   variables.  They now get fresh "u<n>" symbols, memoized per value, in
+   a namespace disjoint from both vids ("v<id>") and parameters
+   ("p_<name>"). *)
+let test_phase2_unknown_symbols () =
+  let a = full (prelude ^ {|
+int main() { initComm(); return 0; }
+|}) in
+  let f =
+    List.find
+      (fun (f : Ssair.Ir.func) -> f.Ssair.Ir.fname = "main")
+      a.Driver.prepared.Driver.ir.Ssair.Ir.funcs
+  in
+  let ctx = Phase2.mk_affine_ctx f in
+  let sym v =
+    match Omega.Linexpr.vars (Phase2.affine_of_value ctx v) with
+    | [ s ] -> s
+    | _ -> Alcotest.fail "opaque value not a single symbol"
+  in
+  let ga = sym (Ssair.Ir.Vglobal "ga") in
+  let gb = sym (Ssair.Ir.Vglobal "gb") in
+  let st = sym (Ssair.Ir.Vstr "ga") in
+  let un = sym (Ssair.Ir.Vundef Minic.Ty.Int) in
+  let syms = [ ga; gb; st; un ] in
+  Alcotest.(check int) "distinct values, distinct symbols" 4
+    (List.length (List.sort_uniq compare syms));
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("u-namespace: " ^ s) true
+        (String.length s > 1 && s.[0] = 'u'
+        && int_of_string_opt (String.sub s 1 (String.length s - 1)) <> None))
+    syms;
+  (* memoized: the same value resolves to the same symbol *)
+  Alcotest.(check string) "same global, same symbol" ga (sym (Ssair.Ir.Vglobal "ga"));
+  (* disjoint from the vid and parameter namespaces *)
+  (match Omega.Linexpr.vars (Phase2.affine_of_value ctx (Ssair.Ir.Vparam "x")) with
+  | [ p ] -> Alcotest.(check string) "parameter namespace" "p_x" p
+  | _ -> Alcotest.fail "parameter not a single symbol");
+  Alcotest.(check bool) "no overlap with v<id> symbols" true
+    (List.for_all (fun s -> s.[0] <> 'v') syms)
+
 (* -- Field sensitivity ablation ------------------------------------------------------------------ *)
 
 let test_field_sensitivity_ablation () =
@@ -638,5 +683,8 @@ let () =
       ( "figure2",
         [ Alcotest.test_case "report" `Quick test_figure2;
           Alcotest.test_case "vfg export" `Quick test_figure2_vfg_export ] );
+      ( "phase2 internals",
+        [ Alcotest.test_case "unknown-symbol namespace" `Quick
+            test_phase2_unknown_symbols ] );
       ( "ablations",
         [ Alcotest.test_case "field sensitivity" `Quick test_field_sensitivity_ablation ] ) ]
