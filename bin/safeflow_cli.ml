@@ -177,8 +177,22 @@ let analyze_cmd =
              classified new/fixed/unchanged by fingerprint, the delta is printed, and \
              only new findings drive the exit code")
   in
+  let emit_certs =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit-certs" ] ~docv:"DIR"
+          ~doc:
+            "write a machine-checkable certificate bundle (format safeflow-cert/1): one \
+             certificate per finding and per discharged P1-P3/A1/A2 obligation, the \
+             value-range fixpoint snapshot, and a manifest binding everything to the \
+             program fingerprint by content digest.  With several inputs each file gets \
+             a $(docv)/<basename> sub-bundle.  Validate with $(b,safeflow check-cert); \
+             reports are byte-identical with and without this option")
+  in
   let run files no_control ctx_insensitive field_insensitive vfg use_summary engine
-      absint cache_dir pair_domains verbose sarif save_findings baseline fail_on tele =
+      absint cache_dir pair_domains verbose sarif save_findings baseline emit_certs
+      fail_on tele =
     try
       telemetry_setup tele;
       let config =
@@ -198,6 +212,10 @@ let analyze_cmd =
       (* one row per input: report + fingerprint context (+ coverage for
          the exact engines; the summary engine has no pair universe or
          obligation ledger) *)
+      if use_summary && emit_certs <> None then begin
+        Fmt.epr "--emit-certs is not supported with --summary@.";
+        exit 2
+      end;
       let rows, ledgers =
         if use_summary then
           ( List.map
@@ -220,6 +238,29 @@ let analyze_cmd =
             Fmt.pr "value-flow graph written to %s@." path
           | Some _, _ -> Fmt.epr "--vfg ignored: more than one input file@."
           | None, _ -> ());
+          (match emit_certs with
+          | Some dir ->
+            let multi = List.length files > 1 in
+            List.iter2
+              (fun file (a : Safeflow.Driver.analysis) ->
+                let bdir =
+                  if multi then
+                    Filename.concat dir
+                      (Filename.remove_extension (Filename.basename file))
+                  else dir
+                in
+                match Safeflow.Cert.emit_bundle ~config ~label:file ~dir:bdir a with
+                | Ok s ->
+                  Fmt.pr "certificates: %d written to %s%s@."
+                    s.Safeflow.Cert.cs_written bdir
+                    (match s.Safeflow.Cert.cs_skipped with
+                    | [] -> ""
+                    | sk -> Fmt.str " (%d skipped)" (List.length sk))
+                | Error e ->
+                  Fmt.epr "certificate emission failed for %s: %s@." file e;
+                  exit 3)
+              files analyses
+          | None -> ());
           ( List.map2
               (fun file (a : Safeflow.Driver.analysis) ->
                 ( file,
@@ -295,7 +336,7 @@ let analyze_cmd =
           3 on frontend failure.")
     Term.(const run $ files $ no_control $ ctx_insensitive $ field_insensitive $ vfg
           $ use_summary $ engine $ absint_arg $ cache_dir $ pair_domains $ verbose $ sarif
-          $ save_findings $ baseline $ fail_on_arg $ telemetry_flags)
+          $ save_findings $ baseline $ emit_certs $ fail_on_arg $ telemetry_flags)
 
 let explain_cmd =
   let file =
@@ -317,7 +358,17 @@ let explain_cmd =
       & opt (some string) None
       & info [ "cache" ] ~docv:"DIR" ~doc:"content-addressed analysis cache directory")
   in
-  let run file no_control ctx_insensitive field_insensitive engine absint cache_dir =
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "machine-readable output (one JSON document, schema safeflow-explain/1): \
+             every finding with its stable fingerprint id, dependencies carrying their \
+             full witness path in the certificate step encoding (hash-chained links)")
+  in
+  let run file no_control ctx_insensitive field_insensitive engine absint cache_dir json
+      =
     try
       let config =
         {
@@ -331,7 +382,10 @@ let explain_cmd =
       in
       let cache = Option.map (fun dir -> Safeflow.Cache.create ~dir ()) cache_dir in
       let a = Safeflow.Driver.analyze_file ~config ?cache file in
-      Fmt.pr "%a@." Safeflow.Report.pp_explain a.Safeflow.Driver.report
+      if json then
+        print_string
+          (Safeflow.Jsonlite.emit (Safeflow.Cert.explain_json ~label:file a) ^ "\n")
+      else Fmt.pr "%a@." Safeflow.Report.pp_explain a.Safeflow.Driver.report
     with Minic.Loc.Error (loc, msg) ->
       Fmt.epr "%a: %s@." Minic.Loc.pp loc msg;
       exit 3
@@ -344,7 +398,114 @@ let explain_cmd =
           non-core source to critical sink.  Exits 0 regardless of findings (a review \
           aid, not a gate).")
     Term.(const run $ file $ no_control $ ctx_insensitive $ field_insensitive $ engine
-          $ absint_arg $ cache_dir)
+          $ absint_arg $ cache_dir $ json_flag)
+
+(* -- check-cert: independently validate a certificate bundle ------------------- *)
+
+let check_cert_cmd =
+  let bundle =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BUNDLE"
+          ~doc:
+            "certificate bundle directory (with several FILEs: the root holding one \
+             $(docv)/<basename> sub-bundle per file, the layout $(b,analyze \
+             --emit-certs) produces)")
+  in
+  let files =
+    Arg.(
+      non_empty & pos_right 0 file []
+      & info [] ~docv:"FILE" ~doc:"MiniC source files the bundle(s) were emitted for")
+  in
+  let allow_skipped =
+    Arg.(
+      value & flag
+      & info [ "allow-skipped" ]
+          ~doc:
+            "exit 0 even when the manifest lists skipped obligations (certificates the \
+             emitter could not produce); by default skipped entries fail the check")
+  in
+  let source_label =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "source-label" ] ~docv:"LABEL"
+          ~doc:
+            "parse each FILE under $(docv) instead of its path before checking.  \
+             Needed for bundles a $(b,fleet --emit-certs) run produced: fleet members \
+             are analyzed under a normalized label (default $(b,<system>)), so their \
+             certificate digests bind to the label-based IR, not the real path.")
+  in
+  let run bundle files allow_skipped source_label =
+    let multi = List.length files > 1 in
+    let failed = ref false in
+    List.iter
+      (fun file ->
+        let bdir =
+          if multi then
+            Filename.concat bundle (Filename.remove_extension (Filename.basename file))
+          else bundle
+        in
+        try
+          let prep =
+            match source_label with
+            | None -> Safeflow.Driver.prepare_file file
+            | Some label ->
+              let ic = open_in_bin file in
+              let src = really_input_string ic (in_channel_length ic) in
+              close_in ic;
+              Safeflow.Driver.prepare_source ~file:label src
+          in
+          let ir = prep.Safeflow.Driver.ir in
+          let shm = Safeflow.Driver.stage_shm prep in
+          let regions =
+            List.map
+              (fun (r : Safeflow.Shm.region) ->
+                (r.Safeflow.Shm.r_name, r.Safeflow.Shm.r_size))
+              shm.Safeflow.Shm.regions
+          in
+          let d = Safeflow.Digest_ir.of_program ir in
+          let expect =
+            [
+              ("program", d.Safeflow.Digest_ir.program);
+              ("env", d.Safeflow.Digest_ir.env);
+            ]
+          in
+          let o =
+            Checker.validate_bundle ~ir ~regions ~expect
+              ~check_finding:(Safeflow.Cert.check_finding_binding ir)
+              bdir
+          in
+          List.iter
+            (fun (f : Checker.failure) ->
+              Fmt.pr "%s: FAIL %s: %s@." file f.Checker.ce_id f.Checker.ce_msg)
+            o.Checker.failures;
+          Fmt.pr "%s: %d certificate%s verified, %d failed, %d skipped@." file
+            o.Checker.passed
+            (if o.Checker.passed = 1 then "" else "s")
+            (List.length o.Checker.failures)
+            o.Checker.skipped;
+          if
+            o.Checker.failures <> []
+            || (o.Checker.skipped > 0 && not allow_skipped)
+          then failed := true
+        with Minic.Loc.Error (loc, msg) ->
+          Fmt.epr "%a: %s@." Minic.Loc.pp loc msg;
+          failed := true)
+      files;
+    exit (if !failed then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "check-cert"
+       ~doc:
+         "independently validate a certificate bundle against freshly parsed sources: \
+          witness hash chains, the recorded value-range fixpoint (checked as a \
+          post-fixpoint in one pass), constant-index arithmetic, range discharges and \
+          Omega unsat-core substitutions are all re-verified with local checks only — \
+          no phase 3, no worklist engine, no solver search.  Exits 0 when every \
+          certificate verifies, 1 otherwise.")
+    Term.(const run $ bundle $ files $ allow_skipped $ source_label)
 
 (* -- audit: render the phase-2 obligation ledger -------------------------------- *)
 
@@ -893,9 +1054,30 @@ let fleet_cmd =
              corrupt cache entries), tagged $(b,[worker N]) so interleaved fleet output \
              stays attributable; never changes reports")
   in
+  let emit_certs =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit-certs" ] ~docv:"DIR"
+          ~doc:
+            "write each member's certificate bundle (schema $(b,safeflow-cert/1)) to \
+             $(docv)/<member-basename>/; see $(b,analyze --emit-certs) and \
+             $(b,check-cert).  Standalone re-validation of a fleet bundle needs \
+             $(b,check-cert --source-label) with this run's label, because digests \
+             bind to the IR as analyzed under the normalized label.")
+  in
+  let check_certs =
+    Arg.(
+      value & flag
+      & info [ "check-certs" ]
+          ~doc:
+            "with $(b,--emit-certs): re-validate every member's bundle in the worker \
+             against a fresh parse, print per-member pass/fail/skipped counts, and \
+             fail the run (exit 1) if any certificate fails")
+  in
   let run dir manifest jobs shard_domains cache_dir engine absint source_label
       print_reports save_findings baseline fail_on progress_flag no_progress log_json
-      verbose tele =
+      verbose emit_certs check_certs tele =
     try
       telemetry_setup tele;
       let members =
@@ -941,9 +1123,13 @@ let fleet_cmd =
               | Some p -> Safeflow.Progress.feed p line
               | None -> ())
       in
+      if check_certs && emit_certs = None then begin
+        Fmt.epr "--check-certs needs --emit-certs DIR@.";
+        exit 2
+      end;
       let r =
         Safeflow.Fleet.run ~config ?cache_dir ~jobs ~shard_domains ~source_label
-          ?on_event members
+          ?on_event ?emit_certs ~check_certs members
       in
       (match progress with Some p -> Safeflow.Progress.finish p | None -> ());
       (match (log_oc, log_json) with
@@ -956,8 +1142,18 @@ let fleet_cmd =
           if print_reports then
             Fmt.pr "== %s ==@.%s@." m.Safeflow.Fleet.mr_path m.Safeflow.Fleet.mr_report
           else
-            Fmt.pr "%-48s %3d errors  %3d warnings@." m.Safeflow.Fleet.mr_path
-              m.Safeflow.Fleet.mr_errors m.Safeflow.Fleet.mr_warnings)
+            let certs =
+              match m.Safeflow.Fleet.mr_certs with
+              | None -> ""
+              | Some c when not check_certs ->
+                Fmt.str "  %3d certs" c.Safeflow.Fleet.cc_written
+              | Some c ->
+                Fmt.str "  %3d certs (%d pass, %d fail, %d skipped)"
+                  c.Safeflow.Fleet.cc_written c.Safeflow.Fleet.cc_passed
+                  c.Safeflow.Fleet.cc_failed c.Safeflow.Fleet.cc_skipped
+            in
+            Fmt.pr "%-48s %3d errors  %3d warnings%s@." m.Safeflow.Fleet.mr_path
+              m.Safeflow.Fleet.mr_errors m.Safeflow.Fleet.mr_warnings certs)
         r.Safeflow.Fleet.f_results;
       Fmt.pr "fleet: %d systems on %d process(es) x %d domain(s) in %.2fs — %.1f analyses/sec@."
         r.Safeflow.Fleet.f_systems r.Safeflow.Fleet.f_jobs r.Safeflow.Fleet.f_shard_domains
@@ -967,6 +1163,28 @@ let fleet_cmd =
          Fmt.pr "cache: %d hits (%d cross-system), %d misses, %d stale, %d corrupt@."
            c.Safeflow.Fleet.ct_hits c.Safeflow.Fleet.ct_cross c.Safeflow.Fleet.ct_misses
            c.Safeflow.Fleet.ct_stale c.Safeflow.Fleet.ct_corrupt);
+      let certs_failed =
+        match emit_certs with
+        | None -> false
+        | Some root ->
+          let w, p, f, s =
+            List.fold_left
+              (fun (w, p, f, s) (m : Safeflow.Fleet.member_result) ->
+                match m.Safeflow.Fleet.mr_certs with
+                | None -> (w, p, f, s)
+                | Some c ->
+                  ( w + c.Safeflow.Fleet.cc_written,
+                    p + c.Safeflow.Fleet.cc_passed,
+                    f + c.Safeflow.Fleet.cc_failed,
+                    s + c.Safeflow.Fleet.cc_skipped ))
+              (0, 0, 0, 0) r.Safeflow.Fleet.f_results
+          in
+          if check_certs then
+            Fmt.pr "certificates: %d written to %s — %d verified, %d failed, %d skipped@."
+              w root p f s
+          else Fmt.pr "certificates: %d written to %s (%d skipped)@." w root s;
+          check_certs && f > 0
+      in
       telemetry_finish tele;
       let entries =
         List.concat_map
@@ -989,7 +1207,8 @@ let fleet_cmd =
           d.Safeflow.Diffreport.d_new
         | None -> entries
       in
-      exit (Safeflow.Diffreport.gate ~fail_on gated)
+      let code = Safeflow.Diffreport.gate ~fail_on gated in
+      exit (if certs_failed && code = 0 then 1 else code)
     with
     | Minic.Loc.Error (loc, msg) ->
       Fmt.epr "%a: %s@." Minic.Loc.pp loc msg;
@@ -1009,7 +1228,7 @@ let fleet_cmd =
     Term.(const run $ dir $ manifest $ jobs $ shard_domains $ cache_dir $ engine
           $ absint_arg $ source_label $ print_reports $ save_findings $ baseline
           $ fail_on_arg $ progress_flag $ no_progress $ log_json $ verbose
-          $ telemetry_flags)
+          $ emit_certs $ check_certs $ telemetry_flags)
 
 let version_cmd =
   let run () =
@@ -1020,6 +1239,8 @@ let version_cmd =
     Fmt.pr "events schema:     %s@." Safeflow.Events.schema;
     Fmt.pr "findings format:   %s@." Safeflow.Diffreport.format_version;
     Fmt.pr "fingerprint:       %s@." Safeflow.Fingerprint.version;
+    Fmt.pr "certificates:      %s@." Safeflow.Cert.schema;
+    Fmt.pr "explain JSON:      %s@." Safeflow.Cert.explain_schema;
     Fmt.pr "SARIF:             %s@." Safeflow.Sarif.sarif_version
   in
   Cmd.v
@@ -1089,5 +1310,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ analyze_cmd; fleet_cmd; diff_cmd; explain_cmd; audit_cmd; hotspots_cmd;
-            ranges_cmd; initcheck_cmd; dump_ir_cmd; synth_cmd; version_cmd ]))
+          [ analyze_cmd; fleet_cmd; diff_cmd; explain_cmd; check_cert_cmd; audit_cmd;
+            hotspots_cmd; ranges_cmd; initcheck_cmd; dump_ir_cmd; synth_cmd;
+            version_cmd ]))

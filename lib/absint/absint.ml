@@ -154,6 +154,7 @@ type func_summary = {
   s_env : (key * Itv.t) list;          (* sorted by key *)
   s_params : (string * Itv.t) list;    (* declaration order *)
   s_ret : Itv.t;
+  s_ret_raw : Itv.t;  (* pre-promotion join over reachable rets (Bot if none) *)
   s_dead : (Ssair.Ir.bid * dead) list; (* sorted by block id *)
   s_iters : int;
   s_widen : int;
@@ -604,6 +605,7 @@ let run_function ~(prog : Ir.program) ~params ~ret_of (f : Ir.func) : func_summa
           | _ -> acc)
       Itv.Bot blocks
   in
+  let ret_raw = ret in
   let ret = if Itv.is_bot ret then Itv.top else ret in
   (* decided two-way branches in reachable blocks *)
   let dead =
@@ -628,6 +630,7 @@ let run_function ~(prog : Ir.program) ~params ~ret_of (f : Ir.func) : func_summa
     s_env = env_list;
     s_params = params;
     s_ret = ret;
+    s_ret_raw = ret_raw;
     s_dead = dead;
     s_iters = ctx.iters;
     s_widen = ctx.widens;
@@ -934,3 +937,32 @@ let pp_func_summary t ppf (f : Ir.func) =
           (match d with Dead_then -> "then" | Dead_else -> "else"))
       s.s_dead;
     Fmt.pf ppf "  fixpoint: %d passes, %d widenings@." s.s_iters s.s_widen
+
+(* -- Summary views (certificate emission) -------------------------------- *)
+
+type summary_view = {
+  sv_func : string;
+  sv_params : (string * Itv.t) list;
+  sv_ret : Itv.t;
+  sv_ret_raw : Itv.t;
+  sv_env : (Ssair.Ir.vid * Itv.t) list;
+}
+
+let summary_views t =
+  Hashtbl.fold
+    (fun name s acc ->
+      let env =
+        List.filter_map
+          (function Kvid id, v -> Some (id, v) | Kparam _, _ -> None)
+          s.s_env
+      in
+      {
+        sv_func = name;
+        sv_params = s.s_params;
+        sv_ret = s.s_ret;
+        sv_ret_raw = s.s_ret_raw;
+        sv_env = env;
+      }
+      :: acc)
+    t.summaries []
+  |> List.sort (fun a b -> compare a.sv_func b.sv_func)

@@ -119,3 +119,25 @@ val range_of_sym : qctx -> at:Ssair.Ir.bid -> string -> Itv.t option
 
 val pp_func_summary : t -> Format.formatter -> Ssair.Ir.func -> unit
 (** human-readable dump used by [safeflow ranges] *)
+
+(** {1 Summary views}
+
+    A concrete, read-only projection of the per-function fixpoint —
+    everything a certificate needs to record so an independent checker
+    can re-verify the summaries as a post-fixpoint.  [sv_env] lists
+    every SSA value the fixpoint ever stored (absence means Bot, the
+    same convention the engine's own lookups use); [sv_ret_raw] is the
+    join over reachable [ret] evaluations {e before} the Bot→top
+    promotion applied to [sv_ret] (the promotion is for summary
+    consumers; the raw join is the inductively justifiable fact). *)
+
+type summary_view = {
+  sv_func : string;
+  sv_params : (string * Itv.t) list;
+  sv_ret : Itv.t;
+  sv_ret_raw : Itv.t;
+  sv_env : (Ssair.Ir.vid * Itv.t) list;
+}
+
+val summary_views : t -> summary_view list
+(** one view per analyzed function, sorted by function name *)

@@ -1,0 +1,83 @@
+(** Independent validator for [safeflow-cert/1] certificate bundles.
+
+    This library re-verifies certificates emitted by [safeflow analyze
+    --emit-certs] against freshly parsed IR using only local checks:
+
+    - witness certificates: hash-chain connectivity and per-step digest
+      agreement;
+    - the recorded abstract environment: a single-pass post-fixpoint
+      (abstraction-carrying-code) check that every recorded interval
+      contains the one-step evaluation of its definition;
+    - array-bounds obligations: constant indices by arithmetic, range
+      discharges by re-evaluating the dominator-refined interval query,
+      Omega discharges by substituting the recorded unsat core into the
+      negated obligation and refuting it with bounded Fourier–Motzkin
+      elimination — no solver search.
+
+    It depends only on [minic] and [ssair] (the shared frontend both the
+    analyzer and the checker must agree on by construction) plus
+    [jsonlite]; none of the analysis libraries are linked, so an
+    analyzer bug in interval transfer, affine abstraction or the solver
+    cannot silently leak into the checker. *)
+
+val md5_hex : string -> string
+(** MD5 of a string, lowercase hex — the bundle's content-digest
+    function *)
+
+val step_link : desc:string -> why:string option -> key:string -> prev:string -> string
+(** The witness hash chain: the link of a step commits to its content
+    and to the link of the preceding step ([prev = ""] before the first
+    step).  Exported so the emitter and [safeflow explain --json] use
+    the identical encoding; the checker recomputes it independently. *)
+
+val schema : string
+(** ["safeflow-cert/1"] *)
+
+val refutable : Jsonlite.t list -> bool
+(** Can the checker's bounded Fourier–Motzkin refuter prove this
+    constraint system (JSON-encoded, as in certificates) infeasible over
+    the integers?  The emitter uses this as an oracle when minimizing
+    unsat cores, so it never records a core the independent checker
+    cannot replay. *)
+
+type failure = {
+  ce_id : string;   (** certificate id, or ["<manifest>"]/["<absenv>"] *)
+  ce_msg : string;  (** precise reason the certificate was rejected *)
+}
+
+type outcome = {
+  passed : int;
+  failures : failure list;
+  skipped : int;  (** obligations the emitter declared unable to certify *)
+}
+
+val validate :
+  ir:Ssair.Ir.program ->
+  regions:(string * int) list ->
+  expect:(string * string) list ->
+  ?check_finding:(Jsonlite.t -> (unit, string) result) ->
+  manifest:Jsonlite.t ->
+  load:(string -> (string, string) result) ->
+  unit ->
+  outcome
+(** Validate every certificate listed in [manifest].
+
+    [ir] is the freshly parsed and lowered program; [regions] maps each
+    shared-memory region name to its size in bytes; [expect] is a list
+    of (manifest field, required value) pairs used to bind the bundle to
+    the program (e.g. the [Digest_ir] program fingerprint) — a mismatch
+    fails the whole bundle; [check_finding], when given, is consulted
+    for finding and witness certificates to verify their binding to
+    recomputed report fingerprints (the checker itself has no notion of
+    report identity); [load] resolves a bundle-relative path to file
+    contents. *)
+
+val validate_bundle :
+  ir:Ssair.Ir.program ->
+  regions:(string * int) list ->
+  expect:(string * string) list ->
+  ?check_finding:(Jsonlite.t -> (unit, string) result) ->
+  string ->
+  outcome
+(** [validate_bundle ~ir ~regions ~expect dir] reads [dir/manifest.json]
+    and validates the bundle rooted at [dir]. *)

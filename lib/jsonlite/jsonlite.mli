@@ -40,3 +40,9 @@ val to_obj : t -> (string * t) list option
 
 val escape : string -> string
 (** JSON string-body escaping (no surrounding quotes) *)
+
+val emit : t -> string
+(** compact serialization ([parse (emit j) = Ok j] for trees whose
+    numbers are exact integers below 2{^53}, which is all this repo
+    emits); inverse direction of {!parse} for the certificate and
+    explain emitters *)

@@ -311,3 +311,27 @@ let entails_not cs extra =
   match feasible (extra :: cs) with
   | Unsat -> true
   | Sat | Unknown -> false
+
+(* -- Unsat cores --------------------------------------------------------- *)
+
+(* Deletion-based minimization: starting from a known-Unsat system
+   [pinned @ candidates], drop each candidate in turn and keep it only if
+   the system turns Sat/Unknown without it.  The [pinned] constraints
+   (typically the negated obligation goal) are never dropped.  Every
+   probe is a fresh [feasible] call under the same fuel, so an Unknown
+   verdict conservatively keeps the candidate.  The result is a minimal
+   hitting set in the deletion sense: removing any single member of the
+   returned core leaves the remainder (plus [pinned]) satisfiable or
+   undecided. *)
+let unsat_core ?fuel (pinned : cstr list) (candidates : cstr list) : cstr list option =
+  match feasible ?fuel (pinned @ candidates) with
+  | Sat | Unknown -> None
+  | Unsat ->
+    let rec shrink kept = function
+      | [] -> List.rev kept
+      | c :: rest -> (
+        match feasible ?fuel (pinned @ List.rev_append kept rest) with
+        | Unsat -> shrink kept rest
+        | Sat | Unknown -> shrink (c :: kept) rest)
+    in
+    Some (shrink [] candidates)

@@ -56,3 +56,13 @@ val eq : Linexpr.t -> Linexpr.t -> cstr
 val entails_not : cstr list -> cstr -> bool
 (** [entails_not cs c] — true iff [cs ∧ c] is definitely unsatisfiable
     ([Unknown] counts as "no"). *)
+
+val unsat_core : ?fuel:int -> cstr list -> cstr list -> cstr list option
+(** [unsat_core pinned candidates] minimizes a known-infeasible system.
+    Returns [Some core] with [core ⊆ candidates] such that
+    [pinned @ core] is still Unsat and dropping any single member of
+    [core] makes the probe Sat/Unknown — the deletion-minimal
+    hypothesis subset certificate emission records.  Returns [None]
+    when [pinned @ candidates] is not Unsat to begin with.  Runs one
+    {!feasible} probe per candidate; [fuel] bounds each probe as in
+    {!feasible}. *)

@@ -16,8 +16,14 @@
    the same files.
    Version 6: the "phase2"/"phase2fn" results carry the obligation
    ledger (one audit entry per A1/A2 obligation and P1-P3 site), so a
-   warm run reconciles discharge counts exactly like a cold one. *)
-let format_version = 6
+   warm run reconciles discharge counts exactly like a cold one.
+   Version 7: entry headers record a content digest of the marshalled
+   payload, written and verified separately from the header — a payload
+   swapped or damaged after the header was written is detected as
+   corrupt instead of unmarshalling into the wrong value; and the
+   "absint" func_summary layout gained the raw (pre-promotion) return
+   join that certificate emission records. *)
+let format_version = 7
 
 let magic = "SAFEFLOW-CACHE"
 
@@ -53,6 +59,8 @@ type t = {
   tbl : (string, entry) Hashtbl.t;  (** "ns:key" ↦ entry *)
   counters : (string, counters) Hashtbl.t;  (** per-namespace outcomes *)
   lock : Mutex.t;
+  on_recovery : (kind:string -> ns:string -> key:string -> unit) option;
+      (** observer for stale/corrupt disk discards (fleet event stream) *)
 }
 
 (* Telemetry counter inventory.  The namespaces are known statically, so
@@ -88,7 +96,7 @@ let with_origin origin f =
   Domain.DLS.set origin_dls origin;
   Fun.protect ~finally:(fun () -> Domain.DLS.set origin_dls prev) f
 
-let create ?dir ?(verbose = false) () =
+let create ?dir ?(verbose = false) ?on_recovery () =
   let dir =
     match dir with
     | None -> None
@@ -123,6 +131,7 @@ let create ?dir ?(verbose = false) () =
     tbl = Hashtbl.create 256;
     counters = Hashtbl.create 8;
     lock = Mutex.create ();
+    on_recovery;
   }
 
 let locked t f =
@@ -183,6 +192,13 @@ type header = {
   h_ns : string;
   h_key : string;
   h_origin : string;
+  h_cert : string;
+      (** MD5 (hex) of the marshalled payload bytes that follow the
+          header.  The payload is marshalled separately and verified
+          against this digest before unmarshalling, so a payload that
+          was swapped between entries or damaged after the header was
+          written is detected as corrupt instead of decoding into the
+          wrong value. *)
 }
 
 let h_disk_read = Telemetry.histogram "cache.disk_read"
@@ -201,14 +217,26 @@ let read_disk t ns key : entry outcome =
           Fun.protect
             ~finally:(fun () -> close_in_noerr ic)
             (fun () ->
-              let (h : header), (v : Obj.t) = Marshal.from_channel ic in
+              let (h : header) = Marshal.from_channel ic in
               if
-                String.equal h.h_magic magic
-                && h.h_version = format_version
-                && String.equal h.h_ocaml Sys.ocaml_version
-                && String.equal h.h_ns ns && String.equal h.h_key key
-              then Hit { e_v = v; e_origin = h.h_origin }
-              else Stale)
+                not
+                  (String.equal h.h_magic magic
+                  && h.h_version = format_version
+                  && String.equal h.h_ocaml Sys.ocaml_version
+                  && String.equal h.h_ns ns && String.equal h.h_key key)
+              then Stale
+              else begin
+                (* the payload travels as separately-marshalled bytes;
+                   digest-check them against the header before trusting
+                   [Marshal] with them *)
+                let pos = pos_in ic in
+                let len = in_channel_length ic - pos in
+                let payload = really_input_string ic len in
+                if not (String.equal (Digest.to_hex (Digest.string payload)) h.h_cert)
+                then Corrupt
+                else
+                  Hit { e_v = Marshal.from_string payload 0; e_origin = h.h_origin }
+              end)
         with _ -> Corrupt
       in
       (match result with
@@ -217,11 +245,13 @@ let read_disk t ns key : entry outcome =
         (* drop the file so it is rewritten on the next store; unlink is
            atomic, so a concurrent reader either sees the whole entry or
            none of it *)
+        let kind = if result = Stale then "stale" else "corrupt" in
         if t.verbose then
           Printf.eprintf "%ssafeflow: cache: discarding %s entry %s\n%!"
-            (Logctx.get ())
-            (if result = Stale then "stale" else "corrupt")
-            (Filename.basename path);
+            (Logctx.get ()) kind (Filename.basename path);
+        (match t.on_recovery with
+        | Some f -> ( try f ~kind ~ns ~key with _ -> ())
+        | None -> ());
         (try Sys.remove path with Sys_error _ -> ()));
       result
     end
@@ -253,6 +283,7 @@ let write_disk t ns key (e : entry) =
         Fun.protect
           ~finally:(fun () -> close_out_noerr oc)
           (fun () ->
+            let payload = Marshal.to_string e.e_v [] in
             let h =
               {
                 h_magic = magic;
@@ -261,9 +292,11 @@ let write_disk t ns key (e : entry) =
                 h_ns = ns;
                 h_key = key;
                 h_origin = e.e_origin;
+                h_cert = Digest.to_hex (Digest.string payload);
               }
             in
-            Marshal.to_channel oc (h, e.e_v) []);
+            Marshal.to_channel oc h [];
+            output_string oc payload);
         Sys.rename tmp path
       with _ -> (try Sys.remove tmp with Sys_error _ -> ())
     end

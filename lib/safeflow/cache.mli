@@ -42,12 +42,21 @@
 
 type t
 
-val create : ?dir:string -> ?verbose:bool -> unit -> t
+val create :
+  ?dir:string ->
+  ?verbose:bool ->
+  ?on_recovery:(kind:string -> ns:string -> key:string -> unit) ->
+  unit ->
+  t
 (** [create ()] is memory-only; [create ~dir ()] adds a disk tier rooted
     at [dir] (created if missing; creation failure degrades silently to
     memory-only), with entries under [dir]'s generation subdirectory.
     [~verbose] (default false) reports each discarded stale/corrupt disk
-    entry on stderr; it never affects results. *)
+    entry on stderr; it never affects results.  [~on_recovery] is called
+    once per discarded disk entry with [kind] (["stale"] or ["corrupt"])
+    and the entry's namespace and key — fleet workers use it to emit
+    [cache.recovered] events; exceptions it raises are swallowed, and it
+    must not call back into this cache (it runs under the cache lock). *)
 
 val find : t -> ns:string -> key:string -> 'a option
 (** memory first, then disk (populating memory on a disk hit).  The

@@ -232,6 +232,9 @@ type analysis = {
   ledger : Ledger.entry list;
       (* phase-2 obligation audit trail; observability only, never
          consulted when building [report] *)
+  absint : Absint.t option;
+      (* the value-range analysis the run used ([None] when disabled);
+         certificate emission serializes its summaries *)
 }
 
 (* -- Canonical report order ------------------------------------------------------ *)
@@ -375,7 +378,7 @@ let analyze ?(config = Config.default) ?cache ?file (src : string) : analysis =
     }
   in
   { report; phase3 = ph3; prepared = p; shm; phase1 = p1; pointsto = pts; coverage;
-    ledger = ph2.Phase2.ledger }))
+    ledger = ph2.Phase2.ledger; absint }))
 
 let analyze_file ?config ?cache path : analysis =
   let ic = open_in_bin path in

@@ -67,6 +67,10 @@ type analysis = {
       (** phase-2 obligation audit trail ([safeflow audit] /
           [safeflow hotspots]); observability only — never consulted
           when building [report] *)
+  absint : Absint.t option;
+      (** the value-range analysis the run used ([None] when
+          {!Config.t.absint} is off); certificate emission serializes
+          its summaries *)
 }
 
 val analyzed_functions : Phase3.result -> Phase1.t -> string list

@@ -46,17 +46,34 @@ let member_start ~worker ~path =
     [ Printf.sprintf "\"worker\":%d" worker; Printf.sprintf "\"path\":\"%s\"" (esc path) ]
 
 let member_done ~worker ~path ~errors ~warnings ~findings ~cache_hits ~cache_misses
-    ~elapsed_ms =
+    ?certs ~elapsed_ms () =
   base "member_done"
+    ([
+       Printf.sprintf "\"worker\":%d" worker;
+       Printf.sprintf "\"path\":\"%s\"" (esc path);
+       Printf.sprintf "\"errors\":%d" errors;
+       Printf.sprintf "\"warnings\":%d" warnings;
+       Printf.sprintf "\"findings\":%d" findings;
+       Printf.sprintf "\"cache_hits\":%d" cache_hits;
+       Printf.sprintf "\"cache_misses\":%d" cache_misses;
+     ]
+    @ (match certs with
+      | None -> []
+      | Some (pass, fail, skipped) ->
+        [
+          Printf.sprintf "\"certs_pass\":%d" pass;
+          Printf.sprintf "\"certs_fail\":%d" fail;
+          Printf.sprintf "\"certs_skipped\":%d" skipped;
+        ])
+    @ [ Printf.sprintf "\"elapsed_ms\":%.3f" elapsed_ms ])
+
+let cache_recovered ~worker ~ns ~key ~kind =
+  base "cache.recovered"
     [
       Printf.sprintf "\"worker\":%d" worker;
-      Printf.sprintf "\"path\":\"%s\"" (esc path);
-      Printf.sprintf "\"errors\":%d" errors;
-      Printf.sprintf "\"warnings\":%d" warnings;
-      Printf.sprintf "\"findings\":%d" findings;
-      Printf.sprintf "\"cache_hits\":%d" cache_hits;
-      Printf.sprintf "\"cache_misses\":%d" cache_misses;
-      Printf.sprintf "\"elapsed_ms\":%.3f" elapsed_ms;
+      Printf.sprintf "\"ns\":\"%s\"" (esc ns);
+      Printf.sprintf "\"key\":\"%s\"" (esc key);
+      Printf.sprintf "\"kind\":\"%s\"" (esc kind);
     ]
 
 let heartbeat ~worker ~done_ ~total =

@@ -25,11 +25,21 @@ val member_done :
   findings:int ->
   cache_hits:int ->
   cache_misses:int ->
+  ?certs:int * int * int ->
   elapsed_ms:float ->
+  unit ->
   string
 (** [cache_hits]/[cache_misses] are the delta observed while analyzing
     this member (approximate under concurrent domains in the same
-    worker) *)
+    worker).  [certs], present only under [--emit-certs --check-certs],
+    is the member's (passed, failed, skipped) certificate validation
+    counts. *)
+
+val cache_recovered : worker:int -> ns:string -> key:string -> kind:string -> string
+(** a stale or corrupt disk-cache entry was discarded and recomputed
+    ([kind] is ["stale"] or ["corrupt"]); wired through
+    {!Cache.create}'s [on_recovery] so [--log-json] captures silent
+    recoveries fleet-wide *)
 
 val heartbeat : worker:int -> done_:int -> total:int -> string
 

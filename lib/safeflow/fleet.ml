@@ -4,6 +4,16 @@
 let c_fleet_systems = Telemetry.counter "fleet.systems"
 let c_fleet_shards = Telemetry.counter "fleet.shards"
 let c_fleet_members = Telemetry.counter "fleet.members"
+let c_certs_pass = Telemetry.counter "fleet.certs_pass"
+let c_certs_fail = Telemetry.counter "fleet.certs_fail"
+let c_certs_skipped = Telemetry.counter "fleet.certs_skipped"
+
+type cert_counts = {
+  cc_written : int;
+  cc_passed : int;
+  cc_failed : int;
+  cc_skipped : int;
+}
 
 type member_result = {
   mr_path : string;
@@ -12,6 +22,7 @@ type member_result = {
   mr_errors : int;
   mr_warnings : int;
   mr_ledger : Ledger.entry list;
+  mr_certs : cert_counts option;
 }
 
 type cache_totals = {
@@ -66,12 +77,65 @@ let read_file path =
    digests align across members and per-function entries dedupe
    fleet-wide) but attribute cache traffic to the member's real path —
    a later hit from a different member is a cross-system hit. *)
-let analyze_member ?config ?cache ~source_label path : member_result =
+let analyze_member ?config ?cache ?emit_certs ?(check_certs = false) ~source_label
+    path : member_result =
   let src = read_file path in
   Cache.with_origin path (fun () ->
       let a = Driver.analyze ?config ?cache ~file:source_label src in
       let r = a.Driver.report in
       let ctx = Fingerprint.ctx_of_program a.Driver.prepared.Driver.ir in
+      (* per-member certificate bundle under <root>/<basename>; the
+         real path is recorded as the manifest label, but digests bind
+         to the IR as analyzed (under the normalized source label) *)
+      let certs =
+        match emit_certs with
+        | None -> None
+        | Some root ->
+          let bdir =
+            Filename.concat root (Filename.remove_extension (Filename.basename path))
+          in
+          let s =
+            match Cert.emit_bundle ?config ~label:path ~dir:bdir a with
+            | Ok s -> s
+            | Error e -> failwith (path ^ ": certificate emission failed: " ^ e)
+          in
+          if not check_certs then
+            Some
+              {
+                cc_written = s.Cert.cs_written;
+                cc_passed = 0;
+                cc_failed = 0;
+                cc_skipped = List.length s.Cert.cs_skipped;
+              }
+          else begin
+            (* independent re-validation: a fresh parse of the member's
+               source, never the analysis pipeline's own structures *)
+            let prep = Driver.prepare_source ~file:source_label src in
+            let ir = prep.Driver.ir in
+            let shm = Driver.stage_shm prep in
+            let regions =
+              List.map (fun (rg : Shm.region) -> (rg.Shm.r_name, rg.Shm.r_size))
+                shm.Shm.regions
+            in
+            let d = Digest_ir.of_program ir in
+            let o =
+              Checker.validate_bundle ~ir ~regions
+                ~expect:
+                  [ ("program", d.Digest_ir.program); ("env", d.Digest_ir.env) ]
+                ~check_finding:(Cert.check_finding_binding ir) bdir
+            in
+            Telemetry.add c_certs_pass o.Checker.passed;
+            Telemetry.add c_certs_fail (List.length o.Checker.failures);
+            Telemetry.add c_certs_skipped o.Checker.skipped;
+            Some
+              {
+                cc_written = s.Cert.cs_written;
+                cc_passed = o.Checker.passed;
+                cc_failed = List.length o.Checker.failures;
+                cc_skipped = o.Checker.skipped;
+              }
+          end
+      in
       (* finding locations come out under the normalized label; baselines
          and gating should attribute them to the real member *)
       let relabel (e : Diffreport.entry) =
@@ -97,6 +161,7 @@ let analyze_member ?config ?cache ~source_label path : member_result =
         (* pure data, so it marshals over the worker result channel
            unchanged — the fleet parent gets every member's audit trail *)
         mr_ledger = a.Driver.ledger;
+        mr_certs = certs;
       })
 
 (* bounded domain pool over an index list; results in input order,
@@ -131,11 +196,18 @@ let pool_map ~domains (f : 'a -> 'b) (items : 'a array) : 'b array =
    [emit], when present, receives one Events line per lifecycle point;
    event emission is skipped entirely (not just dropped) when absent.
    [worker] is the shard index, used as the event/worker tag. *)
-let run_shard ?config ?cache_dir ~shard_domains ~source_label ~worker
-    ~(emit : (string -> unit) option) (paths : string array) (indices : int array) :
-    (int * member_result) array * cache_totals =
+let run_shard ?config ?cache_dir ?emit_certs ?check_certs ~shard_domains
+    ~source_label ~worker ~(emit : (string -> unit) option) (paths : string array)
+    (indices : int array) : (int * member_result) array * cache_totals =
   let verbose = match config with Some c -> c.Config.verbose | None -> false in
-  let cache = Option.map (fun dir -> Cache.create ~dir ~verbose ()) cache_dir in
+  let on_recovery =
+    Option.map
+      (fun e ~kind ~ns ~key -> e (Events.cache_recovered ~worker ~ns ~key ~kind))
+      emit
+  in
+  let cache =
+    Option.map (fun dir -> Cache.create ~dir ~verbose ?on_recovery ()) cache_dir
+  in
   Telemetry.add c_fleet_members (Array.length indices);
   let total = Array.length indices in
   let done_count = Atomic.make 0 in
@@ -145,14 +217,17 @@ let run_shard ?config ?cache_dir ~shard_domains ~source_label ~worker
   let analyze_one i =
     let path = paths.(i) in
     match emit with
-    | None -> (i, analyze_member ?config ?cache ~source_label path)
+    | None ->
+      (i, analyze_member ?config ?cache ?emit_certs ?check_certs ~source_label path)
     | Some emit ->
       emit (Events.member_start ~worker ~path);
       let before =
         match cache with Some c -> cache_totals_of c | None -> no_cache_totals
       in
       let t0 = Unix.gettimeofday () in
-      let r = analyze_member ?config ?cache ~source_label path in
+      let r =
+        analyze_member ?config ?cache ?emit_certs ?check_certs ~source_label path
+      in
       let after =
         match cache with Some c -> cache_totals_of c | None -> no_cache_totals
       in
@@ -162,7 +237,12 @@ let run_shard ?config ?cache_dir ~shard_domains ~source_label ~worker
            ~findings:(List.length r.mr_entries)
            ~cache_hits:(after.ct_hits - before.ct_hits)
            ~cache_misses:(after.ct_misses - before.ct_misses)
-           ~elapsed_ms:((Unix.gettimeofday () -. t0) *. 1000.0));
+           ?certs:
+             (Option.map
+                (fun c -> (c.cc_passed, c.cc_failed, c.cc_skipped))
+                r.mr_certs)
+           ~elapsed_ms:((Unix.gettimeofday () -. t0) *. 1000.0)
+           ());
       let d = Atomic.fetch_and_add done_count 1 + 1 in
       let now = Int64.to_int (Telemetry.now_ns ()) in
       let last = Atomic.get last_beat in
@@ -212,8 +292,8 @@ type shard_payload =
    lines (see Events), the parent drains to EOF — reached when the last
    worker exits and the kernel drops its write end — and only then
    reaps children, so draining cannot deadlock against a full pipe. *)
-let run_forked ?config ~cache_dir ~jobs ~shard_domains ~source_label
-    ~(on_event : (string -> unit) option) (paths : string array) :
+let run_forked ?config ~cache_dir ?emit_certs ?check_certs ~jobs ~shard_domains
+    ~source_label ~(on_event : (string -> unit) option) (paths : string array) :
     (int * member_result) array * cache_totals =
   let n = Array.length paths in
   let tmpdir = mkdtemp "safeflow-fleet" in
@@ -248,8 +328,8 @@ let run_forked ?config ~cache_dir ~jobs ~shard_domains ~source_label
                  ~members:(Array.length indices))
           | None -> ());
           let tagged, totals =
-            run_shard ?config ?cache_dir ~shard_domains ~source_label ~worker:j
-              ~emit paths indices
+            run_shard ?config ?cache_dir ?emit_certs ?check_certs ~shard_domains
+              ~source_label ~worker:j ~emit paths indices
           in
           (match emit with
           | Some e ->
@@ -358,7 +438,8 @@ let run_forked ?config ~cache_dir ~jobs ~shard_domains ~source_label
     List.fold_left (fun acc (_, t, _) -> add_totals acc t) no_cache_totals shards )
 
 let run ?config ?cache_dir ?(jobs = 1) ?(shard_domains = 1)
-    ?(source_label = "<system>") ?on_event (paths : string list) : result =
+    ?(source_label = "<system>") ?on_event ?emit_certs ?check_certs
+    (paths : string list) : result =
   Telemetry.span "fleet.run" @@ fun () ->
   let n = List.length paths in
   let arr = Array.of_list paths in
@@ -367,8 +448,8 @@ let run ?config ?cache_dir ?(jobs = 1) ?(shard_domains = 1)
   emit_parent (Events.fleet_start ~systems:n ~jobs ~shard_domains);
   let t0 = Unix.gettimeofday () in
   let in_process () =
-    run_shard ?config ?cache_dir ~shard_domains ~source_label ~worker:0
-      ~emit:on_event arr (Array.init n Fun.id)
+    run_shard ?config ?cache_dir ?emit_certs ?check_certs ~shard_domains
+      ~source_label ~worker:0 ~emit:on_event arr (Array.init n Fun.id)
   in
   let tagged, totals =
     (* The parent must stay domain-free: the OCaml 5 runtime forbids
@@ -380,7 +461,9 @@ let run ?config ?cache_dir ?(jobs = 1) ?(shard_domains = 1)
        rather than fail. *)
     if jobs <= 1 && shard_domains <= 1 then in_process ()
     else
-      try run_forked ?config ~cache_dir ~jobs ~shard_domains ~source_label ~on_event arr
+      try
+        run_forked ?config ~cache_dir ?emit_certs ?check_certs ~jobs
+          ~shard_domains ~source_label ~on_event arr
       with Failure msg
         when String.length msg >= 9 && String.sub msg 0 9 = "Unix.fork" ->
         in_process ()

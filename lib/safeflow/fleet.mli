@@ -60,6 +60,17 @@
     Workers also tag their verbose stderr notes with a
     [\[worker N\]] {!Logctx} prefix. *)
 
+type cert_counts = {
+  cc_written : int;  (** certificates in the member's bundle *)
+  cc_passed : int;
+  cc_failed : int;
+  cc_skipped : int;
+      (** without [check_certs], the bundle's skipped-obligation count;
+          with it, the checker's view of the same *)
+}
+(** per-member certificate accounting under [?emit_certs]; pass/fail
+    are zero unless [?check_certs] revalidated the bundle *)
+
 type member_result = {
   mr_path : string;  (** the member's real on-disk path *)
   mr_report : string;  (** rendered {!Report.pp} output *)
@@ -72,6 +83,7 @@ type member_result = {
       (** the member's phase-2 obligation audit trail, shipped verbatim
           over the worker result channel ([safeflow hotspots] ranks
           fleet-wide from these) *)
+  mr_certs : cert_counts option;  (** present only under [?emit_certs] *)
 }
 
 type cache_totals = {
@@ -99,6 +111,8 @@ val run :
   ?shard_domains:int ->
   ?source_label:string ->
   ?on_event:(string -> unit) ->
+  ?emit_certs:string ->
+  ?check_certs:bool ->
   string list ->
   result
 (** [run paths] analyzes every member and aggregates.  A member whose
@@ -107,7 +121,18 @@ val run :
     [~cache_dir]; without it every member is analyzed cold.
     [on_event] receives each {!Events} line (no trailing newline) on
     the parent, in arrival order; it is called from the parent's single
-    thread, never concurrently. *)
+    thread, never concurrently.
+
+    [~emit_certs:ROOT] writes each member's certificate bundle
+    ({!Cert.emit_bundle}) to [ROOT/<basename-without-extension>]; an
+    emission error fails that member.  [~check_certs:true] additionally
+    revalidates every bundle in the worker with {!Checker.validate_bundle}
+    against a {e fresh} parse of the member (the
+    [fleet.certs_pass]/[_fail]/[_skipped] telemetry counters and the
+    [member_done] event's cert fields record the outcome).  Note the
+    bundle's digests bind to the IR as analyzed under [source_label];
+    standalone [safeflow check-cert] on a fleet bundle therefore needs
+    [--source-label] with the same label. *)
 
 val members_of_dir : string -> string list
 (** the [.c] files of a directory, sorted by name *)

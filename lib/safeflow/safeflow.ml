@@ -39,6 +39,7 @@ module Dyntaint = Dyntaint
 module Summary = Summary
 module Assume = Assume
 module Fingerprint = Fingerprint
+module Cert = Cert
 module Sarif = Sarif
 module Diffreport = Diffreport
 module Coverage = Coverage

@@ -121,7 +121,10 @@ let result_json ~uri (fp : string) (f : Fingerprint.finding) =
        field "message"
          (text (Printf.sprintf "%s (in %s)" (Fingerprint.message f) (Fingerprint.func f)));
        field "locations" (arr [ physical_location ~uri (Fingerprint.loc f) ]);
-       field "partialFingerprints" (obj [ field fingerprint_key (str fp) ]) ]
+       field "partialFingerprints" (obj [ field fingerprint_key (str fp) ]);
+       (* the fingerprint doubles as the finding's certificate id: under
+          analyze --emit-certs the bundle contains certs/<certId>.json *)
+       field "properties" (obj [ field "certId" (str fp) ]) ]
     @ match flows with Some fl -> [ field "codeFlows" fl ] | None -> [])
 
 let results_of_input (i : input) =

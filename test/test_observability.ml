@@ -533,7 +533,8 @@ let test_events_parse () =
       Events.worker_start ~worker:1 ~pid:123 ~members:32;
       Events.member_start ~worker:1 ~path:"m\"quoted\".c";
       Events.member_done ~worker:1 ~path:"m.c" ~errors:1 ~warnings:2 ~findings:3
-        ~cache_hits:4 ~cache_misses:5 ~elapsed_ms:6.5;
+        ~cache_hits:4 ~cache_misses:5 ~certs:(7, 1, 2) ~elapsed_ms:6.5 ();
+      Events.cache_recovered ~worker:1 ~ns:"phase3" ~key:"abc" ~kind:"corrupt";
       Events.heartbeat ~worker:1 ~done_:10 ~total:32;
       Events.worker_done ~worker:1 ~members:32 ~errors:4 ~warnings:8;
       Events.fleet_done ~systems:64 ~elapsed_s:1.5 ~analyses_per_sec:42.7;
@@ -555,6 +556,12 @@ let test_events_parse () =
   let md = Jsonlite.parse_exn (List.nth lines 3) in
   Alcotest.(check (option int)) "findings" (Some 3) (int "findings" md);
   Alcotest.(check (option int)) "cache delta" (Some 4) (int "cache_hits" md);
+  Alcotest.(check (option int)) "certs pass" (Some 7) (int "certs_pass" md);
+  Alcotest.(check (option int)) "certs skipped" (Some 2) (int "certs_skipped" md);
+  let rec_ = Jsonlite.parse_exn (List.nth lines 4) in
+  Alcotest.(check (option string)) "recovery kind" (Some "corrupt")
+    (str "kind" rec_);
+  Alcotest.(check (option string)) "recovery ns" (Some "phase3") (str "ns" rec_);
   let quoted = Jsonlite.parse_exn (List.nth lines 2) in
   Alcotest.(check (option string)) "path with quotes survives" (Some "m\"quoted\".c")
     (str "path" quoted)
@@ -574,7 +581,7 @@ let test_progress () =
     Progress.feed p (Events.member_start ~worker:w ~path:(Printf.sprintf "m%d.c" i));
     Progress.feed p
       (Events.member_done ~worker:w ~path:(Printf.sprintf "m%d.c" i) ~errors:0
-         ~warnings:0 ~findings:0 ~cache_hits:0 ~cache_misses:0 ~elapsed_ms:1.0)
+         ~warnings:0 ~findings:0 ~cache_hits:0 ~cache_misses:0 ~elapsed_ms:1.0 ())
   done;
   Progress.feed p "not json at all";  (* must not raise *)
   Progress.finish p;
